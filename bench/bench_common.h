@@ -1,0 +1,54 @@
+#ifndef MHBC_BENCH_BENCH_COMMON_H_
+#define MHBC_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exact/brandes.h"
+#include "graph/csr_graph.h"
+#include "util/table.h"
+
+/// \file
+/// Shared helpers for the experiment harnesses (bench_e*). Each harness
+/// regenerates one table/figure of the reconstructed evaluation suite
+/// (DESIGN.md §5) and prints a markdown table plus the seeds used, so every
+/// row of EXPERIMENTS.md can be reproduced by re-running the binary.
+
+namespace mhbc::bench {
+
+/// Target-vertex roles the experiments sweep over.
+struct TargetSet {
+  VertexId hub;         // maximum degree
+  VertexId median;      // median degree
+  VertexId peripheral;  // minimum degree (ties: lowest id)
+};
+
+/// Picks hub/median/peripheral targets by degree.
+inline TargetSet PickTargets(const CsrGraph& graph) {
+  std::vector<VertexId> order(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+    return graph.degree(a) < graph.degree(b);
+  });
+  TargetSet t;
+  t.peripheral = order.front();
+  t.median = order[order.size() / 2];
+  t.hub = order.back();
+  return t;
+}
+
+/// Prints a titled markdown table to stdout.
+inline void PrintTable(const std::string& title, const Table& table) {
+  std::printf("\n### %s\n\n%s\n", title.c_str(), table.ToMarkdown().c_str());
+}
+
+/// Standard experiment banner.
+inline void Banner(const char* id, const char* what) {
+  std::printf("== %s: %s ==\n", id, what);
+}
+
+}  // namespace mhbc::bench
+
+#endif  // MHBC_BENCH_BENCH_COMMON_H_

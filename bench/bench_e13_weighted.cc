@@ -1,0 +1,72 @@
+// E13 — Weighted-graph variant: the paper's cost claims (§2.1/§4.1) say a
+// weighted pass costs O(|E| + |V| log |V|) via Dijkstra instead of O(|E|)
+// via BFS. This harness measures the per-pass cost ratio and verifies
+// estimation quality carries over to weighted road-like networks.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/mh_betweenness.h"
+#include "core/theory.h"
+#include "exact/dependency_oracle.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mhbc;
+  bench::Banner("E13", "weighted graphs: cost and accuracy");
+
+  // Cost: per-pass time, unweighted vs weighted, same topology.
+  Table cost({"graph", "n", "m", "unweighted us/pass", "weighted us/pass",
+              "ratio"});
+  for (VertexId side : {30u, 45u, 60u}) {
+    const CsrGraph g = MakeGrid(side, side);
+    const CsrGraph wg = AssignUniformWeights(g, 1.0, 3.0, 0xE13);
+    DependencyOracle plain(g);
+    DependencyOracle weighted(wg);
+    Rng rng(0xE13);
+    constexpr int kPasses = 200;
+    WallTimer t1;
+    for (int i = 0; i < kPasses; ++i) {
+      plain.Dependency(rng.NextVertex(g.num_vertices()), 0);
+    }
+    const double us_plain = 1e6 * t1.ElapsedSeconds() / kPasses;
+    WallTimer t2;
+    for (int i = 0; i < kPasses; ++i) {
+      weighted.Dependency(rng.NextVertex(g.num_vertices()), 0);
+    }
+    const double us_weighted = 1e6 * t2.ElapsedSeconds() / kPasses;
+    cost.AddRow({"grid " + std::to_string(side) + "x" + std::to_string(side),
+                 FormatCount(g.num_vertices()), FormatCount(g.num_edges()),
+                 FormatDouble(us_plain, 1), FormatDouble(us_weighted, 1),
+                 FormatDouble(us_weighted / us_plain, 2)});
+  }
+  bench::PrintTable("E13a: per-pass cost, BFS vs Dijkstra", cost);
+
+  // Accuracy on a weighted grid: error vs T for the chain readouts.
+  const CsrGraph road = AssignUniformWeights(MakeGrid(30, 30), 1.0, 3.0, 0x30);
+  const VertexId center = 15 * 30 + 15;
+  const double exact = ExactBetweennessSingle(road, center);
+  const double limit = ChainLimitEstimate(DependencyProfile(road, center));
+  Table acc({"T", "mean |mh-limit|", "mean |rb-exact|"});
+  constexpr int kTrials = 5;
+  for (std::uint64_t budget : {250ULL, 1'000ULL, 4'000ULL}) {
+    RunningStats chain_err, rb_err;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      MhOptions options;
+      options.seed = 0x13E + static_cast<std::uint64_t>(trial) * 101;
+      MhBetweennessSampler sampler(road, options);
+      const MhResult result = sampler.Run(center, budget);
+      chain_err.Add(std::fabs(result.estimate - limit));
+      rb_err.Add(std::fabs(result.proposal_estimate - exact));
+    }
+    acc.AddRow({FormatCount(budget), FormatScientific(chain_err.mean(), 2),
+                FormatScientific(rb_err.mean(), 2)});
+  }
+  std::printf("weighted grid 30x30 center: exact=%.5f chain-limit=%.5f\n",
+              exact, limit);
+  bench::PrintTable("E13b: weighted estimation error vs T (5 trials)", acc);
+  return 0;
+}

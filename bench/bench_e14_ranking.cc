@@ -1,0 +1,77 @@
+// E14 — Ranking quality (application claim §1: "rank vertices according to
+// their betweenness scores" without exact computation): Spearman and
+// Kendall correlation of the joint-space ranking of a candidate set R
+// against the exact ranking, as T grows.
+
+#include "bench_common.h"
+#include "core/joint_space.h"
+#include "graph/graph_builder.h"
+#include "util/stats.h"
+
+namespace {
+
+/// Ring of cliques with unequal sizes (distinct gateway loads).
+mhbc::CsrGraph MakeUnequalCaveman(const std::vector<mhbc::VertexId>& sizes,
+                                  std::vector<mhbc::VertexId>* gateways) {
+  mhbc::VertexId n = 0;
+  for (mhbc::VertexId s : sizes) n += s;
+  mhbc::GraphBuilder builder(n);
+  mhbc::VertexId base = 0;
+  std::vector<mhbc::VertexId> starts;
+  for (mhbc::VertexId s : sizes) {
+    starts.push_back(base);
+    for (mhbc::VertexId u = 0; u < s; ++u)
+      for (mhbc::VertexId v = u + 1; v < s; ++v)
+        builder.AddEdge(base + u, base + v);
+    gateways->push_back(base + s - 1);
+    base += s;
+  }
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    builder.AddEdge((*gateways)[c], starts[(c + 1) % sizes.size()]);
+  }
+  return std::move(builder.Build()).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mhbc;
+  bench::Banner("E14", "ranking a candidate set by estimated betweenness");
+
+  std::vector<VertexId> gateways;
+  const CsrGraph net =
+      MakeUnequalCaveman({8, 10, 12, 14, 16, 18, 20, 22}, &gateways);
+  const auto exact = ExactBetweenness(net);
+  std::vector<double> exact_scores;
+  for (VertexId g : gateways) exact_scores.push_back(exact[g]);
+
+  Table table({"T", "Spearman", "Kendall tau", "top-1 correct"});
+  for (std::uint64_t budget : {1'000ULL, 4'000ULL, 16'000ULL, 64'000ULL}) {
+    JointOptions options;
+    options.seed = 0xE14 + budget;
+    JointSpaceSampler sampler(net, gateways, options);
+    const JointResult result = sampler.Run(budget);
+    const std::vector<double>& scores = result.copeland_scores;
+
+    // Exact top-1 gateway index.
+    std::size_t exact_best = 0;
+    for (std::size_t i = 1; i < exact_scores.size(); ++i) {
+      if (exact_scores[i] > exact_scores[exact_best]) exact_best = i;
+    }
+    std::size_t estimated_best = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i] > scores[estimated_best]) estimated_best = i;
+    }
+    table.AddRow({FormatCount(budget),
+                  FormatDouble(SpearmanCorrelation(scores, exact_scores), 3),
+                  FormatDouble(KendallTau(scores, exact_scores), 3),
+                  estimated_best == exact_best ? "yes" : "no"});
+  }
+  std::printf("candidate set: %zu gateways of unequal-size communities "
+              "(n=%u, m=%llu)\n",
+              gateways.size(), net.num_vertices(),
+              static_cast<unsigned long long>(net.num_edges()));
+  bench::PrintTable("E14: rank correlation of joint-space Copeland ranking",
+                    table);
+  return 0;
+}

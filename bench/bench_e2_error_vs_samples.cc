@@ -1,0 +1,62 @@
+// E2 — Convergence figure: estimation error vs chain length T for the
+// paper's MH sampler, at three target positions (hub / median / peripheral)
+// per dataset. Reports both the Eq. 7 estimate's error and the
+// Rao-Blackwell companion's error against exact BC, plus the distance to
+// the chain's own limit E_pi[f] — the series that makes the estimator's
+// bias-vs-variance behaviour visible.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/mh_betweenness.h"
+#include "core/theory.h"
+#include "datasets/registry.h"
+
+int main() {
+  using namespace mhbc;
+  bench::Banner("E2", "error vs samples (convergence figure)");
+  constexpr int kTrials = 5;
+  const std::vector<std::uint64_t> kBudgets{50, 100, 200, 400, 800, 1600};
+
+  Table table({"dataset", "target", "mu(r)", "T", "|mh-exact|", "|mh-limit|",
+               "|rb-exact|"});
+  for (const std::string& name :
+       {std::string("caveman-36"), std::string("community-ring-300"),
+        std::string("email-like-1k")}) {
+    const CsrGraph graph = std::move(MakeDataset(name)).value();
+    const bench::TargetSet targets = bench::PickTargets(graph);
+    for (const auto& [label, r] :
+         {std::pair<const char*, VertexId>{"hub", targets.hub},
+          {"median", targets.median},
+          {"peripheral", targets.peripheral}}) {
+      const double exact = ExactBetweennessSingle(graph, r);
+      if (exact == 0.0) continue;  // peripheral leaves carry no signal
+      const auto profile = DependencyProfile(graph, r);
+      const double mu = MuFromProfile(profile);
+      const double limit = ChainLimitEstimate(profile);
+      for (std::uint64_t budget : kBudgets) {
+        double err_mh = 0.0, err_limit = 0.0, err_rb = 0.0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          MhOptions options;
+          options.seed = 0xE2 + static_cast<std::uint64_t>(trial) * 1009 +
+                         budget;
+          MhBetweennessSampler sampler(graph, options);
+          const MhResult result = sampler.Run(r, budget);
+          err_mh += std::fabs(result.estimate - exact);
+          err_limit += std::fabs(result.estimate - limit);
+          err_rb += std::fabs(result.proposal_estimate - exact);
+        }
+        table.AddRow({name, label, FormatDouble(mu, 1),
+                      std::to_string(budget),
+                      FormatScientific(err_mh / kTrials, 2),
+                      FormatScientific(err_limit / kTrials, 2),
+                      FormatScientific(err_rb / kTrials, 2)});
+      }
+    }
+  }
+  bench::PrintTable(
+      "E2: mean abs error over 5 trials (mh = Eq. 7; limit = E_pi[f]; rb = "
+      "Rao-Blackwell companion)",
+      table);
+  return 0;
+}

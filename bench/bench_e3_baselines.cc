@@ -1,0 +1,59 @@
+// E3 — Sampler comparison table at an equal pass budget: the paper's MH
+// sampler (both readouts) against uniform [2], distance-proportional [13],
+// shortest-path RK [30], and linear-scaling Geisberger [17].
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "centrality/api.h"
+#include "datasets/registry.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mhbc;
+  bench::Banner("E3", "baseline comparison at equal budget");
+  constexpr std::uint64_t kBudget = 500;
+  constexpr int kTrials = 5;
+
+  Table table({"dataset", "target", "estimator", "mean rel err", "max rel err",
+               "ms/run"});
+  for (const std::string& name :
+       {std::string("caveman-36"), std::string("community-ring-300"),
+        std::string("email-like-1k")}) {
+    const CsrGraph graph = std::move(MakeDataset(name)).value();
+    const bench::TargetSet targets = bench::PickTargets(graph);
+    for (const auto& [label, r] :
+         {std::pair<const char*, VertexId>{"hub", targets.hub},
+          {"median", targets.median}}) {
+      const double exact = ExactBetweennessSingle(graph, r);
+      if (exact == 0.0) continue;
+      for (EstimatorKind kind :
+           {EstimatorKind::kMetropolisHastings, EstimatorKind::kMhRaoBlackwell,
+            EstimatorKind::kUniformSource,
+            EstimatorKind::kDistanceProportional, EstimatorKind::kShortestPath,
+            EstimatorKind::kLinearScaling}) {
+        double err_sum = 0.0, err_max = 0.0, seconds = 0.0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          EstimateOptions options;
+          options.kind = kind;
+          options.samples = kBudget;
+          options.seed = 0xE3 + static_cast<std::uint64_t>(trial) * 7919;
+          WallTimer timer;
+          const auto result = EstimateBetweenness(graph, r, options);
+          seconds += timer.ElapsedSeconds();
+          const double err =
+              std::fabs(result.value().value - exact) / exact;
+          err_sum += err;
+          err_max = std::max(err_max, err);
+        }
+        table.AddRow({name, label, EstimatorKindName(kind),
+                      FormatDouble(err_sum / kTrials, 3),
+                      FormatDouble(err_max, 3),
+                      FormatDouble(1e3 * seconds / kTrials, 2)});
+      }
+    }
+  }
+  bench::PrintTable("E3: relative error vs exact at 500 passes (5 trials)",
+                    table);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E7 — Joint-space sampler ratio accuracy (Theorem 3 / Eq. 22): estimated
+// BC(ri)/BC(rj) against the exact ratio for all ordered pairs of a target
+// set R, as the iteration budget grows. The ratio estimator is consistent
+// (unlike the single-space Eq. 7 readout), so errors shrink with T.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/joint_space.h"
+#include "datasets/registry.h"
+
+int main() {
+  using namespace mhbc;
+  bench::Banner("E7", "joint-space ratio estimation (Eq. 22)");
+  const std::vector<std::uint64_t> kBudgets{2'000, 8'000, 32'000};
+  constexpr std::size_t kSetSize = 5;
+
+  Table table({"dataset", "|R|", "T", "mean rel err", "max rel err",
+               "min |M(j)|"});
+  for (const std::string& name :
+       {std::string("community-ring-300"), std::string("email-like-1k")}) {
+    const CsrGraph graph = std::move(MakeDataset(name)).value();
+    // R = the top-degree vertices (distinct), a realistic "compare these
+    // candidate hubs" workload.
+    std::vector<VertexId> order(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+    std::stable_sort(order.begin(), order.end(),
+                     [&graph](VertexId a, VertexId b) {
+                       return graph.degree(a) > graph.degree(b);
+                     });
+    std::vector<VertexId> targets(order.begin(), order.begin() + kSetSize);
+
+    const auto exact = ExactBetweenness(graph);
+    for (std::uint64_t budget : kBudgets) {
+      JointOptions options;
+      options.seed = 0xE7 + budget;
+      JointSpaceSampler sampler(graph, targets, options);
+      const JointResult result = sampler.Run(budget);
+      double err_sum = 0.0, err_max = 0.0;
+      int pairs = 0;
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        for (std::size_t j = 0; j < targets.size(); ++j) {
+          if (i == j) continue;
+          const double truth = exact[targets[i]] / exact[targets[j]];
+          const double err =
+              std::fabs(result.ratio[i][j] - truth) / truth;
+          err_sum += err;
+          err_max = std::max(err_max, err);
+          ++pairs;
+        }
+      }
+      std::uint64_t min_m = result.samples_per_target[0];
+      for (std::uint64_t m : result.samples_per_target) {
+        min_m = std::min(min_m, m);
+      }
+      table.AddRow({name, std::to_string(targets.size()),
+                    FormatCount(budget), FormatDouble(err_sum / pairs, 3),
+                    FormatDouble(err_max, 3), FormatCount(min_m)});
+    }
+  }
+  bench::PrintTable(
+      "E7: relative error of estimated BC ratios over all ordered pairs",
+      table);
+  return 0;
+}

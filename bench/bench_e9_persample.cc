@@ -1,0 +1,70 @@
+// E9 — Per-sample cost microbenchmark (google-benchmark): one sampler step
+// is a single-source pass (BFS or Dijkstra) plus dependency accumulation.
+// The paper claims O(|E|) per sample unweighted and
+// O(|E| + |V| log |V|) weighted; the items/second and per-edge figures
+// here substantiate the linear scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "exact/dependency_oracle.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_UnweightedPass(benchmark::State& state) {
+  const auto n = static_cast<mhbc::VertexId>(state.range(0));
+  const mhbc::CsrGraph graph = mhbc::MakeBarabasiAlbert(n, 3, 0xE9);
+  mhbc::DependencyOracle oracle(graph);
+  mhbc::Rng rng(1);
+  const mhbc::VertexId target = 0;
+  for (auto _ : state) {
+    const mhbc::VertexId source = rng.NextVertex(graph.num_vertices());
+    benchmark::DoNotOptimize(oracle.Dependency(source, target));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+  state.counters["ns_per_edge"] = benchmark::Counter(
+      static_cast<double>(graph.num_edges()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_UnweightedPass)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Arg(16000)->Unit(benchmark::kMicrosecond);
+
+void BM_WeightedPass(benchmark::State& state) {
+  const auto n = static_cast<mhbc::VertexId>(state.range(0));
+  const mhbc::CsrGraph graph = mhbc::AssignUniformWeights(
+      mhbc::MakeBarabasiAlbert(n, 3, 0xE9), 0.5, 2.0, 0x11);
+  mhbc::DependencyOracle oracle(graph);
+  mhbc::Rng rng(2);
+  const mhbc::VertexId target = 0;
+  for (auto _ : state) {
+    const mhbc::VertexId source = rng.NextVertex(graph.num_vertices());
+    benchmark::DoNotOptimize(oracle.Dependency(source, target));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_WeightedPass)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GridPass(benchmark::State& state) {
+  // High-diameter regime (road-like): same O(m) pass, different constant.
+  const auto side = static_cast<mhbc::VertexId>(state.range(0));
+  const mhbc::CsrGraph graph = mhbc::MakeGrid(side, side);
+  mhbc::DependencyOracle oracle(graph);
+  mhbc::Rng rng(3);
+  for (auto _ : state) {
+    const mhbc::VertexId source = rng.NextVertex(graph.num_vertices());
+    benchmark::DoNotOptimize(oracle.Dependency(source, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_GridPass)->Arg(32)->Arg(64)->Arg(96)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

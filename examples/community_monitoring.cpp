@@ -1,0 +1,85 @@
+// Community-structure scenario (paper §1: Girvan-Newman, cascading
+// failures): monitor the gateway vertices of a modular network and rank
+// them by betweenness with one joint-space chain, flagging the most
+// overloaded gateway — the vertex whose failure would cascade hardest.
+//
+// Communities have *unequal* sizes, so the gateways carry genuinely
+// different loads (bigger neighborhoods route more cross traffic).
+
+#include <cstdio>
+#include <vector>
+
+#include "centrality/api.h"
+#include "exact/brandes.h"
+#include "graph/graph_builder.h"
+#include "util/stats.h"
+
+namespace {
+
+/// Ring of cliques with the given sizes; the last member of each clique is
+/// its gateway, wired to the first member of the next clique.
+mhbc::CsrGraph MakeUnequalCaveman(const std::vector<mhbc::VertexId>& sizes,
+                                  std::vector<mhbc::VertexId>* gateways) {
+  mhbc::VertexId n = 0;
+  for (mhbc::VertexId s : sizes) n += s;
+  mhbc::GraphBuilder builder(n);
+  mhbc::VertexId base = 0;
+  std::vector<mhbc::VertexId> starts;
+  for (mhbc::VertexId s : sizes) {
+    starts.push_back(base);
+    for (mhbc::VertexId u = 0; u < s; ++u) {
+      for (mhbc::VertexId v = u + 1; v < s; ++v) {
+        builder.AddEdge(base + u, base + v);
+      }
+    }
+    gateways->push_back(base + s - 1);
+    base += s;
+  }
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    const mhbc::VertexId next_start = starts[(c + 1) % sizes.size()];
+    builder.AddEdge((*gateways)[c], next_start);
+  }
+  auto built = builder.Build();
+  return std::move(built).value();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<mhbc::VertexId> sizes{8, 12, 16, 20, 24, 28};
+  std::vector<mhbc::VertexId> gateways;
+  const mhbc::CsrGraph net = MakeUnequalCaveman(sizes, &gateways);
+
+  std::printf("modular network: n=%u m=%llu; ranking %zu gateways\n",
+              net.num_vertices(),
+              static_cast<unsigned long long>(net.num_edges()),
+              gateways.size());
+
+  const auto ranking =
+      mhbc::RankByBetweenness(net, gateways, /*iterations=*/25'000, 0x0DD);
+  if (!ranking.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n",
+                 ranking.status().ToString().c_str());
+    return 1;
+  }
+
+  // Exact scores for verification (affordable here; the sampler is the
+  // point on networks where this loop would not be).
+  const std::vector<double> exact = mhbc::ExactBetweenness(net);
+  std::vector<double> exact_of_gateways;
+  for (mhbc::VertexId g : gateways) exact_of_gateways.push_back(exact[g]);
+
+  std::printf("%-6s %-10s %-16s %-12s\n", "rank", "gateway", "community size",
+              "exact BC");
+  std::vector<double> rank_positions(gateways.size(), 0.0);
+  for (std::size_t pos = 0; pos < ranking.value().size(); ++pos) {
+    const std::size_t idx = ranking.value()[pos];
+    rank_positions[idx] = static_cast<double>(gateways.size() - pos);
+    std::printf("%-6zu %-10u %-16u %-12.6f\n", pos + 1, gateways[idx],
+                sizes[idx], exact_of_gateways[idx]);
+  }
+  std::printf("Spearman(estimated rank, exact BC) = %.3f\n",
+              mhbc::SpearmanCorrelation(rank_positions, exact_of_gateways));
+  std::printf("most loaded gateway: %u\n", gateways[ranking.value().front()]);
+  return 0;
+}

@@ -1,0 +1,234 @@
+// mhbc_tool — multitool CLI over the public API.
+//
+//   mhbc_tool stats    <edge-list>
+//   mhbc_tool estimate <edge-list> <vertex> [estimator] [samples] [seed]
+//   mhbc_tool exact    <edge-list> <vertex>
+//   mhbc_tool topk     <edge-list> <k> [eps] [delta]
+//   mhbc_tool rank     <edge-list> <v1,v2,...> [iterations]
+//   mhbc_tool generate <family> <args...> <out-file>
+//              families: ba <n> <m-per-vertex> <seed> | er <n> <p> <seed> |
+//                        ws <n> <k> <beta> <seed>    | grid <rows> <cols> |
+//                        caveman <communities> <size>
+//
+// Run without arguments for a self-contained demo of every subcommand on a
+// generated network.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "centrality/api.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "util/table.h"
+
+namespace {
+
+using mhbc::CsrGraph;
+using mhbc::VertexId;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+mhbc::StatusOr<CsrGraph> Load(const std::string& path) {
+  mhbc::EdgeListOptions options;
+  options.largest_component_only = true;
+  return mhbc::LoadSnapEdgeList(path, options);
+}
+
+int CmdStats(const std::string& path) {
+  auto graph = Load(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const mhbc::GraphStats s = mhbc::ComputeGraphStats(graph.value());
+  mhbc::Table table({"metric", "value"});
+  table.AddRow({"n", mhbc::FormatCount(s.num_vertices)});
+  table.AddRow({"m", mhbc::FormatCount(s.num_edges)});
+  table.AddRow({"density", mhbc::FormatScientific(s.density, 3)});
+  table.AddRow({"degree min/avg/max",
+                std::to_string(s.min_degree) + " / " +
+                    mhbc::FormatDouble(s.avg_degree, 2) + " / " +
+                    std::to_string(s.max_degree)});
+  table.AddRow({std::string("diameter") + (s.exact_diameter ? "" : " (>=)"),
+                std::to_string(s.diameter)});
+  table.AddRow({"triangles", mhbc::FormatCount(s.triangles)});
+  table.AddRow({"global clustering", mhbc::FormatDouble(s.global_clustering, 4)});
+  table.AddRow({"avg local clustering",
+                mhbc::FormatDouble(s.avg_local_clustering, 4)});
+  table.AddRow({"connected", s.connected ? "yes" : "no (LCC shown)"});
+  table.AddRow({"weighted", s.weighted ? "yes" : "no"});
+  std::printf("%s", table.ToMarkdown().c_str());
+  return 0;
+}
+
+int CmdEstimate(const std::string& path, int argc, char** argv) {
+  auto graph = Load(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  mhbc::EstimateOptions options;
+  options.kind = mhbc::EstimatorKind::kMetropolisHastings;
+  options.samples = 2'000;
+  const auto r = static_cast<VertexId>(std::strtoul(argv[0], nullptr, 10));
+  if (argc > 1 && !mhbc::ParseEstimatorKind(argv[1], &options.kind)) {
+    return Fail(std::string("unknown estimator '") + argv[1] + "'");
+  }
+  if (argc > 2) options.samples = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) options.seed = std::strtoull(argv[3], nullptr, 10);
+  const auto result = mhbc::EstimateBetweenness(graph.value(), r, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("BC(%u) ~= %.8f  [%s, %llu passes, %.3fs]\n", r,
+              result.value().value, mhbc::EstimatorKindName(options.kind),
+              static_cast<unsigned long long>(result.value().sp_passes),
+              result.value().seconds);
+  return 0;
+}
+
+int CmdExact(const std::string& path, const char* vertex) {
+  auto graph = Load(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  mhbc::EstimateOptions options;
+  options.kind = mhbc::EstimatorKind::kExact;
+  const auto r = static_cast<VertexId>(std::strtoul(vertex, nullptr, 10));
+  const auto result = mhbc::EstimateBetweenness(graph.value(), r, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("BC(%u) = %.10f  [exact, %.3fs]\n", r, result.value().value,
+              result.value().seconds);
+  return 0;
+}
+
+int CmdTopK(const std::string& path, int argc, char** argv) {
+  auto graph = Load(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const auto k = static_cast<std::uint32_t>(std::strtoul(argv[0], nullptr, 10));
+  const double eps = argc > 1 ? std::strtod(argv[1], nullptr) : 0.02;
+  const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
+  const auto result = mhbc::EstimateTopKBetweenness(graph.value(), k, eps, delta);
+  if (!result.ok()) return Fail(result.status().ToString());
+  mhbc::Table table({"rank", "vertex", "estimated BC"});
+  std::size_t rank = 1;
+  for (const mhbc::TopKEntry& entry : result.value()) {
+    table.AddRow({std::to_string(rank++), std::to_string(entry.vertex),
+                  mhbc::FormatDouble(entry.estimate, 6)});
+  }
+  std::printf("%s", table.ToMarkdown().c_str());
+  return 0;
+}
+
+std::vector<VertexId> ParseIdList(const std::string& csv) {
+  std::vector<VertexId> ids;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      ids.push_back(static_cast<VertexId>(std::strtoul(token.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+int CmdRank(const std::string& path, int argc, char** argv) {
+  auto graph = Load(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::vector<VertexId> targets = ParseIdList(argv[0]);
+  const std::uint64_t iterations =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  const auto joint =
+      mhbc::EstimateRelativeBetweenness(graph.value(), targets, iterations);
+  if (!joint.ok()) return Fail(joint.status().ToString());
+  const auto order = mhbc::RankByBetweenness(graph.value(), targets, iterations);
+  if (!order.ok()) return Fail(order.status().ToString());
+  mhbc::Table table({"rank", "vertex", "copeland", "samples |M|"});
+  std::size_t rank = 1;
+  for (std::size_t idx : order.value()) {
+    table.AddRow({std::to_string(rank++), std::to_string(targets[idx]),
+                  mhbc::FormatDouble(joint.value().copeland_scores[idx], 0),
+                  mhbc::FormatCount(joint.value().samples_per_target[idx])});
+  }
+  std::printf("%s", table.ToMarkdown().c_str());
+  if (joint.value().undersampled) {
+    std::printf("warning: some targets were never sampled (zero or "
+                "near-zero betweenness)\n");
+  }
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 2) return Fail("generate: need <family> <args...> <out-file>");
+  const std::string family = argv[0];
+  const std::string out = argv[argc - 1];
+  CsrGraph graph;
+  auto arg = [&](int i) { return std::strtoull(argv[i], nullptr, 10); };
+  if (family == "ba" && argc == 5) {
+    graph = mhbc::MakeBarabasiAlbert(static_cast<VertexId>(arg(1)),
+                                     static_cast<std::uint32_t>(arg(2)), arg(3));
+  } else if (family == "er" && argc == 5) {
+    graph = mhbc::MakeErdosRenyiGnp(static_cast<VertexId>(arg(1)),
+                                    std::strtod(argv[2], nullptr), arg(3));
+  } else if (family == "ws" && argc == 6) {
+    graph = mhbc::MakeWattsStrogatz(static_cast<VertexId>(arg(1)),
+                                    static_cast<std::uint32_t>(arg(2)),
+                                    std::strtod(argv[3], nullptr), arg(4));
+  } else if (family == "grid" && argc == 4) {
+    graph = mhbc::MakeGrid(static_cast<VertexId>(arg(1)),
+                           static_cast<VertexId>(arg(2)));
+  } else if (family == "caveman" && argc == 4) {
+    graph = mhbc::MakeConnectedCaveman(static_cast<VertexId>(arg(1)),
+                                       static_cast<VertexId>(arg(2)));
+  } else {
+    return Fail("generate: unknown family or wrong arity");
+  }
+  const mhbc::Status status = mhbc::WriteEdgeList(graph, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int Demo() {
+  std::printf("mhbc_tool demo (run with a subcommand for real use; see "
+              "header comment)\n\n");
+  const std::string path = "/tmp/mhbc_tool_demo.txt";
+  char* gen_args[] = {(char*)"caveman", (char*)"6", (char*)"12",
+                      (char*)path.c_str()};
+  if (CmdGenerate(4, gen_args) != 0) return 1;
+  std::printf("\n-- stats --\n");
+  if (CmdStats(path) != 0) return 1;
+  std::printf("\n-- estimate gateway 11 (mh-rb) --\n");
+  char* est_args[] = {(char*)"11", (char*)"mh-rb", (char*)"2000"};
+  if (CmdEstimate(path, 3, est_args) != 0) return 1;
+  std::printf("\n-- exact gateway 11 --\n");
+  if (CmdExact(path, "11") != 0) return 1;
+  std::printf("\n-- top-5 --\n");
+  char* topk_args[] = {(char*)"5", (char*)"0.03"};
+  if (CmdTopK(path, 2, topk_args) != 0) return 1;
+  std::printf("\n-- rank gateways --\n");
+  char* rank_args[] = {(char*)"11,23,35,47"};
+  return CmdRank(path, 1, rank_args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Demo();
+  const std::string command = argv[1];
+  if (command == "stats" && argc == 3) return CmdStats(argv[2]);
+  if (command == "estimate" && argc >= 4) {
+    return CmdEstimate(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "exact" && argc == 4) return CmdExact(argv[2], argv[3]);
+  if (command == "topk" && argc >= 4) {
+    return CmdTopK(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "rank" && argc >= 4) {
+    return CmdRank(argv[2], argc - 3, argv + 3);
+  }
+  if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
+  return Fail("unknown command or wrong arity; run without arguments for "
+              "the demo and usage");
+}

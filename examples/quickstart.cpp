@@ -1,0 +1,65 @@
+// Quickstart: estimate the betweenness of one vertex with the paper's
+// Metropolis-Hastings sampler and compare against exact Brandes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+//
+// Two estimates come out of the same chain (same shortest-path passes):
+//  * "mh"    — the paper's Eq. 7 chain average. Converges to E_pi[f], which
+//              exceeds the true score by up to the mu(r) dependency-spread
+//              factor (small at separator-like vertices, large at hubs of
+//              scale-free graphs).
+//  * "mh-rb" — the chain's Rao-Blackwellized companion (library extension):
+//              unbiased, built from the proposals the chain evaluated
+//              anyway.
+
+#include <cstdio>
+
+#include "centrality/api.h"
+#include "core/theory.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+int main() {
+  // A scale-free network, the topology the paper's motivation targets.
+  const mhbc::CsrGraph graph = mhbc::MakeBarabasiAlbert(
+      /*n=*/2'000, /*edges_per_vertex=*/3, /*seed=*/7);
+  const mhbc::VertexId hub = 0;  // early BA vertices grow into hubs
+
+  std::printf("graph: n=%u m=%llu, target vertex %u (degree %u)\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()), hub,
+              graph.degree(hub));
+
+  const double exact = mhbc::ExactBetweennessSingle(graph, hub);
+  const auto profile = mhbc::DependencyProfile(graph, hub);
+  std::printf("exact BC(%u) = %.6f   [mu(r) = %.1f, chain limit %.6f]\n", hub,
+              exact, mhbc::MuFromProfile(profile),
+              mhbc::ChainLimitEstimate(profile));
+
+  for (const mhbc::EstimatorKind kind :
+       {mhbc::EstimatorKind::kMetropolisHastings,
+        mhbc::EstimatorKind::kMhRaoBlackwell}) {
+    mhbc::EstimateOptions options;
+    options.kind = kind;
+    options.samples = 3'000;  // chain length T; ~T+1 BFS passes of work
+    options.seed = 42;
+    const auto estimate = mhbc::EstimateBetweenness(graph, hub, options);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "estimation failed: %s\n",
+                   estimate.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6s estimate: %.6f  (err %+6.1f%%, %llu passes, %.3fs)\n",
+                mhbc::EstimatorKindName(kind), estimate.value().value,
+                100.0 * (estimate.value().value - exact) / exact,
+                static_cast<unsigned long long>(estimate.value().sp_passes),
+                estimate.value().seconds);
+  }
+  std::printf(
+      "note: 'mh' tracks the chain limit by design (Eq. 7); 'mh-rb' tracks\n"
+      "the exact score with the same %u-pass budget vs %u passes for exact.\n",
+      3'001u, graph.num_vertices());
+  return 0;
+}

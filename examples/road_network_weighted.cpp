@@ -1,0 +1,50 @@
+// Road-network scenario (paper §1: betweenness of "a road within a road
+// network", MANET routing via betweenness ratios): a weighted grid road
+// network where edge weights are travel times. We compare two candidate
+// arterial junctions by their betweenness *ratio* using the joint-space
+// sampler — the paper's second algorithm — instead of computing either
+// score exactly.
+
+#include <cstdio>
+
+#include "centrality/api.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+int main() {
+  // 30x30 grid with travel-time weights in [1, 3] (congestion spread).
+  const mhbc::CsrGraph road = mhbc::AssignUniformWeights(
+      mhbc::MakeGrid(30, 30), 1.0, 3.0, /*seed=*/0x90AD);
+
+  // Candidate junctions: city center vs. a mid-ring junction.
+  const mhbc::VertexId center = 15 * 30 + 15;
+  const mhbc::VertexId midring = 7 * 30 + 7;
+
+  std::printf("road network: n=%u m=%llu (weighted)\n", road.num_vertices(),
+              static_cast<unsigned long long>(road.num_edges()));
+
+  const auto joint = mhbc::EstimateRelativeBetweenness(
+      road, {center, midring}, /*iterations=*/25'000, /*seed=*/0xBEEF);
+  if (!joint.ok()) {
+    std::fprintf(stderr, "joint sampling failed: %s\n",
+                 joint.status().ToString().c_str());
+    return 1;
+  }
+  const mhbc::JointResult& result = joint.value();
+
+  const double exact_center = mhbc::ExactBetweennessSingle(road, center);
+  const double exact_midring = mhbc::ExactBetweennessSingle(road, midring);
+
+  std::printf("estimated BC(center)/BC(midring): %.3f\n", result.ratio[0][1]);
+  std::printf("exact ratio                      : %.3f\n",
+              exact_center / exact_midring);
+  std::printf("relative scores: BC_mid(center)=%.3f  BC_center(mid)=%.3f\n",
+              result.relative[1][0], result.relative[0][1]);
+  std::printf("samples per junction: %llu / %llu (acceptance %.1f%%)\n",
+              static_cast<unsigned long long>(result.samples_per_target[0]),
+              static_cast<unsigned long long>(result.samples_per_target[1]),
+              100.0 * result.diagnostics.acceptance_rate());
+  std::printf("verdict: the %s junction carries more shortest-path traffic\n",
+              result.ratio[0][1] >= 1.0 ? "center" : "mid-ring");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Social-network scenario (paper §1 motivation): score a handful of
+// community "core" vertices — not necessarily the global top-k — without
+// paying for exact betweenness of the whole network.
+//
+// We build a scale-free social graph, pick the highest-degree vertex of
+// each of several regions as its community core, and estimate each core's
+// betweenness with the MH sampler at a fraction of Brandes cost.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "centrality/api.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+#include "util/timer.h"
+
+int main() {
+  const mhbc::CsrGraph graph = mhbc::MakeBarabasiAlbert(5'000, 3, 0x50C1A1);
+  const mhbc::VertexId n = graph.num_vertices();
+
+  // "Community cores": the locally-highest-degree vertex in each of five
+  // contiguous id regions (BA ids correlate with age, so regions mix hub
+  // generations — a stand-in for detected communities).
+  std::vector<mhbc::VertexId> cores;
+  const mhbc::VertexId region = n / 5;
+  for (int c = 0; c < 5; ++c) {
+    const mhbc::VertexId begin = static_cast<mhbc::VertexId>(c) * region;
+    mhbc::VertexId best = begin;
+    for (mhbc::VertexId v = begin; v < begin + region; ++v) {
+      if (graph.degree(v) > graph.degree(best)) best = v;
+    }
+    cores.push_back(best);
+  }
+
+  std::printf("social graph: n=%u m=%llu; scoring %zu community cores\n", n,
+              static_cast<unsigned long long>(graph.num_edges()),
+              cores.size());
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-10s\n", "core", "degree",
+              "mh (Eq.7)", "mh-rb", "exact", "rb err%");
+
+  double sampler_seconds = 0.0;
+  for (mhbc::VertexId core : cores) {
+    mhbc::EstimateOptions options;
+    options.samples = 2'000;
+    options.seed = 0xC0FE + core;
+    options.kind = mhbc::EstimatorKind::kMetropolisHastings;
+    const auto paper_est = mhbc::EstimateBetweenness(graph, core, options);
+    options.kind = mhbc::EstimatorKind::kMhRaoBlackwell;
+    const auto rb_est = mhbc::EstimateBetweenness(graph, core, options);
+    if (!paper_est.ok() || !rb_est.ok()) {
+      std::fprintf(stderr, "core %u failed\n", core);
+      return 1;
+    }
+    sampler_seconds += paper_est.value().seconds + rb_est.value().seconds;
+    const double exact = mhbc::ExactBetweennessSingle(graph, core);
+    const double rb = rb_est.value().value;
+    std::printf("%-10u %-8u %-12.6f %-12.6f %-12.6f %-10.1f\n", core,
+                graph.degree(core), paper_est.value().value, rb, exact,
+                exact > 0 ? 100.0 * std::abs(rb - exact) / exact : 0.0);
+  }
+  std::printf(
+      "sampling cost: %.2fs total (%u-pass Brandes baseline amortized over "
+      "%zu cores would cost ~%ux more passes per core)\n",
+      sampler_seconds, n, cores.size(), n / 2'001u);
+  return 0;
+}

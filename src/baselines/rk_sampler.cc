@@ -1,0 +1,106 @@
+#include "baselines/rk_sampler.h"
+
+#include <cmath>
+
+namespace mhbc {
+
+RkSampler::RkSampler(const CsrGraph& graph, std::uint64_t seed)
+    : graph_(&graph), rng_(seed) {
+  MHBC_DCHECK(graph.num_vertices() >= 2);
+  if (graph.weighted()) {
+    dijkstra_ = std::make_unique<DijkstraSpd>(graph);
+  } else {
+    bfs_ = std::make_unique<BfsSpd>(graph);
+  }
+}
+
+void RkSampler::SampleOnePath(std::vector<double>* credit) {
+  const VertexId n = graph_->num_vertices();
+  VertexId s = rng_.NextVertex(n);
+  VertexId t = rng_.NextVertex(n);
+  while (t == s) t = rng_.NextVertex(n);
+  ++num_passes_;
+
+  if (dijkstra_ != nullptr) {
+    dijkstra_->Run(s);
+    const ShortestPathDag& dag = dijkstra_->dag();
+    if (dag.wdist[t] < 0.0) return;  // zero-credit sample
+    VertexId w = t;
+    while (w != s) {
+      const auto preds = dijkstra_->predecessors(w);
+      MHBC_DCHECK(!preds.empty());
+      const double total = static_cast<double>(dag.sigma[w]);
+      double target = rng_.NextDouble() * total;
+      VertexId chosen = preds.back();
+      for (VertexId z : preds) {
+        target -= static_cast<double>(dag.sigma[z]);
+        if (target < 0.0) {
+          chosen = z;
+          break;
+        }
+      }
+      w = chosen;
+      if (w != s) (*credit)[w] += 1.0;
+    }
+    return;
+  }
+
+  bfs_->Run(s);
+  const ShortestPathDag& dag = bfs_->dag();
+  if (dag.dist[t] == kUnreachedDistance) return;  // zero-credit sample
+
+  // Backtrack from t, choosing predecessor z with probability
+  // sigma_sz / sigma_sw, which selects each shortest s-t path uniformly.
+  VertexId w = t;
+  while (w != s) {
+    const std::uint32_t dw = dag.dist[w];
+    const double total = static_cast<double>(dag.sigma[w]);
+    double target = rng_.NextDouble() * total;
+    VertexId chosen = kInvalidVertex;
+    for (VertexId z : graph_->neighbors(w)) {
+      if (dag.dist[z] + 1 != dw) continue;  // not a predecessor
+      target -= static_cast<double>(dag.sigma[z]);
+      chosen = z;
+      if (target < 0.0) break;
+    }
+    MHBC_DCHECK(chosen != kInvalidVertex);
+    w = chosen;
+    if (w != s) (*credit)[w] += 1.0;
+  }
+}
+
+double RkSampler::Estimate(VertexId r, std::uint64_t num_samples) {
+  MHBC_DCHECK(r < graph_->num_vertices());
+  MHBC_DCHECK(num_samples > 0);
+  std::vector<double> credit(graph_->num_vertices(), 0.0);
+  for (std::uint64_t i = 0; i < num_samples; ++i) SampleOnePath(&credit);
+  return credit[r] / static_cast<double>(num_samples);
+}
+
+std::vector<double> RkSampler::EstimateAll(std::uint64_t num_samples) {
+  MHBC_DCHECK(num_samples > 0);
+  std::vector<double> credit(graph_->num_vertices(), 0.0);
+  for (std::uint64_t i = 0; i < num_samples; ++i) SampleOnePath(&credit);
+  for (double& c : credit) c /= static_cast<double>(num_samples);
+  return credit;
+}
+
+std::uint64_t RkSampler::SampleBound(std::uint32_t vertex_diameter, double eps,
+                                     double delta) {
+  MHBC_DCHECK(vertex_diameter >= 2);
+  MHBC_DCHECK(eps > 0.0 && eps < 1.0);
+  MHBC_DCHECK(delta > 0.0 && delta < 1.0);
+  constexpr double kUniversalConstant = 0.5;
+  // VC dimension of the range set is at most floor(log2(vd - 2)) + 1 for
+  // vd > 2; a single-edge "path system" (vd == 2) has VC dimension 1.
+  const double vc =
+      vertex_diameter > 2
+          ? std::floor(std::log2(static_cast<double>(vertex_diameter) - 2.0)) +
+                1.0
+          : 1.0;
+  const double bound =
+      kUniversalConstant / (eps * eps) * (vc + std::log(1.0 / delta));
+  return static_cast<std::uint64_t>(std::ceil(bound));
+}
+
+}  // namespace mhbc

@@ -1,0 +1,63 @@
+#ifndef MHBC_BASELINES_RK_SAMPLER_H_
+#define MHBC_BASELINES_RK_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sp/bfs_spd.h"
+#include "sp/dijkstra_spd.h"
+#include "util/rng.h"
+
+/// \file
+/// Riondato-Kornaropoulos shortest-path sampler ([30], §3.2 of the paper):
+/// draw a uniform vertex pair (s, t), pick one shortest s-t path uniformly
+/// at random, and credit its interior vertices. The expected credit rate of
+/// v is exactly the paper-normalized BC(v) (Eq. 1), and VC-dimension theory
+/// gives a distribution-free sample bound in terms of the vertex diameter.
+///
+/// Supports weighted graphs: the path backtrack then walks the Dijkstra
+/// SPD's explicit predecessor lists instead of the BFS distance test.
+
+namespace mhbc {
+
+/// Shortest-path sampling estimator.
+class RkSampler {
+ public:
+  RkSampler(const CsrGraph& graph, std::uint64_t seed);
+
+  /// Paper-normalized estimate of BC(r) from `num_samples` sampled paths.
+  /// Per sample: one shortest-path pass + one backtrack.
+  double Estimate(VertexId r, std::uint64_t num_samples);
+
+  /// Estimates all vertices at once from `num_samples` paths (the [30]
+  /// use case; the single-vertex harnesses read one entry).
+  std::vector<double> EstimateAll(std::uint64_t num_samples);
+
+  /// VC-dimension sample bound of [30]: r = (c/eps^2) *
+  /// (floor(log2(vd - 2)) + 1 + ln(1/delta)), with the universal constant
+  /// c = 0.5 and `vertex_diameter` the number of vertices on a longest
+  /// shortest path. Requires vd >= 2; eps in (0,1), delta in (0,1).
+  static std::uint64_t SampleBound(std::uint32_t vertex_diameter, double eps,
+                                   double delta);
+
+  std::uint64_t num_passes() const { return num_passes_; }
+
+ private:
+  /// Samples one shortest path; adds 1 to `credit[v]` for each interior
+  /// vertex v of the chosen path. A disconnected pair contributes no credit
+  /// but still counts as a sample (keeps Eq. 1 unbiasedness on general
+  /// graphs).
+  void SampleOnePath(std::vector<double>* credit);
+
+  const CsrGraph* graph_;
+  std::unique_ptr<BfsSpd> bfs_;
+  std::unique_ptr<DijkstraSpd> dijkstra_;
+  Rng rng_;
+  std::uint64_t num_passes_ = 0;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_BASELINES_RK_SAMPLER_H_

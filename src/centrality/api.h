@@ -1,0 +1,69 @@
+#ifndef MHBC_CENTRALITY_API_H_
+#define MHBC_CENTRALITY_API_H_
+
+#include <vector>
+
+#include "centrality/estimate.h"
+#include "core/joint_space.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+/// \file
+/// Unified entry points. This is the API the examples and most downstream
+/// users consume; power users can instantiate the estimator classes in
+/// core/ and baselines/ directly for reuse across calls.
+///
+/// Quickstart:
+/// \code
+///   mhbc::CsrGraph g = mhbc::MakeBarabasiAlbert(10'000, 4, /*seed=*/7);
+///   mhbc::EstimateOptions opt;            // defaults to the MH sampler
+///   opt.samples = 2'000;
+///   auto est = mhbc::EstimateBetweenness(g, /*r=*/42, opt);
+///   // est.value().value ~= exact BC(42) with ~2'001 BFS passes of work.
+/// \endcode
+
+namespace mhbc {
+
+/// Estimates the (paper-normalized) betweenness of vertex r.
+///
+/// Fails with InvalidArgument for out-of-range r, empty budgets, or an
+/// estimator that does not support the graph (e.g. shortest-path sampling
+/// on weighted graphs). The graph should be connected for meaningful
+/// scores (the paper's model); disconnected graphs are allowed and treat
+/// cross-component pairs as contributing zero.
+StatusOr<BetweennessEstimate> EstimateBetweenness(const CsrGraph& graph,
+                                                  VertexId r,
+                                                  const EstimateOptions& options);
+
+/// Estimates relative betweenness scores and ratios for the vertex set
+/// `targets` via the paper's joint-space sampler (§4.3). `iterations` is
+/// the chain length T (one shortest-path pass each).
+StatusOr<JointResult> EstimateRelativeBetweenness(
+    const CsrGraph& graph, const std::vector<VertexId>& targets,
+    std::uint64_t iterations, std::uint64_t seed = 0x5eed);
+
+/// Ranks `targets` by estimated betweenness using the joint-space chain's
+/// Copeland scores; returns indices into `targets`, most central first.
+StatusOr<std::vector<std::size_t>> RankByBetweenness(
+    const CsrGraph& graph, const std::vector<VertexId>& targets,
+    std::uint64_t iterations, std::uint64_t seed = 0x5eed);
+
+/// One entry of a top-k result.
+struct TopKEntry {
+  VertexId vertex = kInvalidVertex;
+  /// Paper-normalized estimated betweenness.
+  double estimate = 0.0;
+};
+
+/// Approximate top-k betweenness vertices (the [30] use case the paper's
+/// intro contrasts with single-vertex estimation). Uses shortest-path
+/// sampling over the whole graph with the VC-dimension budget for
+/// (eps, delta) uniform accuracy, then returns the k best by estimate.
+/// Vertices whose scores differ by less than ~2 eps may swap ranks.
+StatusOr<std::vector<TopKEntry>> EstimateTopKBetweenness(
+    const CsrGraph& graph, std::uint32_t k, double eps = 0.02,
+    double delta = 0.1, std::uint64_t seed = 0x5eed);
+
+}  // namespace mhbc
+
+#endif  // MHBC_CENTRALITY_API_H_

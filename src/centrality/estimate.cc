@@ -1,0 +1,39 @@
+#include "centrality/estimate.h"
+
+namespace mhbc {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kExact:
+      return "exact";
+    case EstimatorKind::kMetropolisHastings:
+      return "mh";
+    case EstimatorKind::kMhRaoBlackwell:
+      return "mh-rb";
+    case EstimatorKind::kUniformSource:
+      return "uniform";
+    case EstimatorKind::kDistanceProportional:
+      return "distance";
+    case EstimatorKind::kShortestPath:
+      return "rk";
+    case EstimatorKind::kLinearScaling:
+      return "geisberger";
+  }
+  return "unknown";
+}
+
+bool ParseEstimatorKind(const std::string& name, EstimatorKind* kind) {
+  for (EstimatorKind candidate :
+       {EstimatorKind::kExact, EstimatorKind::kMetropolisHastings,
+        EstimatorKind::kMhRaoBlackwell, EstimatorKind::kUniformSource,
+        EstimatorKind::kDistanceProportional, EstimatorKind::kShortestPath,
+        EstimatorKind::kLinearScaling}) {
+    if (name == EstimatorKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mhbc

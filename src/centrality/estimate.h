@@ -1,0 +1,68 @@
+#ifndef MHBC_CENTRALITY_ESTIMATE_H_
+#define MHBC_CENTRALITY_ESTIMATE_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Common result/config types of the unified estimation API (see
+/// centrality/api.h for the entry points).
+
+namespace mhbc {
+
+/// Which estimator backs an EstimateBetweenness call.
+enum class EstimatorKind {
+  /// Exact Brandes (no sampling; `samples` ignored).
+  kExact,
+  /// The paper's single-space Metropolis-Hastings chain (§4.2) — the
+  /// library's headline estimator (Eq. 7 chain average). Note: converges
+  /// to E_pi[f], which exceeds BC(r) by up to the mu(r) factor on skewed
+  /// dependency profiles (see core/theory.h ChainLimitEstimate).
+  kMetropolisHastings,
+  /// Library extension: the same MH chain's Rao-Blackwellized companion —
+  /// the proposals of an independence chain are iid draws from the
+  /// proposal distribution, so importance-averaging their dependencies is
+  /// an *unbiased* estimator using the exact same shortest-path passes.
+  kMhRaoBlackwell,
+  /// Uniform source sampling (Bader et al. style).
+  kUniformSource,
+  /// Distance-proportional source sampling (Chehreghani 2014).
+  kDistanceProportional,
+  /// Riondato-Kornaropoulos shortest-path sampling.
+  kShortestPath,
+  /// Geisberger et al. linear-scaling source sampling.
+  kLinearScaling,
+};
+
+/// Returns a stable lowercase name ("mh", "uniform", ...) for tables/CLIs.
+const char* EstimatorKindName(EstimatorKind kind);
+
+/// Parses EstimatorKindName output back to the kind. Returns false on
+/// unknown names.
+bool ParseEstimatorKind(const std::string& name, EstimatorKind* kind);
+
+/// Configuration for a single-vertex estimate.
+struct EstimateOptions {
+  EstimatorKind kind = EstimatorKind::kMetropolisHastings;
+  /// Sampling budget: MH iterations or sample count (kind-dependent);
+  /// ignored by kExact.
+  std::uint64_t samples = 1000;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Outcome of a single-vertex estimate.
+struct BetweennessEstimate {
+  /// Paper-normalized (Eq. 1) betweenness score in [0, 1].
+  double value = 0.0;
+  /// Shortest-path passes the call consumed (work unit; exact runs report
+  /// n passes).
+  std::uint64_t sp_passes = 0;
+  /// Wall-clock seconds.
+  double seconds = 0.0;
+  /// Estimator that produced the value.
+  EstimatorKind kind = EstimatorKind::kExact;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_CENTRALITY_ESTIMATE_H_

@@ -1,0 +1,50 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+
+#include "core/diagnostics.h"
+#include "util/stats.h"
+
+namespace mhbc {
+
+AdaptiveResult AdaptiveMhEstimate(const CsrGraph& graph, VertexId r,
+                                  const AdaptiveOptions& options) {
+  MHBC_DCHECK(options.epsilon > 0.0);
+  MHBC_DCHECK(options.z > 0.0);
+  MHBC_DCHECK(options.initial_batch >= 2);
+
+  MhOptions chain_options;
+  chain_options.seed = options.seed;
+  chain_options.record_trace = true;  // f-series feeds the ESS estimate
+  MhBetweennessSampler sampler(graph, chain_options);
+
+  AdaptiveResult out;
+  std::uint64_t budget = options.initial_batch;
+  while (true) {
+    // Re-run a fresh chain at the doubled budget. Re-running (rather than
+    // extending) keeps the result a pure function of (seed, budget); the
+    // doubling schedule caps total work at 2x the final chain length.
+    const MhResult result = sampler.Run(r, budget);
+    out.estimate = result.estimate;
+    out.proposal_estimate = result.proposal_estimate;
+    out.iterations = budget;
+
+    RunningStats stats;
+    for (double f : result.f_series) stats.Add(f);
+    const double ess = EffectiveSampleSize(result.f_series);
+    const double std_error =
+        ess > 1.0 ? std::sqrt(stats.variance() / ess) : stats.stddev();
+    out.half_width = options.z * std_error;
+    if (out.half_width <= options.epsilon && stats.count() >= 2) {
+      out.converged = true;
+      return out;
+    }
+    if (budget >= options.max_iterations) {
+      out.converged = false;
+      return out;
+    }
+    budget = std::min<std::uint64_t>(budget * 2, options.max_iterations);
+  }
+}
+
+}  // namespace mhbc

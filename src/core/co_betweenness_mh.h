@@ -1,0 +1,70 @@
+#ifndef MHBC_CORE_CO_BETWEENNESS_MH_H_
+#define MHBC_CORE_CO_BETWEENNESS_MH_H_
+
+#include <cstdint>
+
+#include "core/diagnostics.h"
+#include "graph/csr_graph.h"
+#include "util/rng.h"
+
+/// \file
+/// Future-work instantiation (paper §5: "proposing algorithms similar to
+/// our work that estimate other network indices"): the same
+/// Metropolis-Hastings construction applied to pairwise *co-betweenness*
+/// (Kolaczyk et al. 2009; §3.1 of the paper) — the number of shortest paths
+/// passing through BOTH vertices of a pair {u, w}.
+///
+/// The source decomposition mirrors betweenness exactly: with the
+/// co-dependency kappa_v(u, w) = sum over t of sigma_vt(u and w)/sigma_vt,
+/// the raw co-betweenness is sum over sources v of kappa_v. The chain on
+/// V(G) with acceptance min{1, kappa(v')/kappa(v)} therefore has the
+/// "optimal sampling" stationary distribution for this index, and both
+/// readouts of the betweenness sampler carry over:
+///  - chain average of kappa/(n-1)  (Eq. 7 analogue; same E_pi bias), and
+///  - the unbiased Rao-Blackwell proposal average.
+///
+/// Per sample: one BFS from the proposal plus an O(n) table scan against
+/// precomputed BFS tables of u and w. Unweighted graphs.
+
+namespace mhbc {
+
+/// Options for a co-betweenness chain run.
+struct CoBetweennessMhOptions {
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Outcome of a co-betweenness chain run.
+struct CoBetweennessMhResult {
+  /// Eq. 7 analogue readout (paper-normalized by n(n-1)).
+  double estimate = 0.0;
+  /// Unbiased Rao-Blackwell readout (paper-normalized).
+  double proposal_estimate = 0.0;
+  ChainDiagnostics diagnostics;
+};
+
+/// MH estimator for the co-betweenness of the pair {u, w}.
+class CoBetweennessMhSampler {
+ public:
+  /// Graph must be unweighted, n >= 3; u != w.
+  CoBetweennessMhSampler(const CsrGraph& graph, VertexId u, VertexId w,
+                         CoBetweennessMhOptions options);
+  ~CoBetweennessMhSampler();
+
+  CoBetweennessMhSampler(const CoBetweennessMhSampler&) = delete;
+  CoBetweennessMhSampler& operator=(const CoBetweennessMhSampler&) = delete;
+
+  /// Runs a fresh chain of `iterations` steps.
+  CoBetweennessMhResult Run(std::uint64_t iterations);
+
+  /// Co-dependency kappa_v(u, w) of one source (exposed for tests; one BFS
+  /// pass + O(n) scan).
+  double CoDependency(VertexId v);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_CORE_CO_BETWEENNESS_MH_H_

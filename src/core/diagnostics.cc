@@ -1,0 +1,46 @@
+#include "core/diagnostics.h"
+
+#include "util/common.h"
+#include "util/stats.h"
+
+namespace mhbc {
+
+double Autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  const std::size_t n = series.size();
+  if (n < 2 || lag >= n) return 0.0;
+  const double mean = Mean(series);
+  double var = 0.0;
+  for (double x : series) var += (x - mean) * (x - mean);
+  if (var <= 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    cov += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+double EffectiveSampleSize(const std::vector<double>& series) {
+  const std::size_t n = series.size();
+  if (n < 2) return static_cast<double>(n);
+  double rho_sum = 0.0;
+  for (std::size_t lag = 1; lag < n; ++lag) {
+    const double rho = Autocorrelation(series, lag);
+    if (rho <= 0.0) break;  // initial positive sequence cutoff
+    rho_sum += rho;
+  }
+  const double denom = 1.0 + 2.0 * rho_sum;
+  MHBC_DCHECK(denom > 0.0);
+  return static_cast<double>(n) / denom;
+}
+
+std::vector<std::uint64_t> VisitCounts(const std::vector<VertexId>& trace,
+                                       VertexId num_vertices) {
+  std::vector<std::uint64_t> counts(num_vertices, 0);
+  for (VertexId v : trace) {
+    MHBC_DCHECK(v < num_vertices);
+    ++counts[v];
+  }
+  return counts;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,52 @@
+#ifndef MHBC_CORE_DIAGNOSTICS_H_
+#define MHBC_CORE_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// Chain-quality diagnostics backing the mixing experiment (E6) and the
+/// stationary-distribution tests.
+
+namespace mhbc {
+
+/// Counters every chain run reports.
+struct ChainDiagnostics {
+  /// Number of MH iterations performed (T in the paper; the chain holds
+  /// T + 1 states counting the initial one).
+  std::uint64_t iterations = 0;
+  /// Accepted proposals (state actually changed or re-accepted).
+  std::uint64_t accepted = 0;
+  /// Proposals rejected (chain held its state).
+  std::uint64_t rejected = 0;
+  /// Shortest-path passes consumed (the work currency).
+  std::uint64_t sp_passes = 0;
+  /// Distinct states visited (support exploration measure).
+  std::uint64_t distinct_states = 0;
+
+  /// Fraction of proposals accepted.
+  double acceptance_rate() const {
+    const std::uint64_t total = accepted + rejected;
+    return total == 0 ? 0.0
+                      : static_cast<double>(accepted) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Lag-k autocorrelation of a scalar chain series (biased estimator,
+/// standard for MCMC diagnostics). Returns 0 for degenerate series.
+double Autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Effective sample size from the initial-positive-sequence estimator
+/// (Geyer): n / (1 + 2 * sum of leading positive autocorrelations).
+double EffectiveSampleSize(const std::vector<double>& series);
+
+/// Visit histogram of a state trace (counts per vertex id).
+std::vector<std::uint64_t> VisitCounts(const std::vector<VertexId>& trace,
+                                       VertexId num_vertices);
+
+}  // namespace mhbc
+
+#endif  // MHBC_CORE_DIAGNOSTICS_H_

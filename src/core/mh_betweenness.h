@@ -1,0 +1,93 @@
+#ifndef MHBC_CORE_MH_BETWEENNESS_H_
+#define MHBC_CORE_MH_BETWEENNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/diagnostics.h"
+#include "core/mh_chain.h"
+#include "exact/dependency_oracle.h"
+#include "graph/csr_graph.h"
+#include "util/rng.h"
+
+/// \file
+/// The paper's single-space Metropolis-Hastings betweenness sampler (§4.2).
+///
+/// A Markov chain on V(G): from state v, propose v' (uniformly in the
+/// paper), accept with min{1, delta_{v'.}(r) / delta_{v.}(r)} (Eq. 6). The
+/// stationary distribution is the optimal source distribution of [13]
+/// (Eq. 5). The betweenness estimate (Eq. 7) averages
+/// f(v) = delta_{v.}(r) / (n-1) over the chain's T+1 states (a rejected
+/// iteration re-counts the held state, which is what dividing by T+1
+/// requires).
+///
+/// Each iteration costs exactly one shortest-path pass (for the proposal;
+/// the current state's dependency is cached), so T iterations cost T + 1
+/// passes — the "worst case time complexity of processing each sample is
+/// O(|E|)" claim of §4.2.
+
+namespace mhbc {
+
+/// Knobs for one chain run. Defaults reproduce the paper's algorithm.
+struct MhOptions {
+  std::uint64_t seed = 0x5eed;
+  /// Iterations to discard before recording. The paper proves its bound
+  /// holds *without* burn-in; nonzero values exist for the E11 ablation.
+  std::uint64_t burn_in = 0;
+  /// Proposal distribution (paper: uniform). Non-uniform proposals apply
+  /// the Hastings correction.
+  ProposalKind proposal = ProposalKind::kUniform;
+  /// Fixed initial state; kInvalidVertex draws it uniformly at random
+  /// (the paper's choice). Theorem 1 holds from any initial state.
+  VertexId initial_state = kInvalidVertex;
+  /// Record the state trace and per-state f-series (memory O(T); needed by
+  /// the stationarity tests and the mixing bench E6).
+  bool record_trace = false;
+};
+
+/// Outcome of one chain run.
+struct MhResult {
+  /// Paper Eq. 7: the chain-average estimate of BC(r), Eq. 1 normalization.
+  double estimate = 0.0;
+  /// Rao-Blackwellized companion estimate (library extension, not in the
+  /// paper): the proposals of an independence chain are iid draws from the
+  /// proposal distribution, so importance-averaging their dependencies
+  /// gives an *unbiased* estimate of BC(r) from the same passes. The E15
+  /// ablation compares the two.
+  double proposal_estimate = 0.0;
+  ChainDiagnostics diagnostics;
+  /// States of the chain at steps 0..T (only when record_trace).
+  std::vector<VertexId> trace;
+  /// f(state) series parallel to `trace` (only when record_trace).
+  std::vector<double> f_series;
+};
+
+/// Reusable single-vertex MH estimator bound to one graph.
+class MhBetweennessSampler {
+ public:
+  /// Graph must be non-trivial (n >= 2) and outlive the sampler.
+  MhBetweennessSampler(const CsrGraph& graph, MhOptions options);
+
+  /// Runs a fresh chain of `iterations` MH steps targeting vertex r.
+  MhResult Run(VertexId r, std::uint64_t iterations);
+
+  /// Convenience: Run(...).estimate.
+  double Estimate(VertexId r, std::uint64_t iterations) {
+    return Run(r, iterations).estimate;
+  }
+
+  const MhOptions& options() const { return options_; }
+
+  /// Total shortest-path passes across all runs.
+  std::uint64_t num_passes() const { return oracle_.num_passes(); }
+
+ private:
+  const CsrGraph* graph_;
+  MhOptions options_;
+  DependencyOracle oracle_;
+  Rng rng_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_CORE_MH_BETWEENNESS_H_

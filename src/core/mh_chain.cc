@@ -1,0 +1,74 @@
+#include "core/mh_chain.h"
+
+#include <algorithm>
+
+namespace mhbc {
+
+double MhAcceptanceProbability(double delta_current, double delta_proposed) {
+  MHBC_DCHECK(delta_current >= 0.0);
+  MHBC_DCHECK(delta_proposed >= 0.0);
+  if (delta_current == 0.0) return 1.0;  // covers the 0/0 convention too
+  return std::min(1.0, delta_proposed / delta_current);
+}
+
+double MhAcceptanceProbability(double delta_current, double delta_proposed,
+                               double q_current, double q_proposed) {
+  MHBC_DCHECK(q_current > 0.0);
+  MHBC_DCHECK(q_proposed > 0.0);
+  if (delta_current == 0.0) return 1.0;
+  return std::min(1.0,
+                  (delta_proposed * q_current) / (delta_current * q_proposed));
+}
+
+double ClippedRatio(double a, double b) {
+  MHBC_DCHECK(a >= 0.0);
+  MHBC_DCHECK(b >= 0.0);
+  if (b == 0.0) return 1.0;  // both-zero and a>0 cases clip to 1
+  return std::min(1.0, a / b);
+}
+
+VertexId DrawProposal(const CsrGraph& graph, ProposalKind kind, Rng* rng) {
+  switch (kind) {
+    case ProposalKind::kUniform:
+      return rng->NextVertex(graph.num_vertices());
+    case ProposalKind::kDegreeProportional: {
+      // A uniform entry of the adjacency array is an edge endpoint drawn
+      // proportionally to degree. Isolated vertices get zero proposal mass,
+      // which the Hastings correction accounts for (they also have zero
+      // dependency, so excluding them does not bias the estimate support).
+      const std::uint64_t entries = graph.num_edges() * 2;
+      MHBC_DCHECK(entries > 0);
+      const std::uint64_t pick = rng->NextBounded(entries);
+      // Binary search for the vertex owning adjacency slot `pick`, using
+      // neighbors(v).data() - neighbors(0).data() == CSR offset of v.
+      VertexId lo = 0;
+      VertexId hi = graph.num_vertices() - 1;
+      while (lo < hi) {
+        const VertexId mid = lo + (hi - lo + 1) / 2;
+        const auto base = static_cast<std::uint64_t>(
+            graph.neighbors(mid).data() - graph.neighbors(0).data());
+        if (base <= pick) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      return lo;
+    }
+  }
+  MHBC_DCHECK(false);
+  return kInvalidVertex;
+}
+
+double ProposalMass(const CsrGraph& graph, ProposalKind kind, VertexId v) {
+  switch (kind) {
+    case ProposalKind::kUniform:
+      return 1.0;
+    case ProposalKind::kDegreeProportional:
+      return static_cast<double>(graph.degree(v));
+  }
+  MHBC_DCHECK(false);
+  return 0.0;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,59 @@
+#ifndef MHBC_CORE_MH_CHAIN_H_
+#define MHBC_CORE_MH_CHAIN_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "util/rng.h"
+
+/// \file
+/// Shared Metropolis-Hastings conventions for the paper's two samplers.
+///
+/// Both samplers accept a proposed state with probability
+/// min{1, delta' / delta} (paper Eqs. 6 and 17). Dependency scores can be
+/// zero (e.g. the target r itself, leaves of the SPD, or vertices whose
+/// shortest paths never cross r), which the paper leaves implicit; the
+/// library-wide conventions, pinned by tests, are:
+///
+///   delta > 0, delta' > 0  ->  min{1, delta'/delta}   (the generic case)
+///   delta = 0, delta' > 0  ->  1   (ratio diverges; always move up)
+///   delta > 0, delta' = 0  ->  0   (never move from support to null state)
+///   delta = 0, delta' = 0  ->  1   (move freely among null states so the
+///                                   chain cannot stall before reaching the
+///                                   support; such holds contribute f = 0)
+
+namespace mhbc {
+
+/// Proposal distribution for the chain's candidate states. The paper uses
+/// the uniform proposal; the degree-proportional alternative is the E12
+/// ablation (with the corresponding Hastings correction applied).
+enum class ProposalKind {
+  kUniform,
+  kDegreeProportional,
+};
+
+/// MH acceptance probability for target ratio delta'/delta under the
+/// conventions above (uniform proposal; no Hastings correction).
+double MhAcceptanceProbability(double delta_current, double delta_proposed);
+
+/// Acceptance probability with the Hastings correction for an arbitrary
+/// positive proposal mass q(.): min{1, (delta' q_cur) / (delta q_prop)}.
+double MhAcceptanceProbability(double delta_current, double delta_proposed,
+                               double q_current, double q_proposed);
+
+/// min{1, a/b} with the same zero conventions (used by the relative
+/// betweenness score, Eq. 23: ClippedRatio(a, a) == 1 even at a == 0).
+double ClippedRatio(double a, double b);
+
+/// Draws a proposal vertex according to `kind`. Degree-proportional
+/// proposals draw an edge endpoint (degree-biased) in O(1) via the CSR
+/// adjacency array.
+VertexId DrawProposal(const CsrGraph& graph, ProposalKind kind, Rng* rng);
+
+/// Proposal mass q(v) (unnormalized is fine for ratios): 1 for uniform,
+/// degree(v) for degree-proportional.
+double ProposalMass(const CsrGraph& graph, ProposalKind kind, VertexId v);
+
+}  // namespace mhbc
+
+#endif  // MHBC_CORE_MH_CHAIN_H_

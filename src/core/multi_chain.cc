@@ -1,0 +1,61 @@
+#include "core/multi_chain.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace mhbc {
+
+double GelmanRubinRhat(const std::vector<std::vector<double>>& chains) {
+  MHBC_DCHECK(chains.size() >= 2);
+  const std::size_t m = chains.size();
+  const std::size_t len = chains[0].size();
+  MHBC_DCHECK(len >= 2);
+  for (const auto& chain : chains) MHBC_DCHECK(chain.size() == len);
+
+  std::vector<double> means(m);
+  std::vector<double> variances(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    RunningStats stats;
+    for (double x : chains[c]) stats.Add(x);
+    means[c] = stats.mean();
+    variances[c] = stats.variance();
+  }
+  RunningStats across;
+  for (double mean : means) across.Add(mean);
+  const double between = static_cast<double>(len) * across.variance();
+  const double within = Mean(variances);
+  if (within <= 0.0) return 1.0;  // all chains constant
+  const double n = static_cast<double>(len);
+  const double pooled = (n - 1.0) / n * within + between / n;
+  return std::sqrt(pooled / within);
+}
+
+MultiChainResult RunMultipleChains(const CsrGraph& graph, VertexId r,
+                                   std::uint64_t iterations,
+                                   std::uint32_t num_chains,
+                                   const MhOptions& options) {
+  MHBC_DCHECK(num_chains >= 2);
+  MultiChainResult out;
+  std::vector<std::vector<double>> series;
+  double estimate_sum = 0.0;
+  double proposal_sum = 0.0;
+  for (std::uint32_t c = 0; c < num_chains; ++c) {
+    MhOptions chain_options = options;
+    chain_options.seed = options.seed + 0x9e3779b97f4a7c15ULL * (c + 1);
+    chain_options.record_trace = true;
+    MhBetweennessSampler sampler(graph, chain_options);
+    const MhResult result = sampler.Run(r, iterations);
+    out.chain_estimates.push_back(result.estimate);
+    estimate_sum += result.estimate;
+    proposal_sum += result.proposal_estimate;
+    out.sp_passes += result.diagnostics.sp_passes;
+    series.push_back(result.f_series);
+  }
+  out.pooled_estimate = estimate_sum / num_chains;
+  out.pooled_proposal_estimate = proposal_sum / num_chains;
+  out.r_hat = GelmanRubinRhat(series);
+  return out;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,49 @@
+#ifndef MHBC_CORE_MULTI_CHAIN_H_
+#define MHBC_CORE_MULTI_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mh_betweenness.h"
+#include "graph/csr_graph.h"
+
+/// \file
+/// Multi-chain extension (not in the paper): run K independent chains with
+/// different seeds/initial states, pool the estimates, and compute the
+/// Gelman-Rubin potential scale reduction factor (R-hat) over the f-series
+/// — the standard MCMC convergence check. The paper argues no burn-in is
+/// needed; R-hat ~ 1 across arbitrary initial states is the measurable
+/// form of that claim (tested in multi_chain_test.cc).
+
+namespace mhbc {
+
+/// Pooled outcome of K independent chains.
+struct MultiChainResult {
+  /// Mean of the per-chain Eq. 7 estimates.
+  double pooled_estimate = 0.0;
+  /// Mean of the per-chain Rao-Blackwell estimates.
+  double pooled_proposal_estimate = 0.0;
+  /// Per-chain Eq. 7 estimates.
+  std::vector<double> chain_estimates;
+  /// Gelman-Rubin potential scale reduction factor of the f-series;
+  /// values near 1 indicate the chains agree (converged).
+  double r_hat = 0.0;
+  /// Total shortest-path passes across all chains.
+  std::uint64_t sp_passes = 0;
+};
+
+/// Runs `num_chains` chains of `iterations` steps each; seeds are derived
+/// from options.seed, initial states are drawn independently per chain.
+MultiChainResult RunMultipleChains(const CsrGraph& graph, VertexId r,
+                                   std::uint64_t iterations,
+                                   std::uint32_t num_chains,
+                                   const MhOptions& options);
+
+/// Gelman-Rubin R-hat for equal-length scalar series (>= 2 chains). Uses
+/// the classic between/within variance form; returns 1 for degenerate
+/// (zero-variance) inputs.
+double GelmanRubinRhat(const std::vector<std::vector<double>>& chains);
+
+}  // namespace mhbc
+
+#endif  // MHBC_CORE_MULTI_CHAIN_H_

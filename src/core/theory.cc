@@ -1,0 +1,84 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/mh_chain.h"
+#include "util/common.h"
+
+namespace mhbc {
+
+double MeanDependency(const std::vector<double>& profile) {
+  MHBC_DCHECK(!profile.empty());
+  double sum = 0.0;
+  for (double d : profile) {
+    MHBC_DCHECK(d >= 0.0);
+    sum += d;
+  }
+  return sum / static_cast<double>(profile.size());
+}
+
+double MuFromProfile(const std::vector<double>& profile) {
+  const double mean = MeanDependency(profile);
+  MHBC_DCHECK(mean > 0.0);
+  const double peak = *std::max_element(profile.begin(), profile.end());
+  return peak / mean;
+}
+
+std::uint64_t SampleBound(double mu, double eps, double delta) {
+  MHBC_DCHECK(mu >= 1.0);  // max/mean is always >= 1
+  MHBC_DCHECK(eps > 0.0);
+  MHBC_DCHECK(delta > 0.0 && delta < 1.0);
+  const double bound = mu * mu / (2.0 * eps * eps) * std::log(2.0 / delta);
+  return static_cast<std::uint64_t>(std::ceil(bound));
+}
+
+double TailBound(double mu, double eps, std::uint64_t chain_length) {
+  MHBC_DCHECK(mu >= 1.0);
+  MHBC_DCHECK(eps > 0.0);
+  MHBC_DCHECK(chain_length >= 1);
+  const double t = static_cast<double>(chain_length);
+  const double margin = 2.0 * eps / mu - 3.0 / t;
+  if (margin <= 0.0) return 1.0;  // bound vacuous in this regime
+  const double value = 2.0 * std::exp(-t / 2.0 * margin * margin);
+  return std::min(1.0, value);
+}
+
+double ChainLimitEstimate(const std::vector<double>& profile) {
+  MHBC_DCHECK(profile.size() >= 2);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double d : profile) {
+    sum += d;
+    sum_sq += d * d;
+  }
+  MHBC_DCHECK(sum > 0.0);
+  const double n_minus_1 = static_cast<double>(profile.size()) - 1.0;
+  return sum_sq / (sum * n_minus_1);
+}
+
+double ExactRelativeBetweenness(const std::vector<double>& profile_i,
+                                const std::vector<double>& profile_j) {
+  MHBC_DCHECK(profile_i.size() == profile_j.size());
+  MHBC_DCHECK(!profile_i.empty());
+  double acc = 0.0;
+  for (std::size_t v = 0; v < profile_i.size(); ++v) {
+    acc += ClippedRatio(profile_i[v], profile_j[v]);
+  }
+  return acc / static_cast<double>(profile_i.size());
+}
+
+double ChainLimitRelative(const std::vector<double>& profile_i,
+                          const std::vector<double>& profile_j) {
+  MHBC_DCHECK(profile_i.size() == profile_j.size());
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t v = 0; v < profile_i.size(); ++v) {
+    numerator += std::min(profile_i[v], profile_j[v]);
+    denominator += profile_j[v];
+  }
+  MHBC_DCHECK(denominator > 0.0);
+  return numerator / denominator;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,89 @@
+#include "core/variance.h"
+
+namespace mhbc {
+
+namespace {
+
+/// Shared: Var over s~p of delta_s/(p_s * n(n-1)), via
+/// E[X^2] - E[X]^2 with E[X] = BC exactly (unbiasedness).
+double VarianceUnderDistribution(const std::vector<double>& profile,
+                                 const std::vector<double>& probabilities) {
+  MHBC_DCHECK(profile.size() == probabilities.size());
+  MHBC_DCHECK(profile.size() >= 2);
+  const double n = static_cast<double>(profile.size());
+  const double norm = n * (n - 1.0);
+  double bc = 0.0;
+  for (double d : profile) bc += d;
+  bc /= norm;
+
+  double second_moment = 0.0;
+  for (std::size_t s = 0; s < profile.size(); ++s) {
+    if (profile[s] == 0.0) continue;
+    MHBC_DCHECK(probabilities[s] > 0.0);  // support domination
+    const double x = profile[s] / (probabilities[s] * norm);
+    second_moment += probabilities[s] * x * x;
+  }
+  const double variance = second_moment - bc * bc;
+  return variance < 0.0 ? 0.0 : variance;  // clamp FP slack
+}
+
+}  // namespace
+
+double UniformSamplerVariance(const std::vector<double>& profile) {
+  std::vector<double> uniform(profile.size(),
+                              1.0 / static_cast<double>(profile.size()));
+  return VarianceUnderDistribution(profile, uniform);
+}
+
+double ImportanceSamplerVariance(const std::vector<double>& profile,
+                                 const std::vector<double>& probabilities) {
+  return VarianceUnderDistribution(profile, probabilities);
+}
+
+double WeightedSamplerVariance(const std::vector<double>& profile,
+                               const std::vector<double>& weights) {
+  MHBC_DCHECK(profile.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    MHBC_DCHECK(w >= 0.0);
+    total += w;
+  }
+  MHBC_DCHECK(total > 0.0);
+  std::vector<double> probabilities(weights.size());
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    probabilities[s] = weights[s] / total;
+  }
+  return VarianceUnderDistribution(profile, probabilities);
+}
+
+double OptimalSamplerVariance(const std::vector<double>& profile) {
+  double total = 0.0;
+  for (double d : profile) total += d;
+  MHBC_DCHECK(total > 0.0);
+  std::vector<double> probabilities(profile.size());
+  for (std::size_t s = 0; s < profile.size(); ++s) {
+    probabilities[s] = profile[s] / total;
+  }
+  // Analytically zero; compute anyway so tests can assert the identity.
+  return VarianceUnderDistribution(profile, probabilities);
+}
+
+double ChainStationaryVariance(const std::vector<double>& profile) {
+  MHBC_DCHECK(profile.size() >= 2);
+  const double n_minus_1 = static_cast<double>(profile.size()) - 1.0;
+  double total = 0.0;
+  for (double d : profile) total += d;
+  MHBC_DCHECK(total > 0.0);
+  double mean = 0.0;
+  double second = 0.0;
+  for (double d : profile) {
+    const double pi = d / total;
+    const double f = d / n_minus_1;
+    mean += pi * f;
+    second += pi * f * f;
+  }
+  const double variance = second - mean * mean;
+  return variance < 0.0 ? 0.0 : variance;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,51 @@
+#ifndef MHBC_CORE_VARIANCE_H_
+#define MHBC_CORE_VARIANCE_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+/// \file
+/// Exact single-sample variances of the source-sampling estimators, from a
+/// dependency profile. This is the analytic backbone of the sampling story
+/// the paper builds on: [13]'s "optimal" distribution (Eq. 5) is the one
+/// that drives the importance-weighted estimator's variance to zero, and
+/// every practical sampler is judged by how close it gets.
+///
+/// All estimators below are unbiased for the paper-normalized BC(r); the
+/// reported value is the variance of ONE importance-weighted sample (the
+/// k-sample estimator's variance is this divided by k). Zero-probability
+/// sources with nonzero dependency would make an estimator biased; the
+/// functions MHBC_DCHECK against that.
+
+namespace mhbc {
+
+/// Variance of the uniform source sampler: sample s ~ Uniform(V),
+/// estimate delta_s/(n-1) * n/n... i.e. importance weight n. Exact:
+/// Var = (1/(n(n-1)^2)) * sum delta^2 - BC^2 ... computed directly.
+double UniformSamplerVariance(const std::vector<double>& profile);
+
+/// Variance of an arbitrary-source-distribution importance sampler:
+/// sample s ~ p, estimate delta_s / (p_s * n(n-1)). `probabilities` must
+/// sum to ~1 and dominate the profile's support.
+double ImportanceSamplerVariance(const std::vector<double>& profile,
+                                 const std::vector<double>& probabilities);
+
+/// Variance under the distance-proportional distribution of [13]
+/// (P[s] proportional to the given nonnegative weights, e.g. distances).
+double WeightedSamplerVariance(const std::vector<double>& profile,
+                               const std::vector<double>& weights);
+
+/// Variance under the optimal distribution (Eq. 5): exactly zero, provided
+/// analytically for the tables (and as a tautology check in tests).
+double OptimalSamplerVariance(const std::vector<double>& profile);
+
+/// Variance of f(v) = delta_v/(n-1) under the chain's stationary
+/// distribution pi (Eq. 5) — the asymptotic per-sample variance scale of
+/// the Eq. 7 readout around its own limit E_pi[f] (the iid part; chain
+/// autocorrelation multiplies it by 1/ESS-rate, measured in E6).
+double ChainStationaryVariance(const std::vector<double>& profile);
+
+}  // namespace mhbc
+
+#endif  // MHBC_CORE_VARIANCE_H_

@@ -1,0 +1,45 @@
+#ifndef MHBC_DATASETS_REGISTRY_H_
+#define MHBC_DATASETS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+/// \file
+/// Named experiment datasets.
+///
+/// The EDBT evaluation line uses SNAP networks; offline, the registry maps
+/// each to a deterministic synthetic stand-in of the same topology class
+/// and comparable scale (DESIGN.md §4 documents the substitution). Real
+/// SNAP edge-list files can be substituted at run time via
+/// LoadSnapEdgeList — the registry is what keeps benches self-contained.
+
+namespace mhbc {
+
+/// A dataset the experiment suite can materialize on demand.
+struct DatasetSpec {
+  /// Registry key, e.g. "ca-collab-like".
+  std::string name;
+  /// SNAP dataset this stands in for (documentation only).
+  std::string stands_in_for;
+  /// Topology class description for tables.
+  std::string family;
+  /// Construction is deterministic given the spec (fixed internal seed).
+  CsrGraph (*make)();
+};
+
+/// All registered datasets, ordered small to large.
+const std::vector<DatasetSpec>& DatasetRegistry();
+
+/// Builds a registered dataset by name.
+StatusOr<CsrGraph> MakeDataset(const std::string& name);
+
+/// The subset of registry names used by the fast experiment defaults
+/// (graphs small enough for exact ground truth on one core).
+std::vector<std::string> DefaultExperimentDatasets();
+
+}  // namespace mhbc
+
+#endif  // MHBC_DATASETS_REGISTRY_H_

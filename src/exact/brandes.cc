@@ -1,0 +1,87 @@
+#include "exact/brandes.h"
+
+#include "sp/bfs_spd.h"
+#include "sp/dependency.h"
+#include "sp/dijkstra_spd.h"
+
+namespace mhbc {
+
+void NormalizeScores(std::vector<double>* scores, Normalization norm,
+                     VertexId num_vertices) {
+  if (norm == Normalization::kNone) return;
+  const double n = static_cast<double>(num_vertices);
+  double divisor = 1.0;
+  switch (norm) {
+    case Normalization::kPaper:
+      divisor = n * (n - 1.0);
+      break;
+    case Normalization::kUnorderedPairs:
+      divisor = 2.0;
+      break;
+    case Normalization::kNone:
+      break;
+  }
+  MHBC_DCHECK(divisor > 0.0);
+  for (double& s : *scores) s /= divisor;
+}
+
+namespace {
+
+/// Shared driver: accumulates per-source dependencies into `into` (which
+/// may be a full vector or a single slot via the callback).
+template <typename PerSource>
+void ForEachSourceDependencies(const CsrGraph& graph, PerSource&& per_source) {
+  const VertexId n = graph.num_vertices();
+  DependencyAccumulator accumulator(graph);
+  if (graph.weighted()) {
+    DijkstraSpd engine(graph);
+    for (VertexId s = 0; s < n; ++s) {
+      engine.Run(s);
+      per_source(accumulator.Accumulate(engine));
+    }
+  } else {
+    BfsSpd engine(graph);
+    for (VertexId s = 0; s < n; ++s) {
+      engine.Run(s);
+      per_source(accumulator.Accumulate(engine));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> ExactBetweenness(const CsrGraph& graph,
+                                     Normalization norm) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> scores(n, 0.0);
+  ForEachSourceDependencies(graph, [&scores, n](const std::vector<double>& delta) {
+    for (VertexId v = 0; v < n; ++v) scores[v] += delta[v];
+  });
+  NormalizeScores(&scores, norm, n);
+  return scores;
+}
+
+double ExactBetweennessSingle(const CsrGraph& graph, VertexId r,
+                              Normalization norm) {
+  MHBC_DCHECK(r < graph.num_vertices());
+  double raw = 0.0;
+  ForEachSourceDependencies(
+      graph, [&raw, r](const std::vector<double>& delta) { raw += delta[r]; });
+  std::vector<double> one{raw};
+  NormalizeScores(&one, norm, graph.num_vertices());
+  return one[0];
+}
+
+std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r) {
+  MHBC_DCHECK(r < graph.num_vertices());
+  std::vector<double> profile(graph.num_vertices(), 0.0);
+  VertexId source = 0;
+  ForEachSourceDependencies(graph,
+                            [&profile, &source, r](const std::vector<double>& delta) {
+                              profile[source] = delta[r];
+                              ++source;
+                            });
+  return profile;
+}
+
+}  // namespace mhbc

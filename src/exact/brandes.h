@@ -1,0 +1,56 @@
+#ifndef MHBC_EXACT_BRANDES_H_
+#define MHBC_EXACT_BRANDES_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// Exact betweenness centrality (Brandes 2001), the ground truth every
+/// estimator in this library is evaluated against.
+///
+/// Conventions. The *raw* score of v is sum over sources s != v of
+/// delta_{s.}(v); because the graph is undirected this counts each ordered
+/// (s, t) pair, i.e. each unordered pair twice. The paper's Eq. 1/3
+/// normalization divides the raw score by n(n-1), giving values in [0, 1].
+
+namespace mhbc {
+
+/// How to scale raw dependency sums.
+enum class Normalization {
+  /// Raw sum of dependencies over sources (ordered-pair counting).
+  kNone,
+  /// Paper Eq. 1: divide by n(n-1). This is the library-wide default; all
+  /// samplers estimate this quantity.
+  kPaper,
+  /// Classic undirected convention: divide by 2 (each unordered pair once).
+  kUnorderedPairs,
+};
+
+/// Applies `norm` to a raw score vector (in place helper for callers that
+/// compute raw sums themselves).
+void NormalizeScores(std::vector<double>* scores, Normalization norm,
+                     VertexId num_vertices);
+
+/// Exact betweenness of all vertices. O(nm) unweighted, O(nm + n^2 log n)
+/// weighted. Works on disconnected graphs (unreachable pairs contribute 0).
+std::vector<double> ExactBetweenness(const CsrGraph& graph,
+                                     Normalization norm = Normalization::kPaper);
+
+/// Exact betweenness of a single vertex r (same asymptotic cost as the full
+/// computation — the point the paper's samplers attack — but with O(n)
+/// memory for results instead of O(n)... provided for API symmetry and for
+/// ground truth in the harnesses).
+double ExactBetweennessSingle(const CsrGraph& graph, VertexId r,
+                              Normalization norm = Normalization::kPaper);
+
+/// Exact dependency profile for a fixed target r: the vector
+/// [delta_{v.}(r)] over all sources v. This is the unnormalized target
+/// distribution of the paper's MH sampler (Eq. 5); its sum is the raw
+/// betweenness of r. O(nm). Used by the optimal baseline sampler [13] and
+/// by the theory module to compute mu(r) exactly.
+std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r);
+
+}  // namespace mhbc
+
+#endif  // MHBC_EXACT_BRANDES_H_

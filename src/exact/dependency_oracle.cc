@@ -1,0 +1,36 @@
+#include "exact/dependency_oracle.h"
+
+namespace mhbc {
+
+DependencyOracle::DependencyOracle(const CsrGraph& graph)
+    : graph_(&graph), accumulator_(graph) {
+  if (graph.weighted()) {
+    dijkstra_ = std::make_unique<DijkstraSpd>(graph);
+  } else {
+    bfs_ = std::make_unique<BfsSpd>(graph);
+  }
+}
+
+const std::vector<double>& DependencyOracle::Dependencies(VertexId source) {
+  MHBC_DCHECK(source < graph_->num_vertices());
+  ++num_passes_;
+  if (dijkstra_) {
+    dijkstra_->Run(source);
+    return accumulator_.Accumulate(*dijkstra_);
+  }
+  bfs_->Run(source);
+  return accumulator_.Accumulate(*bfs_);
+}
+
+double DependencyOracle::Dependency(VertexId source, VertexId target) {
+  MHBC_DCHECK(target < graph_->num_vertices());
+  return Dependencies(source)[target];
+}
+
+double DependencyOracle::EstimatorTerm(VertexId v, VertexId r) {
+  const double n = static_cast<double>(graph_->num_vertices());
+  MHBC_DCHECK(n >= 2.0);
+  return Dependency(v, r) / (n - 1.0);
+}
+
+}  // namespace mhbc

@@ -1,0 +1,59 @@
+#ifndef MHBC_EXACT_DEPENDENCY_ORACLE_H_
+#define MHBC_EXACT_DEPENDENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/csr_graph.h"
+#include "sp/bfs_spd.h"
+#include "sp/dependency.h"
+#include "sp/dijkstra_spd.h"
+
+/// \file
+/// The per-sample work unit shared by all samplers: a single-source
+/// shortest-path pass plus dependency accumulation, exposing
+/// delta_{source.}(target).
+
+namespace mhbc {
+
+/// Computes dependency scores delta_{v.}(r) on demand.
+///
+/// This is exactly the quantity the paper's acceptance ratio (Eq. 6/17)
+/// needs: "it can be done in O(|E|) time for unweighted graphs and in
+/// O(|E| + |V| log |V|) for weighted graphs" (§4.1). The oracle counts its
+/// passes so harnesses can report work in pass units — the fair comparison
+/// currency across samplers.
+class DependencyOracle {
+ public:
+  /// The graph must outlive the oracle. Weighted graphs automatically use
+  /// the Dijkstra engine.
+  explicit DependencyOracle(const CsrGraph& graph);
+
+  /// Runs one pass from `source` and returns delta_{source.}(target).
+  double Dependency(VertexId source, VertexId target);
+
+  /// Runs one pass from `source` and returns the whole dependency vector
+  /// delta_{source.}(.) (valid until the next call).
+  const std::vector<double>& Dependencies(VertexId source);
+
+  /// Paper Eq. 7 integrand: f(v) = 1/(n-1) * sum_u sigma_{vu}(r)/sigma_{vu}
+  ///                             = delta_{v.}(r) / (n-1).
+  /// One pass from v.
+  double EstimatorTerm(VertexId v, VertexId r);
+
+  /// Number of shortest-path passes executed so far.
+  std::uint64_t num_passes() const { return num_passes_; }
+
+  const CsrGraph& graph() const { return *graph_; }
+
+ private:
+  const CsrGraph* graph_;
+  std::unique_ptr<BfsSpd> bfs_;
+  std::unique_ptr<DijkstraSpd> dijkstra_;
+  DependencyAccumulator accumulator_;
+  std::uint64_t num_passes_ = 0;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_EXACT_DEPENDENCY_ORACLE_H_

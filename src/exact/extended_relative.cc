@@ -1,0 +1,54 @@
+#include "exact/extended_relative.h"
+
+#include "core/mh_chain.h"
+#include "sp/bfs_spd.h"
+
+namespace mhbc {
+
+double ExactExtendedRelativeBetweenness(const CsrGraph& graph, VertexId ri,
+                                        VertexId rj) {
+  MHBC_DCHECK(!graph.weighted());
+  const VertexId n = graph.num_vertices();
+  MHBC_DCHECK(n >= 2);
+  MHBC_DCHECK(ri < n && rj < n);
+  MHBC_DCHECK(ri != rj);
+
+  // Fixed tables from the two reference vertices.
+  BfsSpd from_ri(graph), from_rj(graph), from_v(graph);
+  from_ri.Run(ri);
+  from_rj.Run(rj);
+  const ShortestPathDag& di = from_ri.dag();
+  const ShortestPathDag& dj = from_rj.dag();
+
+  auto pair_dependency = [](const ShortestPathDag& dr,
+                            const ShortestPathDag& dv, VertexId r, VertexId v,
+                            VertexId t) -> double {
+    // delta_{vt}(r) = sigma_vr * sigma_rt / sigma_vt when r is interior on
+    // a shortest v-t path; dv is the SPD rooted at v, dr the one at r.
+    if (t == r || v == r) return 0.0;
+    if (dv.dist[t] == kUnreachedDistance ||
+        dv.dist[r] == kUnreachedDistance ||
+        dr.dist[t] == kUnreachedDistance) {
+      return 0.0;
+    }
+    if (dv.dist[r] + dr.dist[t] != dv.dist[t]) return 0.0;
+    return static_cast<double>(dv.sigma[r]) *
+           static_cast<double>(dr.sigma[t]) /
+           static_cast<double>(dv.sigma[t]);
+  };
+
+  double total = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    from_v.Run(v);
+    const ShortestPathDag& dv = from_v.dag();
+    for (VertexId t = 0; t < n; ++t) {
+      if (t == v) continue;
+      const double dep_i = pair_dependency(di, dv, ri, v, t);
+      const double dep_j = pair_dependency(dj, dv, rj, v, t);
+      total += ClippedRatio(dep_i, dep_j);
+    }
+  }
+  return total / (static_cast<double>(n) * (static_cast<double>(n) - 1.0));
+}
+
+}  // namespace mhbc

@@ -1,0 +1,27 @@
+#ifndef MHBC_EXACT_EXTENDED_RELATIVE_H_
+#define MHBC_EXACT_EXTENDED_RELATIVE_H_
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// The paper's footnote-2 extension of the relative betweenness score:
+///
+///   BC'_{rj}(ri) = 1/(n(n-1)) * sum over v, sum over t != v of
+///                  min{1, delta_{vt}(ri) / delta_{vt}(rj)}
+///
+/// i.e. the clipping happens per (source, target) *pair* dependency rather
+/// than per aggregated source dependency (Eq. 23). The paper defines the
+/// quantity but gives no estimator; this module provides the exact value in
+/// O(n * m) time using three-BFS pair-dependency evaluation per source,
+/// serving as ground truth for future estimator work.
+
+namespace mhbc {
+
+/// Exact extended relative betweenness BC'_{rj}(ri). Unweighted graphs.
+/// Pair dependencies follow ClippedRatio conventions (0/0 -> 1).
+double ExactExtendedRelativeBetweenness(const CsrGraph& graph, VertexId ri,
+                                        VertexId rj);
+
+}  // namespace mhbc
+
+#endif  // MHBC_EXACT_EXTENDED_RELATIVE_H_

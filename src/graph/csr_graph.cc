@@ -1,0 +1,39 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+namespace mhbc {
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  MHBC_DCHECK(u < num_vertices());
+  MHBC_DCHECK(v < num_vertices());
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double CsrGraph::EdgeWeight(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  MHBC_DCHECK(it != nbrs.end() && *it == v);
+  if (!weighted()) return 1.0;
+  const auto idx = static_cast<std::size_t>(it - nbrs.begin());
+  return weights(u)[idx];
+}
+
+std::vector<CsrGraph::Edge> CsrGraph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    const auto nbrs = neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (u < v) {
+        const double w = weighted() ? weights(u)[i] : 1.0;
+        edges.push_back(Edge{u, v, w});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,91 @@
+#ifndef MHBC_GRAPH_CSR_GRAPH_H_
+#define MHBC_GRAPH_CSR_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file
+/// Immutable compressed-sparse-row graph.
+///
+/// The paper's model (§2): undirected, loop-free, no multi-edges, optionally
+/// positive edge weights. The per-sample cost of every sampler is one
+/// truncated Brandes pass over this structure, so adjacency is stored as two
+/// flat arrays (offsets + neighbor ids) for sequential scanning.
+
+namespace mhbc {
+
+/// Immutable undirected graph in CSR form.
+///
+/// Each undirected edge {u,v} is stored twice (u→v and v→u). Construction
+/// goes through GraphBuilder, which sorts, deduplicates, and validates.
+class CsrGraph {
+ public:
+  /// Empty graph.
+  CsrGraph() = default;
+
+  /// Number of vertices.
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m (adjacency holds 2m entries).
+  std::uint64_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Degree of v.
+  std::uint32_t degree(VertexId v) const {
+    MHBC_DCHECK(v < num_vertices());
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    MHBC_DCHECK(v < num_vertices());
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// Weights parallel to neighbors(v); empty span when the graph is
+  /// unweighted.
+  std::span<const double> weights(VertexId v) const {
+    MHBC_DCHECK(v < num_vertices());
+    if (!weighted()) return {};
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// True when edges carry positive weights.
+  bool weighted() const { return !weights_.empty(); }
+
+  /// True if {u,v} is an edge (binary search over u's sorted neighbors).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Weight of edge {u,v}; requires the edge to exist. Unweighted graphs
+  /// report 1.0 for every edge.
+  double EdgeWeight(VertexId u, VertexId v) const;
+
+  /// Optional human-readable name (dataset registry fills this in).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// All (u, v, w) with u < v; reconstructs the builder input.
+  struct Edge {
+    VertexId u;
+    VertexId v;
+    double weight;
+  };
+  std::vector<Edge> CollectEdges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<EdgeId> offsets_;      // size n+1
+  std::vector<VertexId> neighbors_;  // size 2m, sorted per vertex
+  std::vector<double> weights_;      // size 2m or empty
+  std::string name_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,312 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+
+namespace {
+
+/// Unwraps a Build() that cannot fail for generator-produced edge lists.
+CsrGraph MustBuild(GraphBuilder* builder, const char* name) {
+  StatusOr<CsrGraph> result = builder->Build();
+  MHBC_DCHECK(result.ok());
+  CsrGraph graph = std::move(result).value();
+  graph.set_name(name);
+  return graph;
+}
+
+}  // namespace
+
+CsrGraph MakePath(VertexId n) {
+  MHBC_DCHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return MustBuild(&builder, "path");
+}
+
+CsrGraph MakeCycle(VertexId n) {
+  MHBC_DCHECK(n >= 3);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  builder.AddEdge(n - 1, 0);
+  return MustBuild(&builder, "cycle");
+}
+
+CsrGraph MakeStar(VertexId n) {
+  MHBC_DCHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return MustBuild(&builder, "star");
+}
+
+CsrGraph MakeComplete(VertexId n) {
+  MHBC_DCHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  return MustBuild(&builder, "complete");
+}
+
+CsrGraph MakeCompleteBipartite(VertexId a, VertexId b) {
+  MHBC_DCHECK(a >= 1 && b >= 1);
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u)
+    for (VertexId v = 0; v < b; ++v) builder.AddEdge(u, a + v);
+  return MustBuild(&builder, "complete_bipartite");
+}
+
+CsrGraph MakeBalancedTree(std::uint32_t branching, std::uint32_t depth) {
+  MHBC_DCHECK(branching >= 1);
+  // Vertex count: 1 + b + b^2 + ... + b^depth.
+  std::uint64_t count = 1;
+  std::uint64_t level_size = 1;
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    level_size *= branching;
+    count += level_size;
+  }
+  MHBC_DCHECK(count <= kInvalidVertex);
+  GraphBuilder builder(static_cast<VertexId>(count));
+  // Children of vertex v are b*v+1 .. b*v+b in level order.
+  for (std::uint64_t v = 0; v < count; ++v) {
+    for (std::uint32_t c = 1; c <= branching; ++c) {
+      const std::uint64_t child = branching * v + c;
+      if (child >= count) break;
+      builder.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(child));
+    }
+  }
+  return MustBuild(&builder, "balanced_tree");
+}
+
+CsrGraph MakeBarbell(VertexId clique_size, VertexId bridge_len) {
+  MHBC_DCHECK(clique_size >= 2);
+  const VertexId n = clique_size * 2 + bridge_len;
+  GraphBuilder builder(n);
+  // Left clique [0, k), right clique [k + bridge, n).
+  for (VertexId u = 0; u < clique_size; ++u)
+    for (VertexId v = u + 1; v < clique_size; ++v) builder.AddEdge(u, v);
+  const VertexId right_start = clique_size + bridge_len;
+  for (VertexId u = right_start; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  // Bridge path: last left vertex - bridge vertices - first right vertex.
+  VertexId prev = clique_size - 1;
+  for (VertexId b = 0; b < bridge_len; ++b) {
+    builder.AddEdge(prev, clique_size + b);
+    prev = clique_size + b;
+  }
+  builder.AddEdge(prev, right_start);
+  return MustBuild(&builder, "barbell");
+}
+
+CsrGraph MakeConnectedCaveman(VertexId communities, VertexId clique_size) {
+  MHBC_DCHECK(communities >= 2);
+  MHBC_DCHECK(clique_size >= 2);
+  const VertexId n = communities * clique_size;
+  GraphBuilder builder(n);
+  for (VertexId c = 0; c < communities; ++c) {
+    const VertexId base = c * clique_size;
+    for (VertexId u = 0; u < clique_size; ++u)
+      for (VertexId v = u + 1; v < clique_size; ++v)
+        builder.AddEdge(base + u, base + v);
+    // Gateway edge to the next community (ring).
+    const VertexId next_base = ((c + 1) % communities) * clique_size;
+    builder.AddEdge(base + clique_size - 1, next_base);
+  }
+  return MustBuild(&builder, "connected_caveman");
+}
+
+CsrGraph MakeGrid(VertexId rows, VertexId cols) {
+  MHBC_DCHECK(rows >= 1 && cols >= 1);
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return MustBuild(&builder, "grid");
+}
+
+CsrGraph MakeWheel(VertexId n) {
+  MHBC_DCHECK(n >= 4);
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) {
+    builder.AddEdge(0, v);
+    const VertexId next = (v == n - 1) ? 1 : v + 1;
+    if (v < next) builder.AddEdge(v, next);
+  }
+  builder.AddEdge(n - 1, 1);
+  return MustBuild(&builder, "wheel");
+}
+
+CsrGraph MakeLollipop(VertexId clique_size, VertexId tail) {
+  MHBC_DCHECK(clique_size >= 2);
+  MHBC_DCHECK(tail >= 1);
+  const VertexId n = clique_size + tail;
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < clique_size; ++u)
+    for (VertexId v = u + 1; v < clique_size; ++v) builder.AddEdge(u, v);
+  VertexId prev = clique_size - 1;
+  for (VertexId t = 0; t < tail; ++t) {
+    builder.AddEdge(prev, clique_size + t);
+    prev = clique_size + t;
+  }
+  return MustBuild(&builder, "lollipop");
+}
+
+CsrGraph MakeErdosRenyiGnp(VertexId n, double p, std::uint64_t seed) {
+  MHBC_DCHECK(n >= 1);
+  MHBC_DCHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u)
+      for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+    return MustBuild(&builder, "erdos_renyi_gnp");
+  }
+  if (p > 0.0) {
+    // Geometric skipping (Batagelj-Brandes): O(n + m) instead of O(n^2).
+    const double log1mp = std::log1p(-p);
+    std::uint64_t u = 1;
+    std::int64_t v = -1;
+    const std::uint64_t nn = n;
+    while (u < nn) {
+      double draw = 1.0 - rng.NextDouble();  // (0, 1]
+      const double skip = std::floor(std::log(draw) / log1mp);
+      v += 1 + static_cast<std::int64_t>(skip);
+      while (v >= static_cast<std::int64_t>(u) && u < nn) {
+        v -= static_cast<std::int64_t>(u);
+        ++u;
+      }
+      if (u < nn) {
+        builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      }
+    }
+  }
+  return MustBuild(&builder, "erdos_renyi_gnp");
+}
+
+CsrGraph MakeErdosRenyiGnm(VertexId n, std::uint64_t m, std::uint64_t seed) {
+  MHBC_DCHECK(n >= 2);
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  MHBC_DCHECK(m <= max_edges);
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  while (chosen.size() < m) {
+    VertexId u = rng.NextVertex(n);
+    VertexId v = rng.NextVertex(n);
+    if (u == v) continue;
+    chosen.insert({std::min(u, v), std::max(u, v)});
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : chosen) builder.AddEdge(u, v);
+  return MustBuild(&builder, "erdos_renyi_gnm");
+}
+
+CsrGraph MakeBarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
+                            std::uint64_t seed) {
+  MHBC_DCHECK(edges_per_vertex >= 1);
+  const VertexId seed_size = edges_per_vertex + 1;
+  MHBC_DCHECK(n >= seed_size);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: picking a uniform entry is degree-proportional.
+  std::vector<VertexId> endpoint_pool;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  std::vector<VertexId> targets;
+  for (VertexId v = seed_size; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < edges_per_vertex) {
+      const VertexId candidate = endpoint_pool[static_cast<std::size_t>(
+          rng.NextBounded(endpoint_pool.size()))];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (VertexId t : targets) {
+      builder.AddEdge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return MustBuild(&builder, "barabasi_albert");
+}
+
+CsrGraph MakeWattsStrogatz(VertexId n, std::uint32_t k, double beta,
+                           std::uint64_t seed) {
+  MHBC_DCHECK(n >= 3);
+  MHBC_DCHECK(k >= 2 && k % 2 == 0);
+  MHBC_DCHECK(k < n);
+  MHBC_DCHECK(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  // Adjacency sets for rewiring bookkeeping.
+  std::vector<std::set<VertexId>> adj(n);
+  auto add = [&adj](VertexId u, VertexId v) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  };
+  auto remove = [&adj](VertexId u, VertexId v) {
+    adj[u].erase(v);
+    adj[v].erase(u);
+  };
+  const std::uint32_t half = k / 2;
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t d = 1; d <= half; ++d) {
+      add(u, static_cast<VertexId>((u + d) % n));
+    }
+  }
+  // Rewire the "forward" lattice edges with probability beta.
+  for (std::uint32_t d = 1; d <= half; ++d) {
+    for (VertexId u = 0; u < n; ++u) {
+      const VertexId v = static_cast<VertexId>((u + d) % n);
+      if (!adj[u].count(v)) continue;  // already rewired away
+      if (!rng.NextBernoulli(beta)) continue;
+      if (adj[u].size() >= n - 1) continue;  // saturated; keep the edge
+      VertexId w;
+      do {
+        w = rng.NextVertex(n);
+      } while (w == u || adj[u].count(w) != 0);
+      remove(u, v);
+      add(u, w);
+    }
+  }
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : adj[u]) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  return MustBuild(&builder, "watts_strogatz");
+}
+
+CsrGraph AssignUniformWeights(const CsrGraph& graph, double lo, double hi,
+                              std::uint64_t seed) {
+  MHBC_DCHECK(lo > 0.0 && hi >= lo);
+  Rng rng(seed);
+  GraphBuilder builder(graph.num_vertices());
+  for (const CsrGraph::Edge& e : graph.CollectEdges()) {
+    const double w = lo + rng.NextDouble() * (hi - lo);
+    builder.AddWeightedEdge(e.u, e.v, w);
+  }
+  StatusOr<CsrGraph> result = builder.Build();
+  MHBC_DCHECK(result.ok());
+  CsrGraph weighted = std::move(result).value();
+  weighted.set_name(graph.name() + "_weighted");
+  return weighted;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,130 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+
+ComponentInfo ConnectedComponents(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  ComponentInfo info;
+  info.label.assign(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (info.label[start] != kInvalidVertex) continue;
+    const VertexId comp = info.num_components++;
+    VertexId size = 0;
+    queue.clear();
+    queue.push_back(start);
+    info.label[start] = comp;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
+      ++size;
+      for (VertexId v : graph.neighbors(u)) {
+        if (info.label[v] == kInvalidVertex) {
+          info.label[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+    info.sizes.push_back(size);
+  }
+  return info;
+}
+
+bool IsConnected(const CsrGraph& graph) {
+  if (graph.num_vertices() == 0) return false;
+  return ConnectedComponents(graph).num_components == 1;
+}
+
+CsrGraph ExtractLargestComponent(const CsrGraph& graph) {
+  const ComponentInfo info = ConnectedComponents(graph);
+  MHBC_DCHECK(info.num_components > 0);
+  const VertexId best =
+      static_cast<VertexId>(std::max_element(info.sizes.begin(), info.sizes.end()) -
+                            info.sizes.begin());
+  std::vector<VertexId> keep;
+  keep.reserve(info.sizes[best]);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (info.label[v] == best) keep.push_back(v);
+  }
+  CsrGraph sub = InducedSubgraph(graph, keep);
+  sub.set_name(graph.name() + "_lcc");
+  return sub;
+}
+
+std::vector<VertexId> RemovedVertexComponentSizes(const CsrGraph& graph,
+                                                  VertexId r) {
+  const VertexId n = graph.num_vertices();
+  MHBC_DCHECK(r < n);
+  std::vector<VertexId> label(n, kInvalidVertex);
+  label[r] = n;  // poisoned: never expanded
+  std::vector<VertexId> sizes;
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (start == r || label[start] != kInvalidVertex) continue;
+    queue.clear();
+    queue.push_back(start);
+    label[start] = static_cast<VertexId>(sizes.size());
+    VertexId size = 0;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
+      ++size;
+      for (VertexId v : graph.neighbors(u)) {
+        if (v == r) continue;
+        if (label[v] == kInvalidVertex) {
+          label[v] = static_cast<VertexId>(sizes.size());
+          queue.push_back(v);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  return sizes;
+}
+
+bool IsBalancedSeparator(const CsrGraph& graph, VertexId r,
+                         double theta_fraction) {
+  MHBC_DCHECK(theta_fraction > 0.0 && theta_fraction <= 1.0);
+  const std::vector<VertexId> sizes = RemovedVertexComponentSizes(graph, r);
+  if (sizes.size() < 2) return false;
+  const double threshold =
+      theta_fraction * static_cast<double>(graph.num_vertices());
+  int big = 0;
+  for (VertexId s : sizes) {
+    if (static_cast<double>(s) >= threshold) ++big;
+  }
+  return big >= 2;
+}
+
+CsrGraph InducedSubgraph(const CsrGraph& graph,
+                         const std::vector<VertexId>& keep) {
+  std::vector<VertexId> remap(graph.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    MHBC_DCHECK(keep[i] < graph.num_vertices());
+    MHBC_DCHECK(remap[keep[i]] == kInvalidVertex);
+    remap[keep[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(static_cast<VertexId>(keep.size()));
+  for (VertexId old_u : keep) {
+    const auto nbrs = graph.neighbors(old_u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId old_v = nbrs[i];
+      if (old_u >= old_v) continue;  // each undirected edge once
+      if (remap[old_v] == kInvalidVertex) continue;
+      const double w = graph.weighted() ? graph.weights(old_u)[i] : 1.0;
+      builder.AddWeightedEdge(remap[old_u], remap[old_v], w);
+    }
+  }
+  StatusOr<CsrGraph> result = builder.Build();
+  MHBC_DCHECK(result.ok());
+  CsrGraph sub = std::move(result).value();
+  sub.set_name(graph.name() + "_induced");
+  return sub;
+}
+
+}  // namespace mhbc

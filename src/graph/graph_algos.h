@@ -1,0 +1,49 @@
+#ifndef MHBC_GRAPH_GRAPH_ALGOS_H_
+#define MHBC_GRAPH_GRAPH_ALGOS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// Structural graph algorithms: connectivity, component extraction, and the
+/// G \ r decomposition that Theorem 2's mu(r) analysis is defined on.
+
+namespace mhbc {
+
+/// Component label per vertex (labels dense in [0, #components)).
+struct ComponentInfo {
+  std::vector<VertexId> label;      // size n
+  std::vector<VertexId> sizes;      // size #components
+  VertexId num_components = 0;
+};
+
+/// Connected components via BFS.
+ComponentInfo ConnectedComponents(const CsrGraph& graph);
+
+/// True if the graph is connected (and non-empty).
+bool IsConnected(const CsrGraph& graph);
+
+/// Induced subgraph on the largest connected component; vertex ids are
+/// compacted preserving relative order. Name gains a "_lcc" suffix.
+CsrGraph ExtractLargestComponent(const CsrGraph& graph);
+
+/// Sizes of the connected components of G \ r (the set the paper denotes
+/// C = {C1, .., Cl} in Theorem 2), in no particular order.
+std::vector<VertexId> RemovedVertexComponentSizes(const CsrGraph& graph,
+                                                  VertexId r);
+
+/// True if r is a *balanced vertex separator* in the paper's generalized
+/// sense (§4.2): G \ r has >= 2 components and at least two of them have
+/// >= `theta_fraction` * n vertices.
+bool IsBalancedSeparator(const CsrGraph& graph, VertexId r,
+                         double theta_fraction);
+
+/// Induced subgraph on `keep` (ids compacted in the order given; `keep`
+/// must contain distinct valid ids).
+CsrGraph InducedSubgraph(const CsrGraph& graph,
+                         const std::vector<VertexId>& keep);
+
+}  // namespace mhbc
+
+#endif  // MHBC_GRAPH_GRAPH_ALGOS_H_

@@ -1,0 +1,116 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mhbc {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : num_vertices_(num_vertices) {}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  AddWeightedEdge(u, v, 1.0);
+}
+
+void GraphBuilder::AddWeightedEdge(VertexId u, VertexId v, double w) {
+  if (!deferred_error_.ok()) return;
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    deferred_error_ = Status::InvalidArgument(
+        "edge endpoint out of range: {" + std::to_string(u) + "," +
+        std::to_string(v) + "} with n=" + std::to_string(num_vertices_));
+    return;
+  }
+  if (u == v) {
+    if (ignore_self_loops_) return;
+    deferred_error_ =
+        Status::InvalidArgument("self-loop on vertex " + std::to_string(u));
+    return;
+  }
+  if (!(w > 0.0)) {
+    deferred_error_ = Status::InvalidArgument(
+        "non-positive edge weight " + std::to_string(w) + " on {" +
+        std::to_string(u) + "," + std::to_string(v) + "}");
+    return;
+  }
+  if (w != 1.0) weighted_ = true;
+  edges_.push_back(PendingEdge{std::min(u, v), std::max(u, v), w});
+}
+
+StatusOr<CsrGraph> GraphBuilder::Build() {
+  if (!deferred_error_.ok()) return deferred_error_;
+
+  std::sort(edges_.begin(), edges_.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.weight < b.weight;
+            });
+
+  // Deduplicate; after sorting equal endpoints are adjacent with the
+  // smallest weight first, so "keep first" implements "keep min weight".
+  std::vector<PendingEdge> unique_edges;
+  unique_edges.reserve(edges_.size());
+  for (const PendingEdge& e : edges_) {
+    if (!unique_edges.empty() && unique_edges.back().u == e.u &&
+        unique_edges.back().v == e.v) {
+      if (!merge_duplicates_) {
+        return Status::InvalidArgument(
+            "duplicate edge {" + std::to_string(e.u) + "," +
+            std::to_string(e.v) + "}");
+      }
+      continue;
+    }
+    unique_edges.push_back(e);
+  }
+
+  CsrGraph graph;
+  const std::size_t n = num_vertices_;
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const PendingEdge& e : unique_edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  graph.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    graph.offsets_[v + 1] = graph.offsets_[v] + degree[v];
+  }
+  graph.neighbors_.resize(unique_edges.size() * 2);
+  if (weighted_) graph.weights_.resize(unique_edges.size() * 2);
+
+  std::vector<EdgeId> cursor(graph.offsets_.begin(), graph.offsets_.end() - 1);
+  for (const PendingEdge& e : unique_edges) {
+    graph.neighbors_[cursor[e.u]] = e.v;
+    graph.neighbors_[cursor[e.v]] = e.u;
+    if (weighted_) {
+      graph.weights_[cursor[e.u]] = e.weight;
+      graph.weights_[cursor[e.v]] = e.weight;
+    }
+    ++cursor[e.u];
+    ++cursor[e.v];
+  }
+  // Edges were globally sorted by (u, v), so each vertex's neighbor slice is
+  // already ascending for the u-side inserts, but v-side inserts interleave;
+  // sort each slice (weights must follow their neighbor).
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t begin = graph.offsets_[v];
+    const std::size_t end = graph.offsets_[v + 1];
+    if (!weighted_) {
+      std::sort(graph.neighbors_.begin() + static_cast<std::ptrdiff_t>(begin),
+                graph.neighbors_.begin() + static_cast<std::ptrdiff_t>(end));
+      continue;
+    }
+    std::vector<std::pair<VertexId, double>> slice;
+    slice.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      slice.emplace_back(graph.neighbors_[i], graph.weights_[i]);
+    }
+    std::sort(slice.begin(), slice.end());
+    for (std::size_t i = begin; i < end; ++i) {
+      graph.neighbors_[i] = slice[i - begin].first;
+      graph.weights_[i] = slice[i - begin].second;
+    }
+  }
+  return graph;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,70 @@
+#ifndef MHBC_GRAPH_GRAPH_BUILDER_H_
+#define MHBC_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+/// \file
+/// Mutable accumulator that validates and finalizes CsrGraph instances.
+
+namespace mhbc {
+
+/// Collects undirected edges and finalizes them into an immutable CsrGraph.
+///
+/// Policy, matching the paper's graph model (§2): self-loops and duplicate
+/// edges are rejected by default (Build returns InvalidArgument) but can be
+/// silently dropped/merged via the setters, which the file loaders use since
+/// raw SNAP files contain both directions of each edge.
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the id range [0, n).
+  explicit GraphBuilder(VertexId num_vertices);
+
+  /// Adds the undirected edge {u,v} with weight 1.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Adds the undirected edge {u,v} with positive weight w. Mixing weighted
+  /// and unweighted edges makes the graph weighted (unweighted edges keep
+  /// weight 1).
+  void AddWeightedEdge(VertexId u, VertexId v, double w);
+
+  /// Drop self-loops instead of failing.
+  GraphBuilder& set_ignore_self_loops(bool ignore) {
+    ignore_self_loops_ = ignore;
+    return *this;
+  }
+
+  /// Merge duplicate edges (keeping the smallest weight) instead of failing.
+  GraphBuilder& set_merge_duplicates(bool merge) {
+    merge_duplicates_ = merge;
+    return *this;
+  }
+
+  /// Number of edges accepted so far (before dedup).
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Validates and produces the CSR graph. Fails with InvalidArgument on
+  /// out-of-range ids, non-positive weights, and (per policy) self-loops or
+  /// duplicates.
+  StatusOr<CsrGraph> Build();
+
+ private:
+  struct PendingEdge {
+    VertexId u;
+    VertexId v;
+    double weight;
+  };
+
+  VertexId num_vertices_;
+  std::vector<PendingEdge> edges_;
+  bool weighted_ = false;
+  bool ignore_self_loops_ = false;
+  bool merge_duplicates_ = false;
+  Status deferred_error_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_GRAPH_GRAPH_BUILDER_H_

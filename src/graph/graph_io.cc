@@ -1,0 +1,125 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_algos.h"
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+
+namespace {
+
+struct RawEdge {
+  std::uint64_t u;
+  std::uint64_t v;
+  double weight;
+};
+
+}  // namespace
+
+StatusOr<CsrGraph> ParseEdgeList(std::istream& in,
+                                 const EdgeListOptions& options) {
+  std::vector<RawEdge> raw_edges;
+  std::unordered_map<std::uint64_t, VertexId> id_map;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments ('#' to end of line) and skip blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(fields >> u)) continue;  // blank or comment-only line
+    if (!(fields >> v)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected two vertex ids");
+    }
+    double w = 1.0;
+    if (options.allow_weights) {
+      double parsed = 0.0;
+      if (fields >> parsed) {
+        if (!(parsed > 0.0)) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) +
+              ": edge weight must be positive, got " + std::to_string(parsed));
+        }
+        w = parsed;
+      }
+    } else {
+      std::string extra;
+      if (fields >> extra) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": unexpected third column '" + extra +
+            "' (weights not enabled)");
+      }
+    }
+    raw_edges.push_back(RawEdge{u, v, w});
+    // Register ids in first-seen order for stable remapping.
+    for (std::uint64_t id : {u, v}) {
+      if (id_map.find(id) == id_map.end()) {
+        const auto next = static_cast<VertexId>(id_map.size());
+        id_map.emplace(id, next);
+      }
+    }
+  }
+  if (id_map.empty()) {
+    return Status::InvalidArgument("edge list contains no edges");
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(id_map.size()));
+  builder.set_ignore_self_loops(true).set_merge_duplicates(true);
+  for (const RawEdge& e : raw_edges) {
+    builder.AddWeightedEdge(id_map.at(e.u), id_map.at(e.v), e.weight);
+  }
+  StatusOr<CsrGraph> built = builder.Build();
+  if (!built.ok()) return built.status();
+  CsrGraph graph = std::move(built).value();
+  if (options.largest_component_only) {
+    graph = ExtractLargestComponent(graph);
+  }
+  return graph;
+}
+
+StatusOr<CsrGraph> LoadSnapEdgeList(const std::string& path,
+                                    const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  StatusOr<CsrGraph> result = ParseEdgeList(in, options);
+  if (result.ok()) result.value().set_name(path);
+  return result;
+}
+
+void WriteEdgeList(const CsrGraph& graph, std::ostream& out) {
+  out << "# mhbc edge list: n=" << graph.num_vertices()
+      << " m=" << graph.num_edges()
+      << (graph.weighted() ? " weighted" : "") << "\n";
+  for (const CsrGraph::Edge& e : graph.CollectEdges()) {
+    out << e.u << '\t' << e.v;
+    if (graph.weighted()) out << '\t' << e.weight;
+    out << '\n';
+  }
+}
+
+Status WriteEdgeList(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  WriteEdgeList(graph, out);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mhbc

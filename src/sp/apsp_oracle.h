@@ -1,0 +1,55 @@
+#ifndef MHBC_SP_APSP_ORACLE_H_
+#define MHBC_SP_APSP_ORACLE_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// Independent all-pairs shortest-path oracle for validation: distances by
+/// Floyd-Warshall (O(n^3), no BFS/Dijkstra code shared with the engines it
+/// validates) and shortest-path counts by dynamic programming over the
+/// distance matrix. Small graphs only; used by the engine-agreement tests.
+
+namespace mhbc {
+
+/// Dense all-pairs tables.
+class ApspOracle {
+ public:
+  /// Builds the tables; O(n^3) time, O(n^2) memory. Works on weighted and
+  /// unweighted graphs (unweighted edges count 1).
+  explicit ApspOracle(const CsrGraph& graph);
+
+  /// Shortest-path distance u -> v; negative when disconnected.
+  double Distance(VertexId u, VertexId v) const {
+    return dist_[index(u, v)];
+  }
+
+  /// Number of distinct shortest u-v paths (0 when disconnected; 1 when
+  /// u == v). Exact for unweighted graphs; for weighted graphs ties are
+  /// detected with a relative epsilon.
+  double PathCount(VertexId u, VertexId v) const {
+    return count_[index(u, v)];
+  }
+
+  /// Pair dependency delta_uv(w) = sigma_uv(w)/sigma_uv via the
+  /// composition rule (0 when w is an endpoint or off every shortest path).
+  double PairDependency(VertexId u, VertexId v, VertexId w) const;
+
+  VertexId num_vertices() const { return n_; }
+
+ private:
+  std::size_t index(VertexId u, VertexId v) const {
+    MHBC_DCHECK(u < n_ && v < n_);
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+  bool Equal(double a, double b) const;
+
+  VertexId n_;
+  std::vector<double> dist_;   // -1 = unreachable
+  std::vector<double> count_;  // shortest-path multiplicities
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_APSP_ORACLE_H_

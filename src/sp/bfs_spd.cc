@@ -1,0 +1,45 @@
+#include "sp/bfs_spd.h"
+
+namespace mhbc {
+
+BfsSpd::BfsSpd(const CsrGraph& graph) : graph_(&graph) {
+  const VertexId n = graph.num_vertices();
+  dag_.dist.assign(n, kUnreachedDistance);
+  dag_.sigma.assign(n, 0);
+  dag_.order.reserve(n);
+  dag_.weighted = false;
+  queue_.reserve(n);
+}
+
+void BfsSpd::Run(VertexId source) {
+  MHBC_DCHECK(source < graph_->num_vertices());
+  // Reset only what the previous pass touched.
+  for (VertexId v : dag_.order) {
+    dag_.dist[v] = kUnreachedDistance;
+    dag_.sigma[v] = 0;
+  }
+  dag_.order.clear();
+  dag_.source = source;
+
+  queue_.clear();
+  queue_.push_back(source);
+  dag_.dist[source] = 0;
+  dag_.sigma[source] = 1;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId u = queue_[head++];
+    dag_.order.push_back(u);
+    const std::uint32_t du = dag_.dist[u];
+    for (VertexId v : graph_->neighbors(u)) {
+      if (dag_.dist[v] == kUnreachedDistance) {
+        dag_.dist[v] = du + 1;
+        queue_.push_back(v);
+      }
+      if (dag_.dist[v] == du + 1) {
+        dag_.sigma[v] += dag_.sigma[u];
+      }
+    }
+  }
+}
+
+}  // namespace mhbc

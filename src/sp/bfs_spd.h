@@ -1,0 +1,40 @@
+#ifndef MHBC_SP_BFS_SPD_H_
+#define MHBC_SP_BFS_SPD_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sp/spd.h"
+
+/// \file
+/// Unweighted shortest-path-DAG construction by BFS.
+
+namespace mhbc {
+
+/// Reusable BFS engine for one graph.
+///
+/// Run(source) costs O(|E|) with no allocation after the first call: state
+/// is reset lazily via the previous pass' settle order. The engine is
+/// single-threaded and not reentrant; samplers own one instance each.
+class BfsSpd {
+ public:
+  /// The graph must outlive the engine.
+  explicit BfsSpd(const CsrGraph& graph);
+
+  /// Computes dist/sigma/order from `source`.
+  void Run(VertexId source);
+
+  /// Result of the last Run. Valid until the next Run.
+  const ShortestPathDag& dag() const { return dag_; }
+
+  const CsrGraph& graph() const { return *graph_; }
+
+ private:
+  const CsrGraph* graph_;
+  ShortestPathDag dag_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_BFS_SPD_H_

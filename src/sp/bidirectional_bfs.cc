@@ -1,0 +1,79 @@
+#include "sp/bidirectional_bfs.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mhbc {
+
+namespace {
+
+/// One direction's search state.
+struct Side {
+  std::vector<std::uint32_t> dist;
+  std::vector<VertexId> frontier;
+  std::uint32_t depth = 0;
+
+  explicit Side(VertexId n, VertexId start) : dist(n, kUnreachedDistance) {
+    dist[start] = 0;
+    frontier.push_back(start);
+  }
+
+  /// Total degree of the current frontier (expansion cost estimate).
+  std::uint64_t FrontierVolume(const CsrGraph& graph) const {
+    std::uint64_t vol = 0;
+    for (VertexId v : frontier) vol += graph.degree(v);
+    return vol;
+  }
+};
+
+}  // namespace
+
+BbBfsResult BidirectionalBfsDistance(const CsrGraph& graph, VertexId s,
+                                     VertexId t) {
+  MHBC_DCHECK(s < graph.num_vertices());
+  MHBC_DCHECK(t < graph.num_vertices());
+  BbBfsResult result;
+  if (s == t) {
+    result.distance = 0;
+    return result;
+  }
+  Side forward(graph.num_vertices(), s);
+  Side backward(graph.num_vertices(), t);
+
+  while (!forward.frontier.empty() && !backward.frontier.empty()) {
+    // Expand the cheaper side (balanced rule).
+    Side& self =
+        forward.FrontierVolume(graph) <= backward.FrontierVolume(graph)
+            ? forward
+            : backward;
+    Side& other = (&self == &forward) ? backward : forward;
+
+    std::vector<VertexId> next;
+    for (VertexId u : self.frontier) {
+      for (VertexId v : graph.neighbors(u)) {
+        ++result.edges_scanned;
+        if (other.dist[v] != kUnreachedDistance) {
+          // Frontiers meet: total = d_self(u) + 1 + d_other(v). Later
+          // meetings in this level could be shorter by at most 0 (BFS level
+          // order), but a meeting via a frontier vertex of `other` that is
+          // one level shallower can beat this by 1, so finish scanning the
+          // level and keep the minimum.
+          const std::uint32_t total = self.dist[u] + 1 + other.dist[v];
+          result.distance = std::min(result.distance, total);
+        }
+        if (self.dist[v] == kUnreachedDistance) {
+          self.dist[v] = self.dist[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    if (result.distance != kUnreachedDistance) {
+      return result;
+    }
+    self.frontier = std::move(next);
+    ++self.depth;
+  }
+  return result;  // disconnected
+}
+
+}  // namespace mhbc

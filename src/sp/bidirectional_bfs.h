@@ -1,0 +1,31 @@
+#ifndef MHBC_SP_BIDIRECTIONAL_BFS_H_
+#define MHBC_SP_BIDIRECTIONAL_BFS_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// Balanced bidirectional BFS distance queries (the bb-BFS primitive of
+/// KADABRA, Borassi-Natale 2016, cited as related work §3.2). Used by the
+/// harnesses for cheap pairwise distances on large graphs.
+
+namespace mhbc {
+
+/// Result of a bidirectional distance query.
+struct BbBfsResult {
+  /// Hop distance s->t, or kUnreachedDistance if disconnected.
+  std::uint32_t distance = kUnreachedDistance;
+  /// Edges scanned by the balanced search (the work measure bb-BFS
+  /// optimizes; compare against m for the savings factor).
+  std::uint64_t edges_scanned = 0;
+};
+
+/// Balanced bidirectional BFS: expands the frontier whose residual edge
+/// volume is smaller until the frontiers meet.
+BbBfsResult BidirectionalBfsDistance(const CsrGraph& graph, VertexId s,
+                                     VertexId t);
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_BIDIRECTIONAL_BFS_H_

@@ -1,0 +1,94 @@
+#include "sp/dependency.h"
+
+namespace mhbc {
+
+DependencyAccumulator::DependencyAccumulator(const CsrGraph& graph) {
+  delta_.assign(graph.num_vertices(), 0.0);
+  touched_.reserve(graph.num_vertices());
+}
+
+const std::vector<double>& DependencyAccumulator::Accumulate(
+    const BfsSpd& bfs) {
+  const ShortestPathDag& dag = bfs.dag();
+  const CsrGraph& graph = bfs.graph();
+  for (VertexId v : touched_) delta_[v] = 0.0;
+  touched_.assign(dag.order.begin(), dag.order.end());
+
+  // Reverse settle order: every successor w of v in the SPD satisfies
+  // dist[w] == dist[v] + 1 and is adjacent to v.
+  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+    const VertexId w = *it;
+    const std::uint32_t dw = dag.dist[w];
+    const double coeff = (1.0 + delta_[w]) / static_cast<double>(dag.sigma[w]);
+    for (VertexId v : graph.neighbors(w)) {
+      if (dag.dist[v] + 1 == dw) {
+        // v is a parent of w in the SPD (paper's P_s(w)).
+        delta_[v] += static_cast<double>(dag.sigma[v]) * coeff;
+      }
+    }
+  }
+  delta_[dag.source] = 0.0;  // dependency of s on itself is undefined/0
+  return delta_;
+}
+
+const std::vector<double>& DependencyAccumulator::Accumulate(
+    const DijkstraSpd& dijkstra) {
+  const ShortestPathDag& dag = dijkstra.dag();
+  for (VertexId v : touched_) delta_[v] = 0.0;
+  touched_.assign(dag.order.begin(), dag.order.end());
+
+  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+    const VertexId w = *it;
+    const double coeff = (1.0 + delta_[w]) / static_cast<double>(dag.sigma[w]);
+    for (VertexId v : dijkstra.predecessors(w)) {
+      delta_[v] += static_cast<double>(dag.sigma[v]) * coeff;
+    }
+  }
+  delta_[dag.source] = 0.0;
+  return delta_;
+}
+
+std::vector<double> PairDependencies(const CsrGraph& graph, VertexId s,
+                                     VertexId t) {
+  MHBC_DCHECK(s < graph.num_vertices());
+  MHBC_DCHECK(t < graph.num_vertices());
+  std::vector<double> result(graph.num_vertices(), 0.0);
+  if (s == t) return result;
+  BfsSpd from_s(graph);
+  BfsSpd from_t(graph);
+  from_s.Run(s);
+  from_t.Run(t);
+  const auto& ds = from_s.dag();
+  const auto& dt = from_t.dag();
+  if (ds.dist[t] == kUnreachedDistance) return result;
+  const std::uint32_t dist_st = ds.dist[t];
+  const double sigma_st = static_cast<double>(ds.sigma[t]);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (v == s || v == t) continue;
+    if (ds.dist[v] == kUnreachedDistance || dt.dist[v] == kUnreachedDistance)
+      continue;
+    if (ds.dist[v] + dt.dist[v] == dist_st) {
+      result[v] = static_cast<double>(ds.sigma[v]) *
+                  static_cast<double>(dt.sigma[v]) / sigma_st;
+    }
+  }
+  return result;
+}
+
+SigmaCount CountPathsThrough(const CsrGraph& graph, VertexId s, VertexId t,
+                             VertexId v) {
+  MHBC_DCHECK(v != s && v != t);
+  BfsSpd from_s(graph);
+  BfsSpd from_t(graph);
+  from_s.Run(s);
+  from_t.Run(t);
+  const auto& ds = from_s.dag();
+  const auto& dt = from_t.dag();
+  if (ds.dist[t] == kUnreachedDistance) return 0;
+  if (ds.dist[v] == kUnreachedDistance || dt.dist[v] == kUnreachedDistance)
+    return 0;
+  if (ds.dist[v] + dt.dist[v] != ds.dist[t]) return 0;
+  return ds.sigma[v] * dt.sigma[v];
+}
+
+}  // namespace mhbc

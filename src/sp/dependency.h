@@ -1,0 +1,63 @@
+#ifndef MHBC_SP_DEPENDENCY_H_
+#define MHBC_SP_DEPENDENCY_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sp/bfs_spd.h"
+#include "sp/dijkstra_spd.h"
+
+/// \file
+/// Brandes dependency accumulation over a shortest-path DAG.
+///
+/// Computes the dependency scores delta_{s.}(v) of the pass source s on
+/// every vertex v via the recursion (paper Eq. 4):
+///   delta_{s.}(v) = sum over SPD-successors w of v of
+///                   sigma_sv / sigma_sw * (1 + delta_{s.}(w)).
+/// One accumulation costs O(|E|) after a BFS pass, O(|E|) after a Dijkstra
+/// pass (predecessor lists are precomputed there).
+
+namespace mhbc {
+
+/// Reusable accumulator bound to one graph.
+class DependencyAccumulator {
+ public:
+  explicit DependencyAccumulator(const CsrGraph& graph);
+
+  /// Accumulates dependencies of `bfs.dag().source` on all vertices.
+  /// Result valid until the next Accumulate call.
+  const std::vector<double>& Accumulate(const BfsSpd& bfs);
+
+  /// Weighted variant using the explicit SPD predecessor lists.
+  const std::vector<double>& Accumulate(const DijkstraSpd& dijkstra);
+
+  /// Dependency of the last pass' source on v (0 for unreached vertices and
+  /// for the source itself).
+  double delta(VertexId v) const {
+    MHBC_DCHECK(v < delta_.size());
+    return delta_[v];
+  }
+
+  const std::vector<double>& deltas() const { return delta_; }
+
+ private:
+  std::vector<double> delta_;
+  std::vector<VertexId> touched_;
+};
+
+/// Pair dependency delta_{st}(v) = sigma_st(v) / sigma_st for all v, given a
+/// fresh BFS engine. O(|V| + |E|) per (s, t) pair; used by tests as an
+/// independent oracle for the recursion and by the extended relative score.
+/// Unreachable t yields all-zeros.
+std::vector<double> PairDependencies(const CsrGraph& graph, VertexId s,
+                                     VertexId t);
+
+/// sigma_st(v): number of shortest s-t paths through interior vertex v,
+/// computed from two BFS passes as sigma_sv * sigma_vt when
+/// d(s,v) + d(v,t) == d(s,t). Exposed for tests.
+SigmaCount CountPathsThrough(const CsrGraph& graph, VertexId s, VertexId t,
+                             VertexId v);
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_DEPENDENCY_H_

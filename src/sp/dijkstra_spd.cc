@@ -1,0 +1,85 @@
+#include "sp/dijkstra_spd.h"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+
+namespace mhbc {
+
+DijkstraSpd::DijkstraSpd(const CsrGraph& graph, double tie_epsilon)
+    : graph_(&graph), tie_epsilon_(tie_epsilon) {
+  const VertexId n = graph.num_vertices();
+  dag_.wdist.assign(n, -1.0);  // -1 marks unreached
+  dag_.sigma.assign(n, 0);
+  dag_.order.reserve(n);
+  dag_.weighted = true;
+  pred_begin_.assign(n, 0);
+  pred_count_.assign(n, 0);
+  std::size_t offset = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    pred_begin_[v] = offset;
+    offset += graph.degree(v);
+  }
+  pred_storage_.assign(offset, kInvalidVertex);
+  settled_.assign(n, 0);
+}
+
+bool DijkstraSpd::Equal(double a, double b) const {
+  if (a == b) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= tie_epsilon_ * scale;
+}
+
+void DijkstraSpd::Run(VertexId source) {
+  MHBC_DCHECK(source < graph_->num_vertices());
+  for (VertexId v : dag_.order) {
+    dag_.wdist[v] = -1.0;
+    dag_.sigma[v] = 0;
+    pred_count_[v] = 0;
+    settled_[v] = 0;
+  }
+  dag_.order.clear();
+  dag_.source = source;
+
+  using HeapEntry = std::pair<double, VertexId>;  // (dist, vertex)
+  // Lazy deletion: stale heap entries are skipped on pop.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  dag_.wdist[source] = 0.0;
+  dag_.sigma[source] = 1;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [du, u] = heap.top();
+    heap.pop();
+    if (settled_[u]) continue;
+    if (!Equal(du, dag_.wdist[u])) continue;  // stale entry
+    settled_[u] = 1;
+    dag_.order.push_back(u);
+    const auto nbrs = graph_->neighbors(u);
+    const auto wts = graph_->weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      const double w = graph_->weighted() ? wts[i] : 1.0;
+      const double candidate = dag_.wdist[u] + w;
+      if (settled_[v]) continue;
+      const double current = dag_.wdist[v];
+      if (current < 0.0 || candidate < current - tie_epsilon_ * candidate) {
+        // Strict improvement: reset predecessor set.
+        dag_.wdist[v] = candidate;
+        dag_.sigma[v] = dag_.sigma[u];
+        pred_count_[v] = 1;
+        pred_storage_[pred_begin_[v]] = u;
+        heap.emplace(candidate, v);
+      } else if (Equal(candidate, current)) {
+        // Tie: u is an additional predecessor (each neighbor appears once
+        // per pass, so no duplicate check is needed).
+        dag_.sigma[v] += dag_.sigma[u];
+        MHBC_DCHECK(pred_count_[v] < graph_->degree(v));
+        pred_storage_[pred_begin_[v] + pred_count_[v]] = u;
+        ++pred_count_[v];
+      }
+    }
+  }
+}
+
+}  // namespace mhbc

@@ -1,0 +1,64 @@
+#ifndef MHBC_SP_DIJKSTRA_SPD_H_
+#define MHBC_SP_DIJKSTRA_SPD_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "sp/spd.h"
+
+/// \file
+/// Weighted shortest-path-DAG construction by Dijkstra's algorithm.
+///
+/// Used for the paper's weighted-graph cost claims: one pass is
+/// O(|E| + |V| log |V|)-ish (binary heap with lazy deletion, so
+/// O(|E| log |V|) worst case — equivalent for the sparse networks here).
+
+namespace mhbc {
+
+/// Reusable Dijkstra engine for one positively-weighted graph.
+///
+/// Unlike BFS, shortest-path ties under floating-point addition cannot be
+/// re-derived from distances alone, so the engine also records explicit
+/// predecessor lists (the SPD edges) in flat CSR-like storage.
+class DijkstraSpd {
+ public:
+  /// The graph must be weighted with positive weights and outlive the
+  /// engine. Tie detection treats distances within `tie_epsilon`
+  /// (relative) as equal; 0 requires exact FP equality.
+  explicit DijkstraSpd(const CsrGraph& graph, double tie_epsilon = 1e-12);
+
+  /// Computes wdist/sigma/order/predecessors from `source`.
+  void Run(VertexId source);
+
+  /// Result of the last Run. `dag().wdist` holds weighted distances;
+  /// `dag().dist` is not populated.
+  const ShortestPathDag& dag() const { return dag_; }
+
+  /// Predecessors of v in the SPD of the last Run.
+  std::span<const VertexId> predecessors(VertexId v) const {
+    MHBC_DCHECK(v < graph_->num_vertices());
+    return {pred_storage_.data() + pred_begin_[v],
+            pred_storage_.data() + pred_begin_[v] + pred_count_[v]};
+  }
+
+  const CsrGraph& graph() const { return *graph_; }
+
+ private:
+  bool Equal(double a, double b) const;
+
+  const CsrGraph* graph_;
+  double tie_epsilon_;
+  ShortestPathDag dag_;
+  // Flat predecessor storage: vertex v's predecessors occupy
+  // pred_storage_[pred_begin_[v] .. pred_begin_[v]+pred_count_[v]).
+  // pred_begin_ is the CSR offset of v's incoming-edge capacity (degree),
+  // so no per-pass allocation is needed.
+  std::vector<std::size_t> pred_begin_;
+  std::vector<std::uint32_t> pred_count_;
+  std::vector<VertexId> pred_storage_;
+  std::vector<char> settled_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_DIJKSTRA_SPD_H_

@@ -1,0 +1,59 @@
+#include "sp/distance.h"
+
+#include <queue>
+#include <utility>
+
+namespace mhbc {
+
+std::vector<std::uint32_t> BfsDistances(const CsrGraph& graph,
+                                        VertexId source) {
+  MHBC_DCHECK(source < graph.num_vertices());
+  std::vector<std::uint32_t> dist(graph.num_vertices(), kUnreachedDistance);
+  std::vector<VertexId> queue;
+  queue.reserve(graph.num_vertices());
+  queue.push_back(source);
+  dist[source] = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const VertexId u = queue[head++];
+    for (VertexId v : graph.neighbors(u)) {
+      if (dist[v] == kUnreachedDistance) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> DijkstraDistances(const CsrGraph& graph, VertexId source) {
+  MHBC_DCHECK(source < graph.num_vertices());
+  const VertexId n = graph.num_vertices();
+  std::vector<double> dist(n, -1.0);
+  std::vector<char> settled(n, 0);
+  using HeapEntry = std::pair<double, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [du, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = 1;
+    const auto nbrs = graph.neighbors(u);
+    const auto wts = graph.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (settled[v]) continue;
+      const double w = graph.weighted() ? wts[i] : 1.0;
+      const double candidate = du + w;
+      if (dist[v] < 0.0 || candidate < dist[v]) {
+        dist[v] = candidate;
+        heap.emplace(candidate, v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace mhbc

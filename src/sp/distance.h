@@ -1,0 +1,24 @@
+#ifndef MHBC_SP_DISTANCE_H_
+#define MHBC_SP_DISTANCE_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+/// \file
+/// Plain distance computations (no sigma counting), for the
+/// distance-proportional baseline sampler [13] and the harnesses.
+
+namespace mhbc {
+
+/// Hop distances from `source` (kUnreachedDistance where unreachable).
+std::vector<std::uint32_t> BfsDistances(const CsrGraph& graph,
+                                        VertexId source);
+
+/// Weighted distances from `source` (negative where unreachable). Works on
+/// unweighted graphs too (all weights 1).
+std::vector<double> DijkstraDistances(const CsrGraph& graph, VertexId source);
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_DISTANCE_H_

@@ -1,0 +1,43 @@
+#ifndef MHBC_SP_SPD_H_
+#define MHBC_SP_SPD_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/common.h"
+
+/// \file
+/// Shared single-source shortest-path DAG (SPD) representation.
+///
+/// The paper (§2.1) calls the DAG of all shortest paths rooted at a source
+/// the SPD. One SPD pass plus one dependency accumulation is the unit of
+/// work of every sampler in this library, so the representation is a set of
+/// flat arrays reused across passes (no per-pass allocation).
+
+namespace mhbc {
+
+/// Result arrays of one single-source pass. Arrays are indexed by vertex id
+/// and sized to the graph; entries for unreached vertices hold
+/// kUnreachedDistance / 0 sigma.
+struct ShortestPathDag {
+  /// Hop distance from the source (unweighted passes).
+  std::vector<std::uint32_t> dist;
+  /// Weighted distance from the source (weighted passes only).
+  std::vector<double> wdist;
+  /// Number of shortest source->v paths.
+  std::vector<SigmaCount> sigma;
+  /// Vertices in settle order (non-decreasing distance), source first.
+  /// Doubles as the touched-list used to reset state in O(|reached|).
+  std::vector<VertexId> order;
+  /// The source of the pass.
+  VertexId source = kInvalidVertex;
+  /// True if the pass used edge weights.
+  bool weighted = false;
+
+  /// Number of vertices reached (including the source).
+  std::size_t num_reached() const { return order.size(); }
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_SP_SPD_H_

@@ -1,0 +1,59 @@
+#ifndef MHBC_UTIL_COMMON_H_
+#define MHBC_UTIL_COMMON_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Project-wide fundamental types and assertion macros.
+///
+/// Vertex ids are 32-bit unsigned integers: every target workload in the
+/// paper (SNAP mid-size networks, a few hundred thousand vertices) fits
+/// comfortably, and halving the id width doubles CSR cache density, which
+/// is what the per-sample O(m) BFS pass lives on.
+
+namespace mhbc {
+
+/// Vertex identifier. Valid ids are dense in [0, n).
+using VertexId = std::uint32_t;
+
+/// Edge index into CSR adjacency arrays (2m entries for undirected graphs).
+using EdgeId = std::uint64_t;
+
+/// Shortest-path multiplicity counter. Double, not an integer type: sigma
+/// grows exponentially with graph depth (a 45x45 grid already has
+/// C(88,44) ~ 1.8e25 shortest corner-to-corner paths, far past 2^64).
+/// Doubles count exactly up to 2^53 and then degrade gracefully in relative
+/// precision, which is what the dependency *ratios* need; integer counters
+/// silently wrap and corrupt every score downstream. This matches the
+/// practice of production Brandes implementations.
+using SigmaCount = double;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Sentinel for "unreached" BFS distance.
+inline constexpr std::uint32_t kUnreachedDistance = static_cast<std::uint32_t>(-1);
+
+namespace internal {
+
+[[noreturn]] inline void DcheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MHBC_DCHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Internal invariant check. Enabled in all build types (the project builds
+/// -O2 with assertions kept); use for programming errors, never for
+/// recoverable input validation (that is Status' job).
+#define MHBC_DCHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::mhbc::internal::DcheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+}  // namespace mhbc
+
+#endif  // MHBC_UTIL_COMMON_H_

@@ -1,0 +1,197 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "util/common.h"
+
+namespace mhbc {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  return rs.stddev();
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  MHBC_DCHECK(!xs.empty());
+  MHBC_DCHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  MHBC_DCHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+double MaxAbsoluteError(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  MHBC_DCHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+double MeanRelativeError(const std::vector<double>& a,
+                         const std::vector<double>& b, double floor) {
+  MHBC_DCHECK(a.size() == b.size());
+  MHBC_DCHECK(floor > 0.0);
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]) / std::max(std::fabs(b[i]), floor);
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  MHBC_DCHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  MHBC_DCHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  MHBC_DCHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  std::int64_t concordant = 0, discordant = 0;
+  std::int64_t ties_a = 0, ties_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) {
+        ++ties_a;
+        ++ties_b;
+      } else if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0.0) == (db > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n_pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  const double denom = std::sqrt((n_pairs - static_cast<double>(ties_a)) *
+                                 (n_pairs - static_cast<double>(ties_b)));
+  if (denom <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double ChiSquareStatistic(const std::vector<std::uint64_t>& observed,
+                          const std::vector<double>& probabilities) {
+  MHBC_DCHECK(observed.size() == probabilities.size());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : observed) total += c;
+  MHBC_DCHECK(total > 0);
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = static_cast<double>(total) * probabilities[i];
+    if (probabilities[i] == 0.0) {
+      MHBC_DCHECK(observed[i] == 0);
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double TotalVariationDistance(const std::vector<std::uint64_t>& observed,
+                              const std::vector<double>& probabilities) {
+  MHBC_DCHECK(observed.size() == probabilities.size());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : observed) total += c;
+  MHBC_DCHECK(total > 0);
+  double dist = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double empirical =
+        static_cast<double>(observed[i]) / static_cast<double>(total);
+    dist += std::fabs(empirical - probabilities[i]);
+  }
+  return dist / 2.0;
+}
+
+}  // namespace mhbc

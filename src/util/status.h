@@ -1,0 +1,111 @@
+#ifndef MHBC_UTIL_STATUS_H_
+#define MHBC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+/// \file
+/// Minimal Status / StatusOr error-propagation types.
+///
+/// The public API does not throw: recoverable failures (malformed input
+/// files, invalid estimator configuration, disconnected graphs where the
+/// algorithm requires connectivity) travel as Status values, mirroring the
+/// convention of Arrow / RocksDB style database code.
+
+namespace mhbc {
+
+/// Coarse error category; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kIoError,
+  kOutOfRange,
+};
+
+/// Returns a stable human-readable name for a code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a value payload.
+class Status {
+ public:
+  /// Constructs OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Intentionally tiny: no monadic API,
+/// just the accessors call sites need.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (the overwhelmingly common construction).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    MHBC_DCHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MHBC_DCHECK(status_.ok());
+    return value_;
+  }
+  T& value() & {
+    MHBC_DCHECK(status_.ok());
+    return value_;
+  }
+  T&& value() && {
+    MHBC_DCHECK(status_.ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status to the caller.
+#define MHBC_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::mhbc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace mhbc
+
+#endif  // MHBC_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef MHBC_UTIL_TIMER_H_
+#define MHBC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Wall-clock timing for the experiment harnesses.
+
+namespace mhbc {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction or last Reset.
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_UTIL_TIMER_H_

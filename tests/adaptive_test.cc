@@ -1,0 +1,77 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(AdaptiveTest, ConvergesOnSeparatorTarget) {
+  const CsrGraph g = MakeBarbell(10, 1);
+  const VertexId bridge = 10;
+  AdaptiveOptions options;
+  options.seed = 3;
+  options.epsilon = 0.02;
+  const AdaptiveResult result = AdaptiveMhEstimate(g, bridge, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.half_width, options.epsilon);
+  const double limit = ChainLimitEstimate(DependencyProfile(g, bridge));
+  EXPECT_NEAR(result.estimate, limit, 3 * options.epsilon);
+}
+
+TEST(AdaptiveTest, TighterEpsilonCostsMoreIterations) {
+  const CsrGraph g = MakeConnectedCaveman(5, 8);
+  const VertexId gateway = 7;
+  AdaptiveOptions loose;
+  loose.seed = 5;
+  loose.epsilon = 0.1;
+  AdaptiveOptions tight = loose;
+  tight.epsilon = 0.01;
+  const AdaptiveResult a = AdaptiveMhEstimate(g, gateway, loose);
+  const AdaptiveResult b = AdaptiveMhEstimate(g, gateway, tight);
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+  EXPECT_GE(b.iterations, a.iterations);
+}
+
+TEST(AdaptiveTest, RespectsMaxIterationCap) {
+  const CsrGraph g = MakeBarabasiAlbert(100, 2, 7);
+  AdaptiveOptions options;
+  options.seed = 9;
+  options.epsilon = 1e-9;  // unreachable precision
+  options.max_iterations = 512;
+  const AdaptiveResult result = AdaptiveMhEstimate(g, 0, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 512u);
+}
+
+TEST(AdaptiveTest, ZeroScoreTargetConvergesImmediately) {
+  // All f-values are 0: the CI collapses at the first batch.
+  const CsrGraph g = MakeStar(12);
+  AdaptiveOptions options;
+  options.seed = 11;
+  options.epsilon = 0.05;
+  const AdaptiveResult result = AdaptiveMhEstimate(g, /*leaf=*/3, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, options.initial_batch);
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);
+}
+
+TEST(AdaptiveTest, DeterministicForSeed) {
+  const CsrGraph g = MakeConnectedCaveman(4, 6);
+  AdaptiveOptions options;
+  options.seed = 13;
+  options.epsilon = 0.05;
+  const AdaptiveResult a = AdaptiveMhEstimate(g, 5, options);
+  const AdaptiveResult b = AdaptiveMhEstimate(g, 5, options);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,107 @@
+#include "centrality/api.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(ApiTest, ExactKindMatchesBrandes) {
+  const CsrGraph g = MakeBarbell(4, 1);
+  EstimateOptions options;
+  options.kind = EstimatorKind::kExact;
+  const auto result = EstimateBetweenness(g, 4, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().value, ExactBetweennessSingle(g, 4), 1e-12);
+  EXPECT_EQ(result.value().sp_passes, g.num_vertices());
+}
+
+TEST(ApiTest, EverySamplingKindRuns) {
+  const CsrGraph g = MakeBarbell(5, 1);
+  const double exact = ExactBetweennessSingle(g, 5);
+  for (EstimatorKind kind :
+       {EstimatorKind::kMetropolisHastings, EstimatorKind::kUniformSource,
+        EstimatorKind::kDistanceProportional, EstimatorKind::kShortestPath,
+        EstimatorKind::kLinearScaling}) {
+    EstimateOptions options;
+    options.kind = kind;
+    options.samples = 4'000;
+    options.seed = 77;
+    const auto result = EstimateBetweenness(g, 5, options);
+    ASSERT_TRUE(result.ok()) << EstimatorKindName(kind);
+    EXPECT_NEAR(result.value().value, exact, 0.15 * exact)
+        << EstimatorKindName(kind);
+    EXPECT_GT(result.value().sp_passes, 0u);
+  }
+}
+
+TEST(ApiTest, RejectsOutOfRangeVertex) {
+  const CsrGraph g = MakeCycle(6);
+  EstimateOptions options;
+  const auto result = EstimateBetweenness(g, 6, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, RejectsZeroBudget) {
+  const CsrGraph g = MakeCycle(6);
+  EstimateOptions options;
+  options.samples = 0;
+  EXPECT_FALSE(EstimateBetweenness(g, 0, options).ok());
+}
+
+TEST(ApiTest, RejectsTrivialGraph) {
+  const CsrGraph g = MakePath(1);
+  EstimateOptions options;
+  EXPECT_FALSE(EstimateBetweenness(g, 0, options).ok());
+}
+
+TEST(ApiTest, RejectsUnsupportedWeightedEstimators) {
+  const CsrGraph wg = AssignUniformWeights(MakeCycle(8), 1.0, 2.0, 5);
+  EstimateOptions options;
+  options.kind = EstimatorKind::kLinearScaling;
+  EXPECT_FALSE(EstimateBetweenness(wg, 0, options).ok());
+  // MH and RK support weighted graphs.
+  for (EstimatorKind kind :
+       {EstimatorKind::kMetropolisHastings, EstimatorKind::kShortestPath}) {
+    options.kind = kind;
+    options.samples = 50;
+    EXPECT_TRUE(EstimateBetweenness(wg, 0, options).ok());
+  }
+}
+
+TEST(ApiTest, RelativeBetweennessValidation) {
+  const CsrGraph g = MakeCycle(8);
+  EXPECT_FALSE(EstimateRelativeBetweenness(g, {0}, 100).ok());
+  EXPECT_FALSE(EstimateRelativeBetweenness(g, {0, 9}, 100).ok());
+  EXPECT_FALSE(EstimateRelativeBetweenness(g, {0, 0}, 100).ok());
+  EXPECT_FALSE(EstimateRelativeBetweenness(g, {0, 4}, 0).ok());
+  EXPECT_TRUE(EstimateRelativeBetweenness(g, {0, 4}, 100).ok());
+}
+
+TEST(ApiTest, RankByBetweennessOrdersBridgeFirst) {
+  const CsrGraph g = MakeBarbell(5, 1);
+  // Gateway, bridge, gateway: all positive betweenness, bridge largest.
+  const std::vector<VertexId> targets{4, 5, 6};
+  const auto result = RankByBetweenness(g, targets, 20'000, 99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().front(), 1u);  // index of the bridge in targets
+}
+
+TEST(ApiTest, EstimatorKindNamesRoundTrip) {
+  for (EstimatorKind kind :
+       {EstimatorKind::kExact, EstimatorKind::kMetropolisHastings,
+        EstimatorKind::kUniformSource, EstimatorKind::kDistanceProportional,
+        EstimatorKind::kShortestPath, EstimatorKind::kLinearScaling}) {
+    EstimatorKind parsed;
+    ASSERT_TRUE(ParseEstimatorKind(EstimatorKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  EstimatorKind parsed;
+  EXPECT_FALSE(ParseEstimatorKind("nonsense", &parsed));
+}
+
+}  // namespace
+}  // namespace mhbc

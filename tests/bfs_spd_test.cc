@@ -1,0 +1,112 @@
+#include "sp/bfs_spd.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+namespace {
+
+TEST(BfsSpdTest, PathDistancesAndSigma) {
+  const CsrGraph g = MakePath(6);
+  BfsSpd bfs(g);
+  bfs.Run(0);
+  const auto& dag = bfs.dag();
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(dag.dist[v], v);
+    EXPECT_EQ(dag.sigma[v], 1u);
+  }
+  EXPECT_EQ(dag.source, 0u);
+  EXPECT_EQ(dag.num_reached(), 6u);
+}
+
+TEST(BfsSpdTest, EvenCycleAntipodalHasTwoPaths) {
+  const CsrGraph g = MakeCycle(8);
+  BfsSpd bfs(g);
+  bfs.Run(0);
+  EXPECT_EQ(bfs.dag().dist[4], 4u);
+  EXPECT_EQ(bfs.dag().sigma[4], 2u);
+  EXPECT_EQ(bfs.dag().sigma[3], 1u);
+}
+
+TEST(BfsSpdTest, CompleteBipartiteSigma) {
+  // K_{2,3}: sides A={0,1}, B={2,3,4}. From 2 to 3: 2 paths (via 0 or 1).
+  const CsrGraph g = MakeCompleteBipartite(2, 3);
+  BfsSpd bfs(g);
+  bfs.Run(2);
+  EXPECT_EQ(bfs.dag().dist[3], 2u);
+  EXPECT_EQ(bfs.dag().sigma[3], 2u);
+  EXPECT_EQ(bfs.dag().sigma[0], 1u);
+}
+
+TEST(BfsSpdTest, GridSigmaBinomial) {
+  // On a grid, #shortest paths from corner (0,0) to (r,c) is C(r+c, r).
+  const CsrGraph g = MakeGrid(4, 4);
+  BfsSpd bfs(g);
+  bfs.Run(0);
+  const auto& dag = bfs.dag();
+  EXPECT_EQ(dag.sigma[1 * 4 + 1], 2u);   // C(2,1)
+  EXPECT_EQ(dag.sigma[2 * 4 + 2], 6u);   // C(4,2)
+  EXPECT_EQ(dag.sigma[3 * 4 + 3], 20u);  // C(6,3)
+  EXPECT_EQ(dag.dist[3 * 4 + 3], 6u);
+}
+
+TEST(BfsSpdTest, DisconnectedLeavesUnreached) {
+  // Star plus isolated vertex 5.
+  GraphBuilder b = [] {
+    GraphBuilder builder(6);
+    for (VertexId v = 1; v < 5; ++v) builder.AddEdge(0, v);
+    return builder;
+  }();
+  const CsrGraph g = std::move(b.Build()).value();
+  BfsSpd bfs(g);
+  bfs.Run(0);
+  EXPECT_EQ(bfs.dag().dist[5], kUnreachedDistance);
+  EXPECT_EQ(bfs.dag().sigma[5], 0u);
+  EXPECT_EQ(bfs.dag().num_reached(), 5u);
+}
+
+TEST(BfsSpdTest, OrderIsNonDecreasingDistance) {
+  const CsrGraph g = MakeBarabasiAlbert(150, 3, 77);
+  BfsSpd bfs(g);
+  bfs.Run(10);
+  const auto& dag = bfs.dag();
+  for (std::size_t i = 1; i < dag.order.size(); ++i) {
+    EXPECT_LE(dag.dist[dag.order[i - 1]], dag.dist[dag.order[i]]);
+  }
+  EXPECT_EQ(dag.order.front(), 10u);
+}
+
+TEST(BfsSpdTest, ReuseAcrossSourcesResetsState) {
+  const CsrGraph g = MakePath(5);
+  BfsSpd bfs(g);
+  bfs.Run(0);
+  bfs.Run(4);
+  const auto& dag = bfs.dag();
+  EXPECT_EQ(dag.source, 4u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dag.dist[v], 4u - v);
+    EXPECT_EQ(dag.sigma[v], 1u);
+  }
+}
+
+TEST(BfsSpdTest, SigmaTotalsMatchIndependentBfs) {
+  // sigma additivity: for every v != s, sigma[v] equals the sum of sigma
+  // over its SPD parents.
+  const CsrGraph g = MakeErdosRenyiGnm(80, 200, 13);
+  BfsSpd bfs(g);
+  bfs.Run(0);
+  const auto& dag = bfs.dag();
+  for (VertexId v : dag.order) {
+    if (v == 0) continue;
+    SigmaCount parent_sum = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (dag.dist[u] + 1 == dag.dist[v]) parent_sum += dag.sigma[u];
+    }
+    EXPECT_EQ(dag.sigma[v], parent_sum) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,60 @@
+#include "sp/bidirectional_bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "sp/distance.h"
+#include "util/rng.h"
+
+namespace mhbc {
+namespace {
+
+TEST(BbBfsTest, SameVertexZero) {
+  const CsrGraph g = MakePath(4);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 2, 2).distance, 0u);
+}
+
+TEST(BbBfsTest, AdjacentVertices) {
+  const CsrGraph g = MakePath(4);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 1, 2).distance, 1u);
+}
+
+TEST(BbBfsTest, PathEndToEnd) {
+  const CsrGraph g = MakePath(10);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 0, 9).distance, 9u);
+}
+
+TEST(BbBfsTest, DisconnectedReportsUnreached) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const CsrGraph g = std::move(b.Build()).value();
+  EXPECT_EQ(BidirectionalBfsDistance(g, 0, 3).distance, kUnreachedDistance);
+}
+
+TEST(BbBfsTest, MatchesBfsOnRandomGraphs) {
+  Rng rng(99);
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    const CsrGraph g = MakeErdosRenyiGnm(100, 250, seed);
+    for (int q = 0; q < 30; ++q) {
+      const VertexId s = rng.NextVertex(g.num_vertices());
+      const VertexId t = rng.NextVertex(g.num_vertices());
+      const auto expected = BfsDistances(g, s)[t];
+      EXPECT_EQ(BidirectionalBfsDistance(g, s, t).distance, expected)
+          << "seed " << seed << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(BbBfsTest, ScansFewerEdgesThanFullBfsOnHubGraph) {
+  // On a scale-free graph, meeting in the middle should scan far fewer
+  // edges than the full 2m adjacency for distant low-degree pairs.
+  const CsrGraph g = MakeBarabasiAlbert(2000, 3, 7);
+  const auto result = BidirectionalBfsDistance(g, 1500, 1999);
+  EXPECT_NE(result.distance, kUnreachedDistance);
+  EXPECT_LT(result.edges_scanned, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace mhbc

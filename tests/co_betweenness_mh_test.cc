@@ -1,0 +1,91 @@
+#include "core/co_betweenness_mh.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/co_betweenness.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(CoBetweennessMhTest, CoDependencySumsToRawCoBetweenness) {
+  // sum over sources v of kappa_v(u, w) == raw co-betweenness of {u, w}.
+  const CsrGraph g = MakeBarbell(4, 2);
+  const VertexId u = 4, w = 5;  // the two bridge vertices
+  CoBetweennessMhOptions options;
+  options.seed = 3;
+  CoBetweennessMhSampler sampler(g, u, w, options);
+  double total = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    total += sampler.CoDependency(v);
+  }
+  EXPECT_NEAR(total, CoBetweennessPair(g, u, w, Normalization::kNone), 1e-9);
+}
+
+TEST(CoBetweennessMhTest, CoDependencyZeroAtPairMembers) {
+  const CsrGraph g = MakePath(6);
+  CoBetweennessMhOptions options;
+  CoBetweennessMhSampler sampler(g, 2, 3, options);
+  EXPECT_DOUBLE_EQ(sampler.CoDependency(2), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.CoDependency(3), 0.0);
+  EXPECT_GT(sampler.CoDependency(0), 0.0);
+}
+
+TEST(CoBetweennessMhTest, RaoBlackwellUnbiasedOnBridgePair) {
+  const CsrGraph g = MakeBarbell(5, 2);
+  const VertexId u = 5, w = 6;
+  const double exact = CoBetweennessPair(g, u, w);  // paper normalization
+  CoBetweennessMhOptions options;
+  options.seed = 7;
+  CoBetweennessMhSampler sampler(g, u, w, options);
+  const CoBetweennessMhResult result = sampler.Run(8'000);
+  EXPECT_NEAR(result.proposal_estimate, exact, 0.05 * exact);
+}
+
+TEST(CoBetweennessMhTest, ChainEstimateWithinMuFactor) {
+  // Co-dependency is flat across both cliques of the barbell, so the chain
+  // readout's bias is the usual n/|support| sliver only.
+  const CsrGraph g = MakeBarbell(5, 2);
+  const VertexId u = 5, w = 6;
+  const double exact = CoBetweennessPair(g, u, w);
+  CoBetweennessMhOptions options;
+  options.seed = 9;
+  CoBetweennessMhSampler sampler(g, u, w, options);
+  const CoBetweennessMhResult result = sampler.Run(8'000);
+  EXPECT_GE(result.estimate, exact * 0.95);
+  EXPECT_LE(result.estimate, exact * 1.35);
+}
+
+TEST(CoBetweennessMhTest, ZeroCoBetweennessPairEstimatesZero) {
+  // Two star leaves never co-occur on a shortest path interior.
+  const CsrGraph g = MakeStar(8);
+  CoBetweennessMhOptions options;
+  options.seed = 11;
+  CoBetweennessMhSampler sampler(g, 1, 2, options);
+  const CoBetweennessMhResult result = sampler.Run(500);
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(result.proposal_estimate, 0.0);
+}
+
+TEST(CoBetweennessMhTest, DeterministicForSeed) {
+  const CsrGraph g = MakeConnectedCaveman(4, 6);
+  CoBetweennessMhOptions options;
+  options.seed = 13;
+  CoBetweennessMhSampler a(g, 5, 6, options);
+  CoBetweennessMhSampler b(g, 5, 6, options);
+  EXPECT_DOUBLE_EQ(a.Run(400).estimate, b.Run(400).estimate);
+}
+
+TEST(CoBetweennessMhTest, DiagnosticsAccounting) {
+  const CsrGraph g = MakeBarbell(4, 2);
+  CoBetweennessMhOptions options;
+  options.seed = 17;
+  CoBetweennessMhSampler sampler(g, 4, 5, options);
+  const CoBetweennessMhResult result = sampler.Run(300);
+  EXPECT_EQ(result.diagnostics.iterations, 300u);
+  EXPECT_EQ(result.diagnostics.accepted + result.diagnostics.rejected, 300u);
+  EXPECT_EQ(result.diagnostics.sp_passes, 301u);
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,74 @@
+#include "exact/co_betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(CoBetweennessTest, PathAdjacentInteriorPair) {
+  // P5 = 0-1-2-3-4, pair {1,2}: ordered pairs routed through both:
+  // (0,3), (0,4) and reverses -> raw co = 4.
+  const CsrGraph g = MakePath(5);
+  EXPECT_DOUBLE_EQ(CoBetweennessPair(g, 1, 2, Normalization::kNone), 4.0);
+}
+
+TEST(CoBetweennessTest, SymmetricInArguments) {
+  const CsrGraph g = MakeBarbell(4, 2);
+  EXPECT_DOUBLE_EQ(CoBetweennessPair(g, 4, 5, Normalization::kNone),
+                   CoBetweennessPair(g, 5, 4, Normalization::kNone));
+}
+
+TEST(CoBetweennessTest, DisjointLeavesZero) {
+  // Star leaves never co-occur as interior vertices.
+  const CsrGraph g = MakeStar(7);
+  EXPECT_DOUBLE_EQ(CoBetweennessPair(g, 1, 2, Normalization::kNone), 0.0);
+}
+
+TEST(CoBetweennessTest, BarbellBridgePairCarriesAllCrossTraffic) {
+  // Barbell(k, 2): both bridge vertices lie on every cross-clique path.
+  constexpr VertexId kClique = 4;
+  const CsrGraph g = MakeBarbell(kClique, 2);
+  const VertexId b1 = kClique, b2 = kClique + 1;
+  // Cross pairs: clique x clique both directions, plus pairs
+  // (left clique or b1-side) x (right side)... restrict: s,t outside {b1,b2}.
+  // Left side: k vertices, right side: k vertices -> raw = 2 k^2.
+  EXPECT_DOUBLE_EQ(CoBetweennessPair(g, b1, b2, Normalization::kNone),
+                   2.0 * kClique * kClique);
+}
+
+TEST(GroupBetweennessTest, InclusionExclusionAgainstSingles) {
+  // For any pair: group = through_u + through_w - co, where through_x
+  // excludes endpoints in {u, w}. On a star, group of two leaves is 0.
+  const CsrGraph g = MakeStar(6);
+  EXPECT_DOUBLE_EQ(GroupBetweennessPair(g, 1, 2, Normalization::kNone), 0.0);
+}
+
+TEST(GroupBetweennessTest, PathPairCoversBothSegments) {
+  // P5, group {1,3}: ordered pairs passing through 1 or 3 with endpoints
+  // outside {1,3}: pairs (0,2),(0,4),(2,4) and reverses -> 6.
+  const CsrGraph g = MakePath(5);
+  EXPECT_DOUBLE_EQ(GroupBetweennessPair(g, 1, 3, Normalization::kNone), 6.0);
+}
+
+TEST(GroupBetweennessTest, GroupAtLeastMaxOfRestrictedSingles) {
+  const CsrGraph g = MakeBarabasiAlbert(30, 2, 13);
+  for (VertexId u = 0; u < 5; ++u) {
+    const VertexId w = u + 5;
+    const double group = GroupBetweennessPair(g, u, w, Normalization::kNone);
+    const double co = CoBetweennessPair(g, u, w, Normalization::kNone);
+    EXPECT_GE(group + 1e-9, co);  // inclusion-exclusion sanity
+  }
+}
+
+TEST(GroupBetweennessTest, PaperNormalizationApplied) {
+  const CsrGraph g = MakePath(5);
+  const double raw = GroupBetweennessPair(g, 1, 3, Normalization::kNone);
+  const double paper = GroupBetweennessPair(g, 1, 3, Normalization::kPaper);
+  EXPECT_DOUBLE_EQ(paper, raw / (5.0 * 4.0));
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,106 @@
+#include "graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+namespace {
+
+CsrGraph Triangle() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  return std::move(b.Build()).value();
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.weighted());
+}
+
+TEST(CsrGraphTest, TriangleBasics) {
+  const CsrGraph g = Triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(CsrGraphTest, NeighborsSorted) {
+  GraphBuilder b(4);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 1);
+  const CsrGraph g = std::move(b.Build()).value();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(CsrGraphTest, HasEdgeSymmetric) {
+  const CsrGraph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const CsrGraph g2 = std::move(b.Build()).value();
+  EXPECT_FALSE(g2.HasEdge(0, 2));
+  EXPECT_FALSE(g2.HasEdge(2, 1));
+}
+
+TEST(CsrGraphTest, UnweightedEdgeWeightIsOne) {
+  const CsrGraph g = Triangle();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_TRUE(g.weights(0).empty());
+}
+
+TEST(CsrGraphTest, WeightedEdges) {
+  GraphBuilder b(3);
+  b.AddWeightedEdge(0, 1, 2.5);
+  b.AddWeightedEdge(1, 2, 0.5);
+  const CsrGraph g = std::move(b.Build()).value();
+  EXPECT_TRUE(g.weighted());
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(2, 1), 0.5);
+  ASSERT_EQ(g.weights(1).size(), 2u);
+}
+
+TEST(CsrGraphTest, CollectEdgesRoundTrip) {
+  const CsrGraph g = MakeBarabasiAlbert(50, 2, 99);
+  const auto edges = g.CollectEdges();
+  EXPECT_EQ(edges.size(), g.num_edges());
+  GraphBuilder b(g.num_vertices());
+  for (const auto& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    b.AddWeightedEdge(e.u, e.v, e.weight);
+  }
+  const CsrGraph g2 = std::move(b.Build()).value();
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), g2.degree(v));
+  }
+}
+
+TEST(CsrGraphTest, NamePropagation) {
+  CsrGraph g = Triangle();
+  g.set_name("tri");
+  EXPECT_EQ(g.name(), "tri");
+}
+
+TEST(CsrGraphTest, IsolatedVertexHasNoNeighbors) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const CsrGraph g = std::move(b.Build()).value();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+}  // namespace
+}  // namespace mhbc

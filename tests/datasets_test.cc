@@ -1,0 +1,50 @@
+#include "datasets/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+
+namespace mhbc {
+namespace {
+
+TEST(DatasetsTest, RegistryNonEmptyAndNamed) {
+  const auto& registry = DatasetRegistry();
+  EXPECT_GE(registry.size(), 5u);
+  for (const DatasetSpec& spec : registry) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.stands_in_for.empty());
+    EXPECT_NE(spec.make, nullptr);
+  }
+}
+
+TEST(DatasetsTest, AllDatasetsConnectedAndDeterministic) {
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    const CsrGraph g1 = spec.make();
+    EXPECT_TRUE(IsConnected(g1)) << spec.name;
+    EXPECT_GE(g1.num_vertices(), 30u) << spec.name;
+    const CsrGraph g2 = spec.make();
+    EXPECT_EQ(g1.num_vertices(), g2.num_vertices()) << spec.name;
+    EXPECT_EQ(g1.num_edges(), g2.num_edges()) << spec.name;
+  }
+}
+
+TEST(DatasetsTest, MakeDatasetByName) {
+  const auto result = MakeDataset("email-like-1k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_vertices(), 1000u);
+}
+
+TEST(DatasetsTest, UnknownNameIsNotFound) {
+  const auto result = MakeDataset("no-such-graph");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, DefaultExperimentSubsetResolves) {
+  for (const std::string& name : DefaultExperimentDatasets()) {
+    EXPECT_TRUE(MakeDataset(name).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mhbc

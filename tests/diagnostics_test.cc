@@ -1,0 +1,70 @@
+#include "core/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace mhbc {
+namespace {
+
+TEST(DiagnosticsTest, AcceptanceRate) {
+  ChainDiagnostics d;
+  EXPECT_DOUBLE_EQ(d.acceptance_rate(), 0.0);
+  d.accepted = 30;
+  d.rejected = 70;
+  EXPECT_DOUBLE_EQ(d.acceptance_rate(), 0.3);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsZeroByConvention) {
+  EXPECT_DOUBLE_EQ(Autocorrelation({1.0, 1.0, 1.0}, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesNegativeLag1) {
+  const std::vector<double> series{1.0, -1.0, 1.0, -1.0, 1.0, -1.0};
+  EXPECT_LT(Autocorrelation(series, 1), -0.5);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const std::vector<double> series{1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Autocorrelation(series, 0), 1.0);
+}
+
+TEST(AutocorrelationTest, OutOfRangeLagIsZero) {
+  EXPECT_DOUBLE_EQ(Autocorrelation({1.0, 2.0}, 5), 0.0);
+}
+
+TEST(EffectiveSampleSizeTest, IidSeriesNearN) {
+  // A strongly mixing (period-free pseudo-random) series: ESS close to n.
+  std::vector<double> series;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    series.push_back(static_cast<double>(state >> 11) * 0x1.0p-53);
+  }
+  const double ess = EffectiveSampleSize(series);
+  EXPECT_GT(ess, 1000.0);
+  EXPECT_LE(ess, 2000.0 + 1e-9);
+}
+
+TEST(EffectiveSampleSizeTest, StickyChainMuchSmallerThanN) {
+  // A chain that repeats each value 50 times has ~n/50 effective samples.
+  std::vector<double> series;
+  std::uint64_t state = 999;
+  for (int block = 0; block < 40; ++block) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double value = static_cast<double>(state >> 11) * 0x1.0p-53;
+    for (int k = 0; k < 50; ++k) series.push_back(value);
+  }
+  const double ess = EffectiveSampleSize(series);
+  EXPECT_LT(ess, 200.0);
+}
+
+TEST(VisitCountsTest, CountsEachOccurrence) {
+  const std::vector<VertexId> trace{0, 1, 1, 2, 0, 1};
+  const auto counts = VisitCounts(trace, 4);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+}  // namespace
+}  // namespace mhbc

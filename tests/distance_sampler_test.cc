@@ -1,0 +1,68 @@
+#include "baselines/distance_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(DistanceSamplerTest, ConvergesToExact) {
+  const CsrGraph g = MakeBarbell(5, 3);
+  const VertexId mid = 6;  // middle bridge vertex
+  const double exact = ExactBetweennessSingle(g, mid);
+  DistanceProportionalSampler sampler(g, 3);
+  EXPECT_NEAR(sampler.Estimate(mid, 20'000), exact, 0.02 * exact + 0.01);
+}
+
+TEST(DistanceSamplerTest, UnbiasedAcrossRepetitions) {
+  const CsrGraph g = MakeGrid(4, 5);
+  const VertexId center = 2 * 5 + 2;
+  const double exact = ExactBetweennessSingle(g, center);
+  DistanceProportionalSampler sampler(g, 5);
+  double acc = 0.0;
+  constexpr int kReps = 400;
+  for (int i = 0; i < kReps; ++i) acc += sampler.Estimate(center, 10);
+  EXPECT_NEAR(acc / kReps, exact, 0.05 * exact + 0.01);
+}
+
+TEST(DistanceSamplerTest, DeterministicForSeed) {
+  const CsrGraph g = MakeBarabasiAlbert(50, 2, 7);
+  DistanceProportionalSampler a(g, 99);
+  DistanceProportionalSampler b(g, 99);
+  EXPECT_DOUBLE_EQ(a.Estimate(4, 150), b.Estimate(4, 150));
+}
+
+TEST(DistanceSamplerTest, NeverSamplesTargetItself) {
+  // The target has distance 0 so it carries zero proposal mass; the
+  // estimate must be finite (no division by its zero probability).
+  const CsrGraph g = MakeWheel(12);
+  DistanceProportionalSampler sampler(g, 13);
+  const double est = sampler.Estimate(0, 2'000);
+  EXPECT_TRUE(std::isfinite(est));
+}
+
+TEST(DistanceSamplerTest, WeightedGraphSupport) {
+  const CsrGraph wg = AssignUniformWeights(MakeGrid(4, 4), 1.0, 1.0, 15);
+  const CsrGraph g = MakeGrid(4, 4);
+  const double exact = ExactBetweennessSingle(g, 5);
+  DistanceProportionalSampler sampler(wg, 17);
+  EXPECT_NEAR(sampler.Estimate(5, 5'000), exact, 0.05);
+}
+
+TEST(DistanceSamplerTest, TargetSwitchRebuildsTable) {
+  const CsrGraph g = MakePath(9);
+  DistanceProportionalSampler sampler(g, 19);
+  const double at_center = sampler.Estimate(4, 3'000);
+  const double at_edge = sampler.Estimate(1, 3'000);
+  const double exact_center = ExactBetweennessSingle(g, 4);
+  const double exact_edge = ExactBetweennessSingle(g, 1);
+  EXPECT_NEAR(at_center, exact_center, 0.05);
+  EXPECT_NEAR(at_edge, exact_edge, 0.05);
+}
+
+}  // namespace
+}  // namespace mhbc

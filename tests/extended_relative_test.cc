@@ -1,0 +1,67 @@
+#include "exact/extended_relative.h"
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(ExtendedRelativeTest, SymmetricTargetsGiveSameScoreBothWays) {
+  // Two symmetric bridge vertices: the extension is symmetric under swap.
+  const CsrGraph g = MakeBarbell(4, 2);
+  const double ij = ExactExtendedRelativeBetweenness(g, 4, 5);
+  const double ji = ExactExtendedRelativeBetweenness(g, 5, 4);
+  EXPECT_NEAR(ij, ji, 1e-12);
+}
+
+TEST(ExtendedRelativeTest, PathHandComputed) {
+  // P4 = 0-1-2-3, ri = 1, rj = 2. Pair dependencies are 0/1 indicators
+  // (unique shortest paths). For each ordered (v, t):
+  //   through 1: (0,2),(0,3),(2,0),(3,0),(2,3)?no... pairs through 1:
+  //   (0,2),(0,3),(3,0),(2,0). Through 2: (0,3),(1,3),(3,0),(3,1).
+  // ClippedRatio(a, b) with 0/0 -> 1 applies to all remaining pairs.
+  const CsrGraph g = MakePath(4);
+  // Enumerate: n(n-1) = 12 ordered pairs. dep1/dep2 per pair:
+  // (0,1):0/0->1 (0,2):1/0->1 (0,3):1/1->1 (1,0):0/0->1 (1,2):0/0->1
+  // (1,3):0/1->0 (2,0):1/0->1 (2,1):0/0->1 (2,3):0/0->1 (3,0):1/1->1
+  // (3,1):0/1->0 (3,2):0/0->1
+  // sum = 10, BC' = 10/12.
+  EXPECT_NEAR(ExactExtendedRelativeBetweenness(g, 1, 2), 10.0 / 12.0, 1e-12);
+}
+
+TEST(ExtendedRelativeTest, IdenticalRoleVerticesScoreHigh) {
+  // Star center vs itself is disallowed; compare two wheel rim vertices:
+  // nearly interchangeable roles, so BC' in both directions is close to
+  // the both-zero-dominated baseline and roughly equal.
+  const CsrGraph g = MakeWheel(10);
+  const double ij = ExactExtendedRelativeBetweenness(g, 1, 5);
+  const double ji = ExactExtendedRelativeBetweenness(g, 5, 1);
+  EXPECT_NEAR(ij, ji, 1e-9);
+  EXPECT_GT(ij, 0.5);
+}
+
+TEST(ExtendedRelativeTest, DominantVertexScoresHigherThanDominated) {
+  // Path center strictly dominates a quarter vertex pairwise, so
+  // BC'(center | quarter) > BC'(quarter | center).
+  const CsrGraph g = MakePath(9);
+  const double center_vs_quarter = ExactExtendedRelativeBetweenness(g, 4, 2);
+  const double quarter_vs_center = ExactExtendedRelativeBetweenness(g, 2, 4);
+  EXPECT_GT(center_vs_quarter, quarter_vs_center);
+}
+
+TEST(ExtendedRelativeTest, BoundedByOne) {
+  const CsrGraph g = MakeBarabasiAlbert(30, 2, 5);
+  for (VertexId ri = 0; ri < 3; ++ri) {
+    for (VertexId rj = 3; rj < 6; ++rj) {
+      const double score = ExactExtendedRelativeBetweenness(g, ri, rj);
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mhbc

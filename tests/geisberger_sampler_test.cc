@@ -1,0 +1,63 @@
+#include "baselines/geisberger_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(GeisbergerSamplerTest, ConvergesOnBarbellBridge) {
+  const CsrGraph g = MakeBarbell(5, 1);
+  const VertexId bridge = 5;
+  const double exact = ExactBetweennessSingle(g, bridge);
+  GeisbergerSampler sampler(g, 3);
+  EXPECT_NEAR(sampler.Estimate(bridge, 15'000), exact, 0.02 * exact + 0.01);
+}
+
+TEST(GeisbergerSamplerTest, FullEnumerationIsNearExact) {
+  // Sampling every vertex once as source: the estimator's expectation is
+  // exact, and with all n sources the average equals the expectation.
+  const CsrGraph g = MakeGrid(4, 4);
+  const auto exact = ExactBetweenness(g);
+  GeisbergerSampler sampler(g, 5);
+  // Large budget ~ exhaustive uniform coverage.
+  for (VertexId v : {VertexId{5}, VertexId{6}, VertexId{9}}) {
+    EXPECT_NEAR(sampler.Estimate(v, 30'000), exact[v], 0.02);
+  }
+}
+
+TEST(GeisbergerSamplerTest, ZeroForLeaf) {
+  const CsrGraph g = MakeStar(9);
+  GeisbergerSampler sampler(g, 7);
+  EXPECT_DOUBLE_EQ(sampler.Estimate(4, 1'000), 0.0);
+}
+
+TEST(GeisbergerSamplerTest, DeterministicForSeed) {
+  const CsrGraph g = MakeBarabasiAlbert(50, 2, 9);
+  GeisbergerSampler a(g, 77);
+  GeisbergerSampler b(g, 77);
+  EXPECT_DOUBLE_EQ(a.Estimate(2, 300), b.Estimate(2, 300));
+}
+
+TEST(GeisbergerSamplerTest, PassAccounting) {
+  const CsrGraph g = MakeCycle(8);
+  GeisbergerSampler sampler(g, 11);
+  sampler.Estimate(1, 60);
+  EXPECT_EQ(sampler.num_passes(), 60u);
+}
+
+TEST(GeisbergerSamplerTest, UnbiasedAcrossRepetitions) {
+  const CsrGraph g = MakePath(9);
+  const VertexId center = 4;
+  const double exact = ExactBetweennessSingle(g, center);
+  GeisbergerSampler sampler(g, 13);
+  double acc = 0.0;
+  constexpr int kReps = 400;
+  for (int i = 0; i < kReps; ++i) acc += sampler.Estimate(center, 8);
+  EXPECT_NEAR(acc / kReps, exact, 0.05 * exact + 0.01);
+}
+
+}  // namespace
+}  // namespace mhbc

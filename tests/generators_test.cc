@@ -1,0 +1,229 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/graph_algos.h"
+
+namespace mhbc {
+namespace {
+
+TEST(GeneratorsTest, PathShape) {
+  const CsrGraph g = MakePath(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, SingleVertexPath) {
+  const CsrGraph g = MakePath(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  const CsrGraph g = MakeCycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.HasEdge(5, 0));
+}
+
+TEST(GeneratorsTest, StarShape) {
+  const CsrGraph g = MakeStar(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (VertexId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(GeneratorsTest, CompleteShape) {
+  const CsrGraph g = MakeComplete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(GeneratorsTest, CompleteBipartiteShape) {
+  const CsrGraph g = MakeCompleteBipartite(2, 3);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 3u);  // side A sees all of B
+  EXPECT_EQ(g.degree(4), 2u);  // side B sees all of A
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(GeneratorsTest, BalancedTreeCounts) {
+  // depth 2, branching 3: 1 + 3 + 9 = 13 vertices, 12 edges.
+  const CsrGraph g = MakeBalancedTree(3, 2);
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(GeneratorsTest, BalancedTreeDepthZero) {
+  const CsrGraph g = MakeBalancedTree(4, 0);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GeneratorsTest, BarbellStructure) {
+  const CsrGraph g = MakeBarbell(4, 2);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  // 2 * C(4,2) + bridge edges (3: 3-4, 4-5, 5-6).
+  EXPECT_EQ(g.num_edges(), 2 * 6u + 3u);
+  EXPECT_TRUE(IsConnected(g));
+  // Bridge vertices are separators.
+  EXPECT_TRUE(IsBalancedSeparator(g, 4, 0.3));
+}
+
+TEST(GeneratorsTest, BarbellZeroBridge) {
+  const CsrGraph g = MakeBarbell(3, 0);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 2 * 3u + 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, CavemanConnectivityAndSize) {
+  const CsrGraph g = MakeConnectedCaveman(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_TRUE(IsConnected(g));
+  // Each community: C(4,2) = 6 intra edges + 1 gateway = 35 total.
+  EXPECT_EQ(g.num_edges(), 5u * 7u);
+}
+
+TEST(GeneratorsTest, GridShape) {
+  const CsrGraph g = MakeGrid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Horizontal: 3 * 3, vertical: 2 * 4.
+  EXPECT_EQ(g.num_edges(), 9u + 8u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+TEST(GeneratorsTest, WheelShape) {
+  const CsrGraph g = MakeWheel(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);  // 5 spokes + 5 rim
+  EXPECT_EQ(g.degree(0), 5u);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(GeneratorsTest, LollipopShape) {
+  const CsrGraph g = MakeLollipop(4, 3);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 6u + 3u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.degree(6), 1u);  // tail end
+}
+
+TEST(GeneratorsTest, GnpDeterministicForSeed) {
+  const CsrGraph a = MakeErdosRenyiGnp(100, 0.05, 7);
+  const CsrGraph b = MakeErdosRenyiGnp(100, 0.05, 7);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const CsrGraph c = MakeErdosRenyiGnp(100, 0.05, 8);
+  // Different seed should (overwhelmingly) differ.
+  bool same = a.num_edges() == c.num_edges();
+  if (same) {
+    const auto ea = a.CollectEdges();
+    const auto ec = c.CollectEdges();
+    same = std::equal(ea.begin(), ea.end(), ec.begin(),
+                      [](const auto& x, const auto& y) {
+                        return x.u == y.u && x.v == y.v;
+                      });
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(GeneratorsTest, GnpEdgeCountNearExpectation) {
+  const VertexId n = 300;
+  const double p = 0.02;
+  const CsrGraph g = MakeErdosRenyiGnp(n, p, 123);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 5 * std::sqrt(expected));
+}
+
+TEST(GeneratorsTest, GnpExtremes) {
+  EXPECT_EQ(MakeErdosRenyiGnp(20, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(MakeErdosRenyiGnp(20, 1.0, 1).num_edges(), 190u);
+}
+
+TEST(GeneratorsTest, GnmExactEdgeCount) {
+  const CsrGraph g = MakeErdosRenyiGnm(50, 100, 5);
+  EXPECT_EQ(g.num_edges(), 100u);
+  EXPECT_EQ(g.num_vertices(), 50u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  const CsrGraph g = MakeBarabasiAlbert(200, 3, 11);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Seed clique C(4,2)=6 edges + 196 * 3.
+  EXPECT_EQ(g.num_edges(), 6u + 196u * 3u);
+  EXPECT_TRUE(IsConnected(g));
+  for (VertexId v = 0; v < 200; ++v) EXPECT_GE(g.degree(v), 3u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertHubEmerges) {
+  const CsrGraph g = MakeBarabasiAlbert(500, 2, 13);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // Scale-free: the largest hub far exceeds the mean degree (4).
+  EXPECT_GT(max_deg, 20u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzZeroBetaIsLattice) {
+  const CsrGraph g = MakeWattsStrogatz(20, 4, 0.0, 17);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(0, 18));
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewiredKeepsEdgeCount) {
+  const CsrGraph g = MakeWattsStrogatz(100, 6, 0.3, 19);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(GeneratorsTest, AssignUniformWeightsPreservesTopology) {
+  const CsrGraph g = MakeCycle(10);
+  const CsrGraph w = AssignUniformWeights(g, 0.5, 2.0, 23);
+  EXPECT_TRUE(w.weighted());
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  for (const auto& e : w.CollectEdges()) {
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LE(e.weight, 2.0);
+  }
+}
+
+/// Property sweep: every generator output is simple (builder enforces) and
+/// matches its closed-form vertex/edge counts.
+class GeneratorFamilyTest
+    : public ::testing::TestWithParam<std::tuple<VertexId, std::uint64_t>> {};
+
+TEST_P(GeneratorFamilyTest, ErdosRenyiGnmIsSimpleAndExact) {
+  const auto [n, seed] = GetParam();
+  const std::uint64_t m = static_cast<std::uint64_t>(n) * 2;
+  const CsrGraph g = MakeErdosRenyiGnm(n, m, seed);
+  EXPECT_EQ(g.num_edges(), m);
+  for (const auto& e : g.CollectEdges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.v, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorFamilyTest,
+    ::testing::Combine(::testing::Values<VertexId>(10, 50, 200),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace mhbc

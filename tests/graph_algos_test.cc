@@ -1,0 +1,129 @@
+#include "graph/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+namespace {
+
+CsrGraph TwoComponents() {
+  // Path 0-1-2 and edge 3-4.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  return std::move(b.Build()).value();
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  const ComponentInfo info = ConnectedComponents(MakeCycle(8));
+  EXPECT_EQ(info.num_components, 1u);
+  ASSERT_EQ(info.sizes.size(), 1u);
+  EXPECT_EQ(info.sizes[0], 8u);
+}
+
+TEST(ComponentsTest, TwoComponents) {
+  const ComponentInfo info = ConnectedComponents(TwoComponents());
+  EXPECT_EQ(info.num_components, 2u);
+  std::vector<VertexId> sizes = info.sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(info.label[0], info.label[2]);
+  EXPECT_NE(info.label[0], info.label[3]);
+}
+
+TEST(ComponentsTest, IsolatedVerticesAreComponents) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  const CsrGraph g = std::move(b.Build()).value();
+  EXPECT_EQ(ConnectedComponents(g).num_components, 3u);
+}
+
+TEST(IsConnectedTest, Basics) {
+  EXPECT_TRUE(IsConnected(MakePath(10)));
+  EXPECT_FALSE(IsConnected(TwoComponents()));
+  EXPECT_FALSE(IsConnected(CsrGraph()));
+}
+
+TEST(LargestComponentTest, ExtractsBiggest) {
+  const CsrGraph lcc = ExtractLargestComponent(TwoComponents());
+  EXPECT_EQ(lcc.num_vertices(), 3u);
+  EXPECT_EQ(lcc.num_edges(), 2u);
+  EXPECT_TRUE(IsConnected(lcc));
+}
+
+TEST(LargestComponentTest, ConnectedGraphUnchangedInShape) {
+  const CsrGraph g = MakeBarabasiAlbert(40, 2, 3);
+  const CsrGraph lcc = ExtractLargestComponent(g);
+  EXPECT_EQ(lcc.num_vertices(), g.num_vertices());
+  EXPECT_EQ(lcc.num_edges(), g.num_edges());
+}
+
+TEST(RemovedComponentsTest, PathMiddleSplits) {
+  const CsrGraph g = MakePath(5);
+  std::vector<VertexId> sizes = RemovedVertexComponentSizes(g, 2);
+  std::sort(sizes.begin(), sizes.end());
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST(RemovedComponentsTest, PathEndpointKeepsOneComponent) {
+  const CsrGraph g = MakePath(5);
+  const std::vector<VertexId> sizes = RemovedVertexComponentSizes(g, 0);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 4u);
+}
+
+TEST(RemovedComponentsTest, StarCenterShatters) {
+  const CsrGraph g = MakeStar(6);
+  const std::vector<VertexId> sizes = RemovedVertexComponentSizes(g, 0);
+  EXPECT_EQ(sizes.size(), 5u);
+  for (VertexId s : sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(BalancedSeparatorTest, PathCenterIsBalanced) {
+  EXPECT_TRUE(IsBalancedSeparator(MakePath(9), 4, 0.4));
+}
+
+TEST(BalancedSeparatorTest, PathEndpointIsNot) {
+  EXPECT_FALSE(IsBalancedSeparator(MakePath(9), 0, 0.1));
+}
+
+TEST(BalancedSeparatorTest, CliqueVertexIsNot) {
+  EXPECT_FALSE(IsBalancedSeparator(MakeComplete(6), 2, 0.1));
+}
+
+TEST(BalancedSeparatorTest, BarbellBridge) {
+  const CsrGraph g = MakeBarbell(5, 1);
+  EXPECT_TRUE(IsBalancedSeparator(g, 5, 0.4));  // the bridge vertex
+  EXPECT_FALSE(IsBalancedSeparator(g, 0, 0.4));  // inside a clique
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdges) {
+  const CsrGraph g = MakeComplete(5);
+  const CsrGraph sub = InducedSubgraph(g, {0, 2, 4});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // triangle among kept vertices
+}
+
+TEST(InducedSubgraphTest, PreservesWeights) {
+  const CsrGraph g = AssignUniformWeights(MakePath(4), 1.0, 2.0, 7);
+  const CsrGraph sub = InducedSubgraph(g, {1, 2});
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(sub.EdgeWeight(0, 1), g.EdgeWeight(1, 2));
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  const CsrGraph sub = InducedSubgraph(MakePath(4), {});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace mhbc

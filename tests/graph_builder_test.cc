@@ -1,0 +1,106 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace mhbc {
+namespace {
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 3);
+  const auto result = b.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopByDefault) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 1);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(GraphBuilderTest, IgnoresSelfLoopWhenConfigured) {
+  GraphBuilder b(3);
+  b.set_ignore_self_loops(true);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 1);
+  const auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateByDefault) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // same undirected edge
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(GraphBuilderTest, MergesDuplicatesKeepingMinWeight) {
+  GraphBuilder b(3);
+  b.set_merge_duplicates(true);
+  b.AddWeightedEdge(0, 1, 5.0);
+  b.AddWeightedEdge(1, 0, 2.0);
+  const auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(result.value().EdgeWeight(0, 1), 2.0);
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeight) {
+  GraphBuilder zero(2);
+  zero.AddWeightedEdge(0, 1, 0.0);
+  EXPECT_FALSE(zero.Build().ok());
+  GraphBuilder negative(2);
+  negative.AddWeightedEdge(0, 1, -1.0);
+  EXPECT_FALSE(negative.Build().ok());
+}
+
+TEST(GraphBuilderTest, FirstErrorWins) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 5);   // out of range
+  b.AddEdge(1, 1);   // self loop (later)
+  const auto result = b.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(GraphBuilderTest, EmptyGraphBuilds) {
+  GraphBuilder b(5);
+  const auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_vertices(), 5u);
+  EXPECT_EQ(result.value().num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, MixedWeightedUnweightedBecomesWeighted) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);                // weight 1
+  b.AddWeightedEdge(1, 2, 3.0);
+  const auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().weighted());
+  EXPECT_DOUBLE_EQ(result.value().EdgeWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(result.value().EdgeWeight(1, 2), 3.0);
+}
+
+TEST(GraphBuilderTest, PendingEdgeCount) {
+  GraphBuilder b(4);
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  EXPECT_EQ(b.num_pending_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, LargeStarDegrees) {
+  constexpr VertexId kN = 1000;
+  GraphBuilder b(kN);
+  for (VertexId v = 1; v < kN; ++v) b.AddEdge(0, v);
+  const auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().degree(0), kN - 1);
+  EXPECT_EQ(result.value().degree(kN - 1), 1u);
+}
+
+}  // namespace
+}  // namespace mhbc

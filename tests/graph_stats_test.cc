@@ -1,0 +1,135 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+
+namespace mhbc {
+namespace {
+
+TEST(DiameterTest, PathDiameter) {
+  EXPECT_EQ(ExactDiameter(MakePath(10)), 9u);
+}
+
+TEST(DiameterTest, CycleDiameter) {
+  EXPECT_EQ(ExactDiameter(MakeCycle(10)), 5u);
+  EXPECT_EQ(ExactDiameter(MakeCycle(11)), 5u);
+}
+
+TEST(DiameterTest, StarAndComplete) {
+  EXPECT_EQ(ExactDiameter(MakeStar(20)), 2u);
+  EXPECT_EQ(ExactDiameter(MakeComplete(7)), 1u);
+}
+
+TEST(DiameterTest, GridDiameter) {
+  EXPECT_EQ(ExactDiameter(MakeGrid(4, 6)), 3u + 5u);
+}
+
+TEST(DiameterTest, LowerBoundNeverExceedsExact) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const CsrGraph g = MakeErdosRenyiGnp(120, 0.05, seed);
+    if (!IsConnected(g)) continue;
+    const std::uint32_t exact = ExactDiameter(g);
+    const std::uint32_t lower = DiameterLowerBound(g, 4, seed);
+    EXPECT_LE(lower, exact);
+    // Double sweep is usually tight on small random graphs.
+    EXPECT_GE(lower + 2, exact);
+  }
+}
+
+TEST(DiameterTest, DoubleSweepExactOnPath) {
+  // Double sweep from any start finds a path's true diameter.
+  EXPECT_EQ(DiameterLowerBound(MakePath(50), 1, 99), 49u);
+}
+
+TEST(VertexDiameterTest, PathVertexDiameter) {
+  EXPECT_EQ(ApproxVertexDiameter(MakePath(30), 2, 1), 30u);
+}
+
+TEST(GraphStatsTest, PathStats) {
+  const GraphStats s = ComputeGraphStats(MakePath(100));
+  EXPECT_EQ(s.num_vertices, 100u);
+  EXPECT_EQ(s.num_edges, 99u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_TRUE(s.connected);
+  EXPECT_TRUE(s.exact_diameter);
+  EXPECT_EQ(s.diameter, 99u);
+  EXPECT_NEAR(s.avg_degree, 2.0 * 99 / 100, 1e-12);
+  EXPECT_NEAR(s.density, 2.0 * 99 / (100.0 * 99.0), 1e-12);
+  EXPECT_FALSE(s.weighted);
+}
+
+TEST(GraphStatsTest, LargeGraphUsesLowerBound) {
+  const CsrGraph g = MakeBarabasiAlbert(3000, 2, 5);
+  const GraphStats s = ComputeGraphStats(g, /*exact_diameter_limit=*/1000);
+  EXPECT_FALSE(s.exact_diameter);
+  EXPECT_GT(s.diameter, 0u);
+}
+
+TEST(GraphStatsTest, DisconnectedGraphMarked) {
+  const CsrGraph g = MakeErdosRenyiGnp(60, 0.01, 40);
+  const GraphStats s = ComputeGraphStats(g);
+  // With p this small the graph is essentially surely disconnected.
+  EXPECT_FALSE(s.connected);
+}
+
+TEST(GraphStatsTest, WeightedFlag) {
+  const CsrGraph g = AssignUniformWeights(MakeCycle(8), 1.0, 2.0, 3);
+  EXPECT_TRUE(ComputeGraphStats(g).weighted);
+}
+
+TEST(TrianglesTest, CompleteGraphCount) {
+  // K_5 has C(5,3) = 10 triangles.
+  EXPECT_EQ(CountTriangles(MakeComplete(5)), 10u);
+}
+
+TEST(TrianglesTest, TriangleFreeGraphs) {
+  EXPECT_EQ(CountTriangles(MakeCycle(8)), 0u);
+  EXPECT_EQ(CountTriangles(MakeStar(10)), 0u);
+  EXPECT_EQ(CountTriangles(MakeGrid(4, 4)), 0u);
+  EXPECT_EQ(CountTriangles(MakeCompleteBipartite(3, 4)), 0u);
+}
+
+TEST(TrianglesTest, PerVertexCounts) {
+  // Wheel W5: center 0 in 4 triangles; each rim vertex in 2.
+  std::vector<std::uint64_t> per_vertex;
+  const std::uint64_t total = CountTriangles(MakeWheel(5), &per_vertex);
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(per_vertex[0], 4u);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(per_vertex[v], 2u);
+}
+
+TEST(TrianglesTest, BarbellCount) {
+  // Two K_5 cliques: 2 * C(5,3) = 20 triangles; bridge adds none.
+  EXPECT_EQ(CountTriangles(MakeBarbell(5, 1)), 20u);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakeComplete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(MakeComplete(6)), 1.0);
+}
+
+TEST(ClusteringTest, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakeCycle(10)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(MakeGrid(3, 5)), 0.0);
+}
+
+TEST(ClusteringTest, WheelKnownValues) {
+  // W5: wedges = C(4,2) + 4*C(3,2) = 6 + 12 = 18; 3*4/18 = 2/3.
+  EXPECT_NEAR(GlobalClusteringCoefficient(MakeWheel(5)), 2.0 / 3.0, 1e-12);
+  // Local: center 4/6, rim 2/3 each -> (4/6 + 4*(2/3)) / 5.
+  EXPECT_NEAR(AverageLocalClustering(MakeWheel(5)),
+              (4.0 / 6.0 + 4.0 * 2.0 / 3.0) / 5.0, 1e-12);
+}
+
+TEST(ClusteringTest, StatsIncludeClusteringFields) {
+  const GraphStats s = ComputeGraphStats(MakeWheel(7));
+  EXPECT_EQ(s.triangles, 6u);
+  EXPECT_GT(s.global_clustering, 0.0);
+  EXPECT_GT(s.avg_local_clustering, 0.0);
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,175 @@
+#include "core/joint_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(JointSpaceTest, RatioMatchesExactOnBarbell) {
+  // Theorem 3: the Eq. 22 ratio estimator is exactly consistent for
+  // BC(ri)/BC(rj) — the headline property of the joint-space sampler.
+  const CsrGraph g = MakeBarbell(5, 3);
+  const std::vector<VertexId> targets{5, 6, 7};  // bridge vertices
+  const auto exact = ExactBetweenness(g);
+  JointOptions options;
+  options.seed = 11;
+  JointSpaceSampler sampler(g, targets, options);
+  const JointResult result = sampler.Run(30'000);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      const double truth = exact[targets[i]] / exact[targets[j]];
+      EXPECT_NEAR(result.ratio[i][j], truth, 0.05 * truth)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(JointSpaceTest, RatioConsistentOnHeterogeneousTargets) {
+  // Unlike the single-space estimate, the ratio stays consistent even when
+  // dependency profiles are skewed (path graph positions).
+  const CsrGraph g = MakePath(10);
+  const std::vector<VertexId> targets{2, 5};
+  const auto exact = ExactBetweenness(g);
+  JointOptions options;
+  options.seed = 13;
+  JointSpaceSampler sampler(g, targets, options);
+  const JointResult result = sampler.Run(60'000);
+  const double truth = exact[2] / exact[5];
+  EXPECT_NEAR(result.ratio[0][1], truth, 0.05 * truth);
+}
+
+TEST(JointSpaceTest, RelativeScoreConvergesToChainLimit) {
+  // The per-direction average converges to E_{P_rj}[clipped ratio]
+  // (theory.h ChainLimitRelative), the quantity whose ratio Theorem 3 uses.
+  const CsrGraph g = MakePath(10);
+  const std::vector<VertexId> targets{2, 5};
+  const auto profile_2 = DependencyProfile(g, 2);
+  const auto profile_5 = DependencyProfile(g, 5);
+  JointOptions options;
+  options.seed = 17;
+  JointSpaceSampler sampler(g, targets, options);
+  const JointResult result = sampler.Run(80'000);
+  EXPECT_NEAR(result.relative[1][0], ChainLimitRelative(profile_2, profile_5),
+              0.02);
+  EXPECT_NEAR(result.relative[0][1], ChainLimitRelative(profile_5, profile_2),
+              0.02);
+}
+
+TEST(JointSpaceTest, TheoremThreeIdentityExact) {
+  // Algebraic check of Eq. 21 summed over v (the detailed-balance step of
+  // Theorem 3's proof): BC(ri) * E_{P_ri}[min{1, dj/di}] ==
+  // BC(rj) * E_{P_rj}[min{1, di/dj}] — compute both sides exactly.
+  const CsrGraph g = MakeBarabasiAlbert(30, 2, 19);
+  const auto exact = ExactBetweenness(g, Normalization::kNone);
+  for (VertexId ri = 0; ri < 4; ++ri) {
+    for (VertexId rj = ri + 1; rj < 4; ++rj) {
+      if (exact[ri] == 0.0 || exact[rj] == 0.0) continue;
+      const auto pi = DependencyProfile(g, ri);
+      const auto pj = DependencyProfile(g, rj);
+      const double lhs = exact[ri] * ChainLimitRelative(pj, pi);
+      const double rhs = exact[rj] * ChainLimitRelative(pi, pj);
+      EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(lhs, rhs));
+    }
+  }
+}
+
+TEST(JointSpaceTest, DiagonalIsOne) {
+  // All three targets have positive betweenness (bridge + both gateways),
+  // so the chain visits each and the diagonal averages are exactly 1.
+  const CsrGraph g = MakeBarbell(4, 1);
+  JointOptions options;
+  options.seed = 23;
+  JointSpaceSampler sampler(g, {4, 3, 5}, options);
+  const JointResult result = sampler.Run(2'000);
+  EXPECT_FALSE(result.undersampled);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(result.relative[i][i], 1.0);
+    EXPECT_DOUBLE_EQ(result.ratio[i][i], 1.0);
+  }
+}
+
+TEST(JointSpaceTest, ZeroBetweennessTargetNeverVisited) {
+  // A clique-interior vertex of the barbell has zero betweenness: the
+  // stationary distribution (Eq. 18) gives its half of the joint space no
+  // mass, so (almost) no samples land there and the result is flagged.
+  const CsrGraph g = MakeBarbell(4, 1);
+  JointOptions options;
+  options.seed = 25;
+  JointSpaceSampler sampler(g, {4, 0}, options);
+  const JointResult result = sampler.Run(4'000);
+  // Target 0 can hold at most the initial state before the chain escapes.
+  EXPECT_LE(result.samples_per_target[1], 5u);
+}
+
+TEST(JointSpaceTest, SamplesPartitionAcrossTargets) {
+  const CsrGraph g = MakeBarbell(4, 1);
+  JointOptions options;
+  options.seed = 29;
+  JointSpaceSampler sampler(g, {4, 3, 5}, options);
+  const std::uint64_t kIterations = 5'000;
+  const JointResult result = sampler.Run(kIterations);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : result.samples_per_target) total += c;
+  EXPECT_EQ(total, kIterations + 1);  // every chain state lands in one M(k)
+  EXPECT_FALSE(result.undersampled);
+}
+
+TEST(JointSpaceTest, CopelandScoresRankByBetweenness) {
+  // Bridge vertex dominates the two gateway vertices in the barbell
+  // (raw BC: bridge 50, gateways 48 each).
+  const CsrGraph g = MakeBarbell(5, 1);
+  JointOptions options;
+  options.seed = 31;
+  JointSpaceSampler sampler(g, {4, 5, 6}, options);
+  const JointResult result = sampler.Run(20'000);
+  // targets[1] == 5 is the bridge: must beat both gateways.
+  EXPECT_DOUBLE_EQ(result.copeland_scores[1], 2.0);
+}
+
+TEST(JointSpaceTest, TraceRecordsJointStates) {
+  const CsrGraph g = MakeCycle(8);
+  JointOptions options;
+  options.seed = 37;
+  options.record_trace = true;
+  JointSpaceSampler sampler(g, {0, 4}, options);
+  const JointResult result = sampler.Run(100);
+  EXPECT_EQ(result.trace.size(), 101u);
+  for (const auto& [target_idx, v] : result.trace) {
+    EXPECT_LT(target_idx, 2u);
+    EXPECT_LT(v, 8u);
+  }
+}
+
+TEST(JointSpaceTest, DeterministicForSeed) {
+  const CsrGraph g = MakeBarabasiAlbert(40, 2, 41);
+  JointOptions options;
+  options.seed = 43;
+  JointSpaceSampler a(g, {0, 1, 2}, options);
+  JointSpaceSampler b(g, {0, 1, 2}, options);
+  const JointResult ra = a.Run(500);
+  const JointResult rb = b.Run(500);
+  EXPECT_EQ(ra.samples_per_target, rb.samples_per_target);
+  EXPECT_DOUBLE_EQ(ra.ratio[0][1], rb.ratio[0][1]);
+}
+
+TEST(JointSpaceTest, BurnInShrinksRecordedSamples) {
+  const CsrGraph g = MakeCycle(10);
+  JointOptions options;
+  options.seed = 47;
+  options.burn_in = 200;
+  JointSpaceSampler sampler(g, {0, 5}, options);
+  const JointResult result = sampler.Run(300);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : result.samples_per_target) total += c;
+  EXPECT_EQ(total, 300u);
+  EXPECT_EQ(result.diagnostics.iterations, 500u);
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,182 @@
+#include "core/mh_betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.h"
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(MhBetweennessTest, BarbellBridgeAccurateWithinMuFactor) {
+  // Theorem 2 regime: the bridge of a barbell is a balanced separator with
+  // mu ~ 1. The Eq. 7 chain average converges to E_pi[f]
+  // (ChainLimitEstimate), whose gap above the exact score is bounded by the
+  // factor mu(r) — small here, so the estimate is close to exact.
+  const CsrGraph g = MakeBarbell(6, 1);
+  const VertexId bridge = 6;
+  const double exact = ExactBetweennessSingle(g, bridge);
+  const auto profile = DependencyProfile(g, bridge);
+  const double mu = MuFromProfile(profile);
+  const double limit = ChainLimitEstimate(profile);
+  ASSERT_LE(mu, 1.1);  // separator: near-uniform dependencies
+  MhOptions options;
+  options.seed = 7;
+  MhBetweennessSampler sampler(g, options);
+  const double estimate = sampler.Estimate(bridge, 4'000);
+  // Converges to the chain limit...
+  EXPECT_NEAR(estimate, limit, 0.03 * limit);
+  // ...which sits within the mu factor of the exact score.
+  EXPECT_LE(estimate, exact * mu * 1.03);
+  EXPECT_GE(estimate, exact * 0.97);
+}
+
+TEST(MhBetweennessTest, StarCenterAccurateWithinMuFactor) {
+  // Star center: every leaf has identical dependency; mu = n/(n-1). The
+  // asymptotic bias factor n sum d^2/(sum d)^2 equals mu exactly here.
+  const CsrGraph g = MakeStar(20);
+  const double exact = ExactBetweennessSingle(g, 0);
+  const auto profile = DependencyProfile(g, 0);
+  const double limit = ChainLimitEstimate(profile);
+  EXPECT_NEAR(limit, exact * 20.0 / 19.0, 1e-12);
+  MhOptions options;
+  options.seed = 9;
+  MhBetweennessSampler sampler(g, options);
+  EXPECT_NEAR(sampler.Estimate(0, 3'000), limit, 0.03 * limit);
+}
+
+TEST(MhBetweennessTest, ConvergesToChainLimitNotUniformMean) {
+  // On a skewed-dependency target the Eq. 7 average converges to
+  // E_pi[f] (theory.h ChainLimitEstimate), which differs from BC(r): the
+  // reproduction pins the estimator's actual asymptotics.
+  const CsrGraph g = MakePath(8);
+  const VertexId r = 2;  // asymmetric position: heterogeneous deltas
+  const auto profile = DependencyProfile(g, r);
+  const double limit = ChainLimitEstimate(profile);
+  const double exact = ExactBetweennessSingle(g, r);
+  MhOptions options;
+  options.seed = 11;
+  MhBetweennessSampler sampler(g, options);
+  const double estimate = sampler.Estimate(r, 60'000);
+  EXPECT_NEAR(estimate, limit, 0.02 * limit);
+  // And the limit is measurably above the true score on this topology.
+  EXPECT_GT(limit, exact * 1.05);
+}
+
+TEST(MhBetweennessTest, ProposalEstimateIsUnbiasedCompanion) {
+  const CsrGraph g = MakePath(8);
+  const VertexId r = 2;
+  const double exact = ExactBetweennessSingle(g, r);
+  MhOptions options;
+  options.seed = 13;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(r, 40'000);
+  EXPECT_NEAR(result.proposal_estimate, exact, 0.05 * exact);
+}
+
+TEST(MhBetweennessTest, DiagnosticsConsistency) {
+  const CsrGraph g = MakeBarbell(4, 1);
+  MhOptions options;
+  options.seed = 17;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(4, 500);
+  EXPECT_EQ(result.diagnostics.iterations, 500u);
+  EXPECT_EQ(result.diagnostics.accepted + result.diagnostics.rejected, 500u);
+  EXPECT_EQ(result.diagnostics.sp_passes, 501u);  // initial + per-iteration
+  EXPECT_GE(result.diagnostics.distinct_states, 1u);
+  EXPECT_GT(result.diagnostics.acceptance_rate(), 0.0);
+}
+
+TEST(MhBetweennessTest, TraceRecordedWhenRequested) {
+  const CsrGraph g = MakeCycle(10);
+  MhOptions options;
+  options.seed = 19;
+  options.record_trace = true;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(0, 200);
+  EXPECT_EQ(result.trace.size(), 201u);  // initial state + T
+  EXPECT_EQ(result.f_series.size(), 201u);
+  // f values must match delta/(n-1) in [0, 1] range for the cycle.
+  for (double f : result.f_series) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(MhBetweennessTest, DeterministicForSeed) {
+  const CsrGraph g = MakeBarabasiAlbert(40, 2, 23);
+  MhOptions options;
+  options.seed = 1234;
+  MhBetweennessSampler a(g, options);
+  MhBetweennessSampler b(g, options);
+  EXPECT_DOUBLE_EQ(a.Estimate(3, 400), b.Estimate(3, 400));
+}
+
+TEST(MhBetweennessTest, FixedInitialStateRespected) {
+  const CsrGraph g = MakeCycle(12);
+  MhOptions options;
+  options.seed = 29;
+  options.initial_state = 5;
+  options.record_trace = true;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(0, 50);
+  EXPECT_EQ(result.trace.front(), 5u);
+}
+
+TEST(MhBetweennessTest, BurnInDiscardsPrefix) {
+  const CsrGraph g = MakeCycle(12);
+  MhOptions options;
+  options.seed = 31;
+  options.burn_in = 100;
+  options.record_trace = true;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(0, 300);
+  // Only post-burn-in states are recorded: exactly `iterations` of them.
+  EXPECT_EQ(result.trace.size(), 300u);
+  EXPECT_EQ(result.diagnostics.iterations, 400u);
+}
+
+TEST(MhBetweennessTest, ZeroDependencyInitialStateRecovers) {
+  // Start the chain at a leaf of a star with target = center: the leaf has
+  // delta > 0 on center... use target = leaf instead: nearly all states
+  // have zero dependency on a leaf; chain must not crash and must estimate
+  // ~0 for the leaf.
+  const CsrGraph g = MakeStar(10);
+  MhOptions options;
+  options.seed = 37;
+  options.initial_state = 3;
+  MhBetweennessSampler sampler(g, options);
+  const double estimate = sampler.Estimate(/*r=*/4, 500);
+  EXPECT_DOUBLE_EQ(estimate, 0.0);
+}
+
+TEST(MhBetweennessTest, WeightedGraphSupported) {
+  // Unit weights route identically to the unweighted graph, so the chain
+  // limit (and hence the estimate) matches the unweighted one.
+  const CsrGraph wg = AssignUniformWeights(MakeBarbell(5, 1), 1.0, 1.0, 41);
+  const CsrGraph g = MakeBarbell(5, 1);
+  const double limit = ChainLimitEstimate(DependencyProfile(g, 5));
+  MhOptions options;
+  options.seed = 43;
+  MhBetweennessSampler sampler(wg, options);
+  EXPECT_NEAR(sampler.Estimate(5, 3'000), limit, 0.03 * limit);
+}
+
+TEST(MhBetweennessTest, DegreeProportionalProposalStillConverges) {
+  // E12 ablation path: the Hastings correction keeps the stationary
+  // distribution intact, so the chain converges to the same limit as the
+  // uniform-proposal chain.
+  const CsrGraph g = MakeBarbell(5, 1);
+  const double limit = ChainLimitEstimate(DependencyProfile(g, 5));
+  MhOptions options;
+  options.seed = 47;
+  options.proposal = ProposalKind::kDegreeProportional;
+  MhBetweennessSampler sampler(g, options);
+  EXPECT_NEAR(sampler.Estimate(5, 6'000), limit, 0.05 * limit);
+}
+
+}  // namespace
+}  // namespace mhbc

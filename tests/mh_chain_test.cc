@@ -1,0 +1,103 @@
+#include "core/mh_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mhbc {
+namespace {
+
+TEST(AcceptanceTest, GenericRatio) {
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(4.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(2.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(3.0, 3.0), 1.0);
+}
+
+TEST(AcceptanceTest, ZeroConventions) {
+  // From a null state: always move (also covers 0 -> 0).
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(0.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(0.0, 0.0), 1.0);
+  // Into a null state from the support: never.
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(5.0, 0.0), 0.0);
+}
+
+TEST(AcceptanceTest, HastingsCorrection) {
+  // q_cur = 2, q_prop = 1: ratio doubled.
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(4.0, 2.0, 2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(4.0, 2.0, 1.0, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(MhAcceptanceProbability(0.0, 1.0, 1.0, 5.0), 1.0);
+}
+
+TEST(ClippedRatioTest, Conventions) {
+  EXPECT_DOUBLE_EQ(ClippedRatio(2.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(ClippedRatio(4.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ClippedRatio(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(ClippedRatio(2.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ClippedRatio(0.0, 0.0), 1.0);  // the pinned edge case
+  EXPECT_DOUBLE_EQ(ClippedRatio(3.0, 3.0), 1.0);
+}
+
+TEST(ProposalTest, UniformCoversAllVertices) {
+  const CsrGraph g = MakePath(10);
+  Rng rng(1);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5'000; ++i) {
+    ++seen[DrawProposal(g, ProposalKind::kUniform, &rng)];
+  }
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(ProposalTest, DegreeProportionalMatchesDegrees) {
+  const CsrGraph g = MakeStar(5);  // center degree 4, leaves degree 1
+  Rng rng(2);
+  std::vector<int> seen(5, 0);
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++seen[DrawProposal(g, ProposalKind::kDegreeProportional, &rng)];
+  }
+  // Center has mass 4/8 = 0.5, each leaf 1/8.
+  EXPECT_NEAR(seen[0] / static_cast<double>(kDraws), 0.5, 0.01);
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_NEAR(seen[v] / static_cast<double>(kDraws), 0.125, 0.01);
+  }
+}
+
+TEST(ProposalTest, DegreeProportionalSkipsIsolatedVertices) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);  // vertices 2, 3 isolated
+  const CsrGraph g = std::move(b.Build()).value();
+  Rng rng(3);
+  for (int i = 0; i < 1'000; ++i) {
+    const VertexId v = DrawProposal(g, ProposalKind::kDegreeProportional, &rng);
+    EXPECT_LT(v, 2u);
+  }
+}
+
+TEST(ProposalTest, DegreeProportionalWithZeroDegreePrefix) {
+  // Vertex 0 isolated: the offset binary search must not return it.
+  GraphBuilder b(4);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  const CsrGraph g = std::move(b.Build()).value();
+  Rng rng(4);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 8'000; ++i) {
+    ++seen[DrawProposal(g, ProposalKind::kDegreeProportional, &rng)];
+  }
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_NEAR(seen[2] / 8000.0, 0.5, 0.03);
+}
+
+TEST(ProposalMassTest, Values) {
+  const CsrGraph g = MakeStar(5);
+  EXPECT_DOUBLE_EQ(ProposalMass(g, ProposalKind::kUniform, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ProposalMass(g, ProposalKind::kUniform, 3), 1.0);
+  EXPECT_DOUBLE_EQ(ProposalMass(g, ProposalKind::kDegreeProportional, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ProposalMass(g, ProposalKind::kDegreeProportional, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace mhbc

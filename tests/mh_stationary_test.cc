@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "baselines/optimal_sampler.h"
+#include "core/diagnostics.h"
+#include "core/mh_betweenness.h"
+#include "graph/generators.h"
+#include "util/stats.h"
+
+namespace mhbc {
+namespace {
+
+/// The central theoretical property of the paper's sampler (§4.2): the
+/// chain's stationary distribution is the optimal sampling distribution of
+/// [13], Eq. 5. We run a long chain and compare the visit histogram against
+/// OptimalSampler::probabilities in total variation.
+TEST(MhStationaryTest, VisitHistogramConvergesToEq5OnBarbell) {
+  const CsrGraph g = MakeBarbell(4, 2);
+  const VertexId r = 4;  // first bridge vertex
+  MhOptions options;
+  options.seed = 101;
+  options.record_trace = true;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(r, 60'000);
+
+  OptimalSampler reference(g, 1);
+  const std::vector<double>& target = reference.probabilities(r);
+  const auto counts = VisitCounts(result.trace, g.num_vertices());
+  EXPECT_LT(TotalVariationDistance(counts, target), 0.02);
+}
+
+TEST(MhStationaryTest, VisitHistogramConvergesOnScaleFree) {
+  const CsrGraph g = MakeBarabasiAlbert(30, 2, 55);
+  const VertexId r = 0;  // early vertex: a hub with positive betweenness
+  MhOptions options;
+  options.seed = 103;
+  options.record_trace = true;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(r, 80'000);
+
+  OptimalSampler reference(g, 2);
+  const std::vector<double>& target = reference.probabilities(r);
+  const auto counts = VisitCounts(result.trace, g.num_vertices());
+  EXPECT_LT(TotalVariationDistance(counts, target), 0.03);
+}
+
+TEST(MhStationaryTest, DetailedBalanceOnEnumeratedChain) {
+  // For the independence MH chain the transition kernel is
+  // P(x -> y) = q(y) min{1, delta(y)/delta(x)} for y != x. Detailed
+  // balance pi(x) P(x->y) == pi(y) P(y->x) must hold exactly with
+  // pi = Eq. 5. Verify algebraically over all state pairs of a small graph.
+  const CsrGraph g = MakeBarbell(3, 1);
+  const VertexId r = 3;
+  OptimalSampler reference(g, 3);
+  const std::vector<double>& pi = reference.probabilities(r);
+  const double q = 1.0 / static_cast<double>(g.num_vertices());
+  for (VertexId x = 0; x < g.num_vertices(); ++x) {
+    for (VertexId y = 0; y < g.num_vertices(); ++y) {
+      if (x == y) continue;
+      if (pi[x] == 0.0 || pi[y] == 0.0) continue;  // off-support states
+      const double forward =
+          pi[x] * q * std::min(1.0, pi[y] / pi[x]);
+      const double backward =
+          pi[y] * q * std::min(1.0, pi[x] / pi[y]);
+      EXPECT_NEAR(forward, backward, 1e-15);
+    }
+  }
+}
+
+TEST(MhStationaryTest, InitialStateDoesNotChangeLongRunHistogram) {
+  // Theorem 1 claims independence from the initial state (no burn-in).
+  const CsrGraph g = MakeBarbell(4, 1);
+  const VertexId r = 4;
+  OptimalSampler reference(g, 4);
+  const std::vector<double>& target = reference.probabilities(r);
+  for (VertexId start : {VertexId{0}, VertexId{4}, VertexId{8}}) {
+    MhOptions options;
+    options.seed = 107;
+    options.initial_state = start;
+    options.record_trace = true;
+    MhBetweennessSampler sampler(g, options);
+    const MhResult result = sampler.Run(r, 40'000);
+    const auto counts = VisitCounts(result.trace, g.num_vertices());
+    EXPECT_LT(TotalVariationDistance(counts, target), 0.03)
+        << "start " << start;
+  }
+}
+
+TEST(MhStationaryTest, AcceptanceRateHighWhenMuSmall) {
+  // Near-uniform dependencies (star center): almost every proposal is
+  // accepted; rejected moves only happen from support into null states.
+  const CsrGraph g = MakeStar(30);
+  MhOptions options;
+  options.seed = 109;
+  MhBetweennessSampler sampler(g, options);
+  const MhResult result = sampler.Run(0, 5'000);
+  // Only moves to the center (1/30 of proposals) are rejected.
+  EXPECT_GT(result.diagnostics.acceptance_rate(), 0.9);
+}
+
+}  // namespace
+}  // namespace mhbc

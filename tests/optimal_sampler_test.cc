@@ -1,0 +1,54 @@
+#include "baselines/optimal_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(OptimalSamplerTest, ZeroVarianceSingleSample) {
+  // The optimal sampler of [13] has error 0 with a single sample.
+  const CsrGraph g = MakeBarabasiAlbert(40, 2, 3);
+  OptimalSampler sampler(g, 7);
+  for (VertexId r = 0; r < 10; ++r) {
+    const double exact = ExactBetweennessSingle(g, r);
+    if (exact == 0.0) continue;  // zero-score targets have no distribution
+    EXPECT_NEAR(sampler.Estimate(r, 1), exact, 1e-9) << "target " << r;
+  }
+}
+
+TEST(OptimalSamplerTest, ProbabilitiesMatchEq5) {
+  const CsrGraph g = MakePath(5);
+  OptimalSampler sampler(g, 11);
+  const auto& p = sampler.probabilities(2);
+  // delta profile on center of P5: sources 0,1,3,4 have deltas 2,... from
+  // each endpoint: delta = 2 (two targets beyond center), from inner: 1?
+  // Source 0: targets {3,4} through 2 -> 2. Source 1: targets {3,4} -> 2.
+  // Symmetric: sum = 8.
+  EXPECT_DOUBLE_EQ(p[0], 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_DOUBLE_EQ(p[3], 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(p[4], 2.0 / 8.0);
+}
+
+TEST(OptimalSamplerTest, ProbabilitiesSumToOne) {
+  const CsrGraph g = MakeBarbell(4, 2);
+  OptimalSampler sampler(g, 13);
+  const auto& p = sampler.probabilities(4);
+  double total = 0.0;
+  for (double x : p) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(OptimalSamplerTest, MultipleSamplesStillExact) {
+  const CsrGraph g = MakeWheel(10);
+  OptimalSampler sampler(g, 17);
+  const double exact = ExactBetweennessSingle(g, 0);
+  EXPECT_NEAR(sampler.Estimate(0, 50), exact, 1e-9);
+}
+
+}  // namespace
+}  // namespace mhbc

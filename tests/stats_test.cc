@@ -1,0 +1,167 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mhbc {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(4.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of the classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(MeanTest, EmptyAndBasic) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StdDevTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+}
+
+TEST(ErrorMetricsTest, MeanAndMaxAbsolute) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.5, 2.0, 1.0};
+  EXPECT_NEAR(MeanAbsoluteError(a, b), (0.5 + 0.0 + 2.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MaxAbsoluteError(a, b), 2.0);
+}
+
+TEST(ErrorMetricsTest, IdenticalVectorsZeroError) {
+  std::vector<double> a{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsoluteError(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(MeanRelativeError(a, a, 1e-9), 0.0);
+}
+
+TEST(ErrorMetricsTest, RelativeErrorUsesFloor) {
+  std::vector<double> est{0.5};
+  std::vector<double> truth{0.0};
+  // Reference is 0, so the floor (0.1) divides: 0.5/0.1 = 5.
+  EXPECT_DOUBLE_EQ(MeanRelativeError(est, truth, 0.1), 5.0);
+}
+
+TEST(RanksTest, DistinctValues) {
+  const std::vector<double> ranks = AverageRanks({10.0, 30.0, 20.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(RanksTest, TiesShareAverageRank) {
+  const std::vector<double> ranks = AverageRanks({5.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+}
+
+TEST(CorrelationTest, PerfectPositive) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, b), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectNegative) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(a, b), -1.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, b), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, MonotoneNonlinearPerfectRankCorrelation) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{1.0, 8.0, 27.0, 64.0};  // a^3: monotone
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, b), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(a, b), 1.0);
+}
+
+TEST(CorrelationTest, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {1.0}), 0.0);
+  // Zero variance in one argument.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(KendallTauTest, KnownSmallExample) {
+  // One discordant pair among three: tau = (2 - 1) / 3.
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.0, 3.0, 2.0};
+  EXPECT_NEAR(KendallTau(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ChiSquareTest, PerfectFitIsZero) {
+  std::vector<std::uint64_t> obs{25, 25, 25, 25};
+  std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, p), 0.0);
+}
+
+TEST(ChiSquareTest, KnownValue) {
+  std::vector<std::uint64_t> obs{30, 70};
+  std::vector<double> p{0.5, 0.5};
+  // (30-50)^2/50 + (70-50)^2/50 = 8 + 8 = 16.
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, p), 16.0);
+}
+
+TEST(TotalVariationTest, IdenticalIsZero) {
+  std::vector<std::uint64_t> obs{50, 50};
+  std::vector<double> p{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(obs, p), 0.0);
+}
+
+TEST(TotalVariationTest, DisjointIsOne) {
+  std::vector<std::uint64_t> obs{100, 0};
+  std::vector<double> p{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(obs, p), 1.0);
+}
+
+TEST(TotalVariationTest, HalfwayExample) {
+  std::vector<std::uint64_t> obs{75, 25};
+  std::vector<double> p{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(obs, p), 0.25);
+}
+
+}  // namespace
+}  // namespace mhbc

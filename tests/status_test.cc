@@ -1,0 +1,70 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mhbc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad edge");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad edge");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad edge");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::IoError("disk"); };
+  auto wrapper = [&fails]() -> Status {
+    MHBC_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIoError);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesOk) {
+  auto succeeds = [] { return Status::Ok(); };
+  auto wrapper = [&succeeds]() -> Status {
+    MHBC_RETURN_IF_ERROR(succeeds());
+    return Status::FailedPrecondition("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace mhbc

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mhbc {
+namespace {
+
+TEST(TableTest, MarkdownAlignsColumns) {
+  Table t({"name", "n"});
+  t.AddRow({"star", "10"});
+  t.AddRow({"barbell", "24"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| name    | n  |"), std::string::npos);
+  EXPECT_NE(md.find("| star    | 10 |"), std::string::npos);
+  EXPECT_NE(md.find("| barbell | 24 |"), std::string::npos);
+  EXPECT_NE(md.find("|---------|----|"), std::string::npos);
+}
+
+TEST(TableTest, CsvBasic) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCells) {
+  Table t({"x"});
+  t.AddRow({"with,comma"});
+  t.AddRow({"with\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"h"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"r"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatScientific) {
+  EXPECT_EQ(FormatScientific(0.000123, 2), "1.23e-04");
+}
+
+TEST(FormatTest, FormatCountGroupsThousands) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(12), "12");
+  EXPECT_EQ(FormatCount(123456), "123,456");
+}
+
+}  // namespace
+}  // namespace mhbc

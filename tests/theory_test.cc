@@ -1,0 +1,148 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+
+namespace mhbc {
+namespace {
+
+TEST(TheoryTest, MeanDependencyBasic) {
+  EXPECT_DOUBLE_EQ(MeanDependency({2.0, 0.0, 4.0, 2.0}), 2.0);
+}
+
+TEST(TheoryTest, MuIsMaxOverMean) {
+  EXPECT_DOUBLE_EQ(MuFromProfile({2.0, 0.0, 4.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MuFromProfile({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(TheoryTest, SampleBoundFormula) {
+  // T >= mu^2/(2 eps^2) ln(2/delta).
+  const double expected = 4.0 / (2.0 * 0.01) * std::log(2.0 / 0.05);
+  EXPECT_EQ(SampleBound(2.0, 0.1, 0.05),
+            static_cast<std::uint64_t>(std::ceil(expected)));
+}
+
+TEST(TheoryTest, SampleBoundMonotonicity) {
+  EXPECT_GT(SampleBound(4.0, 0.1, 0.1), SampleBound(2.0, 0.1, 0.1));
+  EXPECT_GT(SampleBound(2.0, 0.05, 0.1), SampleBound(2.0, 0.1, 0.1));
+  EXPECT_GT(SampleBound(2.0, 0.1, 0.01), SampleBound(2.0, 0.1, 0.1));
+}
+
+TEST(TheoryTest, TailBoundBehaviour) {
+  // Vacuous when 2 eps/mu <= 3/T.
+  EXPECT_DOUBLE_EQ(TailBound(1.0, 0.1, 10), 1.0);
+  // Decays with T.
+  const double at_1k = TailBound(1.0, 0.1, 1'000);
+  const double at_10k = TailBound(1.0, 0.1, 10'000);
+  EXPECT_LT(at_10k, at_1k);
+  EXPECT_LT(at_10k, 1e-8);
+  // Never exceeds 1.
+  EXPECT_LE(TailBound(5.0, 0.01, 100), 1.0);
+}
+
+TEST(TheoryTest, SampleBoundDeliversTailBound) {
+  // Plugging T = SampleBound(mu, eps, delta) back into the tail bound
+  // yields ~delta; the 3/T slack the paper drops costs a small factor,
+  // and doubling T pushes the bound safely below delta.
+  const double mu = 1.5, eps = 0.05, delta = 0.1;
+  const std::uint64_t t = SampleBound(mu, eps, delta);
+  EXPECT_LE(TailBound(mu, eps, t), delta * 1.5);
+  EXPECT_LT(TailBound(mu, eps, 2 * t), delta);
+}
+
+TEST(TheoryTest, ChainLimitEqualsTruthOnUniformProfile) {
+  // When all deltas are equal, E_pi[f] == BC: the estimator is unbiased.
+  const std::vector<double> uniform{2.0, 2.0, 2.0, 2.0, 2.0};
+  const double n = 5.0;
+  const double truth = (2.0 * 5.0) / (n * (n - 1.0));
+  EXPECT_NEAR(ChainLimitEstimate(uniform), truth, 1e-12);
+}
+
+TEST(TheoryTest, ChainLimitUpperBoundsTruth) {
+  // E_pi[f] >= BC always (Cauchy-Schwarz), with equality iff uniform.
+  const CsrGraph g = MakeBarabasiAlbert(40, 2, 3);
+  const auto exact = ExactBetweenness(g);
+  for (VertexId r = 0; r < 8; ++r) {
+    if (exact[r] == 0.0) continue;
+    const auto profile = DependencyProfile(g, r);
+    EXPECT_GE(ChainLimitEstimate(profile) + 1e-12, exact[r]) << "r=" << r;
+  }
+}
+
+TEST(TheoryTest, ChainLimitGapBoundedByMu) {
+  // E_pi[f] / BC = n sum d^2 / (sum d)^2 <= mu.
+  const CsrGraph g = MakePath(12);
+  const auto exact = ExactBetweenness(g);
+  for (VertexId r = 1; r < 11; ++r) {
+    const auto profile = DependencyProfile(g, r);
+    const double ratio = ChainLimitEstimate(profile) / exact[r];
+    EXPECT_LE(ratio, MuFromProfile(profile) + 1e-9) << "r=" << r;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+  }
+}
+
+TEST(TheoryTest, MuConstantAtBalancedSeparators) {
+  // Theorem 2: growing barbells keep mu(bridge) bounded by 1 + 1/K ~ 2,
+  // while a clique vertex's mu grows with n.
+  double previous_bridge_mu = 0.0;
+  for (VertexId k : {5u, 10u, 20u, 40u}) {
+    const CsrGraph g = MakeBarbell(k, 1);
+    const VertexId bridge = k;
+    ASSERT_TRUE(IsBalancedSeparator(g, bridge, 0.4));
+    const double mu = MuFromProfile(DependencyProfile(g, bridge));
+    EXPECT_LE(mu, 2.1) << "clique size " << k;
+    previous_bridge_mu = mu;
+  }
+  EXPECT_GT(previous_bridge_mu, 0.9);
+}
+
+TEST(TheoryTest, MuGrowsAtNonSeparators) {
+  // Star leaves neighboring... use path endpoints' neighbor (vertex 1):
+  // its dependency profile concentrates on one source side, mu ~ n/2.
+  std::vector<double> mus;
+  for (VertexId n : {8u, 16u, 32u}) {
+    const CsrGraph g = MakePath(n);
+    mus.push_back(MuFromProfile(DependencyProfile(g, 1)));
+  }
+  EXPECT_GT(mus[1], mus[0]);
+  EXPECT_GT(mus[2], mus[1]);
+}
+
+TEST(TheoryTest, ExactRelativeBetweennessPathExample) {
+  // P5, targets 2 (center) and 1: hand-computed clipped ratios.
+  const CsrGraph g = MakePath(5);
+  const auto p2 = DependencyProfile(g, 2);
+  const auto p1 = DependencyProfile(g, 1);
+  // p2 = [2,2,0,2,2]; p1 = [3,0,1,1,1] (sources 0..4).
+  // min{1, p2/p1} per v: [2/3, 1, 0, 1, 1] -> mean = 11/15.
+  EXPECT_NEAR(ExactRelativeBetweenness(p2, p1), (2.0 / 3.0 + 3.0) / 5.0,
+              1e-12);
+  // min{1, p1/p2}: [1, 0, 1, 1/2, 1/2] -> mean = 3/5.
+  EXPECT_NEAR(ExactRelativeBetweenness(p1, p2), 3.0 / 5.0, 1e-12);
+}
+
+TEST(TheoryTest, ChainLimitRelativeRatioRecoversExactRatio) {
+  // The Theorem 3 mechanism: ChainLimitRelative(i,j)/ChainLimitRelative(j,i)
+  // == raw BC(ri)/BC(rj) exactly, for every pair.
+  const CsrGraph g = MakeWattsStrogatz(40, 4, 0.2, 7);
+  const auto exact = ExactBetweenness(g, Normalization::kNone);
+  for (VertexId ri = 0; ri < 5; ++ri) {
+    for (VertexId rj = 5; rj < 10; ++rj) {
+      if (exact[ri] == 0.0 || exact[rj] == 0.0) continue;
+      const auto pi = DependencyProfile(g, ri);
+      const auto pj = DependencyProfile(g, rj);
+      const double estimated_ratio =
+          ChainLimitRelative(pi, pj) / ChainLimitRelative(pj, pi);
+      EXPECT_NEAR(estimated_ratio, exact[ri] / exact[rj],
+                  1e-9 * (1.0 + exact[ri] / exact[rj]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mhbc

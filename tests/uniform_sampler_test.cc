@@ -1,0 +1,60 @@
+#include "baselines/uniform_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+
+namespace mhbc {
+namespace {
+
+TEST(UniformSamplerTest, ExactOnFullEnumeration) {
+  // With enough samples the estimate concentrates on the truth.
+  const CsrGraph g = MakeStar(10);
+  UniformSourceSampler sampler(g, 1);
+  const double exact = ExactBetweennessSingle(g, 0);
+  EXPECT_NEAR(sampler.Estimate(0, 20'000), exact, 0.02);
+}
+
+TEST(UniformSamplerTest, ZeroBetweennessVertexEstimatesZero) {
+  const CsrGraph g = MakeStar(10);
+  UniformSourceSampler sampler(g, 2);
+  EXPECT_DOUBLE_EQ(sampler.Estimate(3, 500), 0.0);
+}
+
+TEST(UniformSamplerTest, DeterministicForSeed) {
+  const CsrGraph g = MakeBarabasiAlbert(60, 2, 5);
+  UniformSourceSampler a(g, 42);
+  UniformSourceSampler b(g, 42);
+  EXPECT_DOUBLE_EQ(a.Estimate(3, 200), b.Estimate(3, 200));
+}
+
+TEST(UniformSamplerTest, PassAccounting) {
+  const CsrGraph g = MakeCycle(12);
+  UniformSourceSampler sampler(g, 7);
+  sampler.Estimate(0, 25);
+  EXPECT_EQ(sampler.num_passes(), 25u);
+}
+
+TEST(UniformSamplerTest, UnbiasedAcrossRepetitions) {
+  // Mean of many small-budget estimates approaches the truth (unbiased).
+  const CsrGraph g = MakeBarbell(5, 1);
+  const VertexId bridge = 5;
+  const double exact = ExactBetweennessSingle(g, bridge);
+  UniformSourceSampler sampler(g, 11);
+  double acc = 0.0;
+  constexpr int kReps = 300;
+  for (int i = 0; i < kReps; ++i) acc += sampler.Estimate(bridge, 10);
+  EXPECT_NEAR(acc / kReps, exact, 0.05 * exact + 0.01);
+}
+
+TEST(UniformSamplerTest, WorksOnWeightedGraphs) {
+  const CsrGraph wg = AssignUniformWeights(MakeGrid(4, 4), 1.0, 1.0, 9);
+  const CsrGraph g = MakeGrid(4, 4);
+  UniformSourceSampler sampler(wg, 13);
+  const double exact = ExactBetweennessSingle(g, 5);
+  EXPECT_NEAR(sampler.Estimate(5, 5'000), exact, 0.05);
+}
+
+}  // namespace
+}  // namespace mhbc
