@@ -4,11 +4,15 @@
 // T(eps, delta) << n. Budgets beyond a measurement cap are *projected*
 // from the measured per-pass cost (running 1.4e8 passes literally would
 // be pointless); projected rows are marked with '*'.
+//
+// The MH run goes through a fresh BetweennessEngine per dataset (memo
+// disabled so every iteration pays its pass — this harness measures raw
+// per-pass cost, not cache amortization).
 
 #include <algorithm>
 
 #include "bench_common.h"
-#include "core/mh_betweenness.h"
+#include "centrality/engine.h"
 #include "core/theory.h"
 #include "datasets/registry.h"
 #include "util/timer.h"
@@ -35,12 +39,15 @@ int main() {
     const std::uint64_t budget = SampleBound(mu, kEps, kDelta);
     const std::uint64_t run_budget = std::min(budget, kRunCap);
 
-    MhOptions options;
-    options.seed = 0xE10;
-    MhBetweennessSampler sampler(graph, options);
-    WallTimer mh_timer;
-    (void)sampler.Estimate(r, run_budget);
-    const double measured_seconds = mh_timer.ElapsedSeconds();
+    EngineOptions engine_options;
+    engine_options.dependency_cache_bytes = 0;  // measure raw pass cost
+    BetweennessEngine engine(graph, engine_options);
+    EstimateRequest request;
+    request.kind = EstimatorKind::kMetropolisHastings;
+    request.samples = run_budget;
+    request.seed = 0xE10;
+    const auto result = engine.Estimate(r, request);
+    const double measured_seconds = result.value().seconds;
     const bool projected = budget > run_budget;
     const double mh_seconds =
         projected ? measured_seconds * static_cast<double>(budget) /

@@ -1,24 +1,28 @@
-// mhbc_tool — multitool CLI over the public API.
+// mhbc_tool — multitool CLI over the BetweennessEngine session API.
 //
-//   mhbc_tool stats    <edge-list>
-//   mhbc_tool estimate <edge-list> <vertex> [estimator] [samples] [seed]
-//   mhbc_tool exact    <edge-list> <vertex>
-//   mhbc_tool topk     <edge-list> <k> [eps] [delta]
-//   mhbc_tool rank     <edge-list> <v1,v2,...> [iterations]
-//   mhbc_tool generate <family> <args...> <out-file>
+//   mhbc_tool stats      <edge-list>
+//   mhbc_tool estimators
+//   mhbc_tool estimate   <edge-list> <v1,v2,...> [estimator] [samples] [seed]
+//   mhbc_tool exact      <edge-list> <vertex>
+//   mhbc_tool topk       <edge-list> <k> [eps] [delta]
+//   mhbc_tool rank       <edge-list> <v1,v2,...> [iterations]
+//   mhbc_tool generate   <family> <args...> <out-file>
 //              families: ba <n> <m-per-vertex> <seed> | er <n> <p> <seed> |
 //                        ws <n> <k> <beta> <seed>    | grid <rows> <cols> |
 //                        caveman <communities> <size>
 //
-// Run without arguments for a self-contained demo of every subcommand on a
-// generated network.
+// Every command builds ONE engine per invocation; multi-vertex estimates
+// and the rank command's score+order pair amortize their passes through
+// it. `estimators` prints the shared registry (the same table the engine
+// dispatches on). Run without arguments for a self-contained demo of
+// every subcommand on a generated network.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "centrality/api.h"
+#include "centrality/engine.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
@@ -64,34 +68,52 @@ int CmdStats(const std::string& path) {
   return 0;
 }
 
+int CmdEstimators() {
+  mhbc::Table table({"name", "weighted", "chain", "description"});
+  for (const mhbc::EstimatorEntry& entry : mhbc::EstimatorRegistry()) {
+    table.AddRow({entry.name, entry.supports_weighted ? "yes" : "no",
+                  entry.chain_based ? "yes" : "no", entry.summary});
+  }
+  std::printf("%s", table.ToMarkdown().c_str());
+  return 0;
+}
+
 int CmdEstimate(const std::string& path, int argc, char** argv) {
   auto graph = Load(path);
   if (!graph.ok()) return Fail(graph.status().ToString());
-  mhbc::EstimateOptions options;
-  options.kind = mhbc::EstimatorKind::kMetropolisHastings;
-  options.samples = 2'000;
-  const auto r = static_cast<VertexId>(std::strtoul(argv[0], nullptr, 10));
-  if (argc > 1 && !mhbc::ParseEstimatorKind(argv[1], &options.kind)) {
-    return Fail(std::string("unknown estimator '") + argv[1] + "'");
+  mhbc::EstimateRequest request;
+  request.kind = mhbc::EstimatorKind::kMetropolisHastings;
+  request.samples = 2'000;
+  const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[0]);
+  if (vertices.empty()) return Fail("no vertex ids given");
+  if (argc > 1 && !mhbc::ParseEstimatorKind(argv[1], &request.kind)) {
+    return Fail(std::string("unknown estimator '") + argv[1] +
+                "' (see: mhbc_tool estimators)");
   }
-  if (argc > 2) options.samples = std::strtoull(argv[2], nullptr, 10);
-  if (argc > 3) options.seed = std::strtoull(argv[3], nullptr, 10);
-  const auto result = mhbc::EstimateBetweenness(graph.value(), r, options);
-  if (!result.ok()) return Fail(result.status().ToString());
-  std::printf("BC(%u) ~= %.8f  [%s, %llu passes, %.3fs]\n", r,
-              result.value().value, mhbc::EstimatorKindName(options.kind),
-              static_cast<unsigned long long>(result.value().sp_passes),
-              result.value().seconds);
+  if (argc > 2) request.samples = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) request.seed = std::strtoull(argv[3], nullptr, 10);
+  mhbc::BetweennessEngine engine(graph.value());
+  const auto reports = engine.EstimateMany(vertices, request);
+  if (!reports.ok()) return Fail(reports.status().ToString());
+  for (const mhbc::EstimateReport& report : reports.value()) {
+    std::printf("BC(%u) ~= %.8f  [%s, %llu passes%s, +/-%.2e, %.3fs]\n",
+                report.vertex, report.value,
+                mhbc::EstimatorKindName(report.kind),
+                static_cast<unsigned long long>(report.sp_passes),
+                report.cache_hit ? " cached" : "", report.ci_half_width,
+                report.seconds);
+  }
   return 0;
 }
 
 int CmdExact(const std::string& path, const char* vertex) {
   auto graph = Load(path);
   if (!graph.ok()) return Fail(graph.status().ToString());
-  mhbc::EstimateOptions options;
-  options.kind = mhbc::EstimatorKind::kExact;
+  mhbc::EstimateRequest request;
+  request.kind = mhbc::EstimatorKind::kExact;
   const auto r = static_cast<VertexId>(std::strtoul(vertex, nullptr, 10));
-  const auto result = mhbc::EstimateBetweenness(graph.value(), r, options);
+  mhbc::BetweennessEngine engine(graph.value());
+  const auto result = engine.Estimate(r, request);
   if (!result.ok()) return Fail(result.status().ToString());
   std::printf("BC(%u) = %.10f  [exact, %.3fs]\n", r, result.value().value,
               result.value().seconds);
@@ -104,7 +126,8 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(std::strtoul(argv[0], nullptr, 10));
   const double eps = argc > 1 ? std::strtod(argv[1], nullptr) : 0.02;
   const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
-  const auto result = mhbc::EstimateTopKBetweenness(graph.value(), k, eps, delta);
+  mhbc::BetweennessEngine engine(graph.value());
+  const auto result = engine.TopK(k, eps, delta);
   if (!result.ok()) return Fail(result.status().ToString());
   mhbc::Table table({"rank", "vertex", "estimated BC"});
   std::size_t rank = 1;
@@ -116,32 +139,17 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
-std::vector<VertexId> ParseIdList(const std::string& csv) {
-  std::vector<VertexId> ids;
-  std::size_t pos = 0;
-  while (pos < csv.size()) {
-    const std::size_t comma = csv.find(',', pos);
-    const std::string token =
-        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    if (!token.empty()) {
-      ids.push_back(static_cast<VertexId>(std::strtoul(token.c_str(), nullptr, 10)));
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return ids;
-}
-
 int CmdRank(const std::string& path, int argc, char** argv) {
   auto graph = Load(path);
   if (!graph.ok()) return Fail(graph.status().ToString());
-  const std::vector<VertexId> targets = ParseIdList(argv[0]);
+  const std::vector<VertexId> targets = mhbc::ParseVertexIdList(argv[0]);
   const std::uint64_t iterations =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
-  const auto joint =
-      mhbc::EstimateRelativeBetweenness(graph.value(), targets, iterations);
+  // One engine: the joint chain runs once and serves both calls.
+  mhbc::BetweennessEngine engine(graph.value());
+  const auto joint = engine.EstimateRelative(targets, iterations);
   if (!joint.ok()) return Fail(joint.status().ToString());
-  const auto order = mhbc::RankByBetweenness(graph.value(), targets, iterations);
+  const auto order = engine.RankTargets(targets, iterations);
   if (!order.ok()) return Fail(order.status().ToString());
   mhbc::Table table({"rank", "vertex", "copeland", "samples |M|"});
   std::size_t rank = 1;
@@ -199,8 +207,10 @@ int Demo() {
   if (CmdGenerate(4, gen_args) != 0) return 1;
   std::printf("\n-- stats --\n");
   if (CmdStats(path) != 0) return 1;
-  std::printf("\n-- estimate gateway 11 (mh-rb) --\n");
-  char* est_args[] = {(char*)"11", (char*)"mh-rb", (char*)"2000"};
+  std::printf("\n-- estimators --\n");
+  if (CmdEstimators() != 0) return 1;
+  std::printf("\n-- estimate gateways 11,23 (mh-rb) --\n");
+  char* est_args[] = {(char*)"11,23", (char*)"mh-rb", (char*)"2000"};
   if (CmdEstimate(path, 3, est_args) != 0) return 1;
   std::printf("\n-- exact gateway 11 --\n");
   if (CmdExact(path, "11") != 0) return 1;
@@ -218,6 +228,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Demo();
   const std::string command = argv[1];
   if (command == "stats" && argc == 3) return CmdStats(argv[2]);
+  if (command == "estimators" && argc == 2) return CmdEstimators();
   if (command == "estimate" && argc >= 4) {
     return CmdEstimate(argv[2], argc - 3, argv + 3);
   }

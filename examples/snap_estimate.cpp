@@ -2,58 +2,70 @@
 // downstream user points at com-dblp.ungraph.txt.
 //
 // Usage:
-//   example_snap_estimate <edge-list> <vertex-id> [estimator] [samples] [seed]
+//   example_snap_estimate <edge-list> <vertex-id...> [estimator] [samples] [seed]
 //
 //   estimator: mh | mh-rb | uniform | distance | rk | geisberger | exact
 //              (default mh)
 //   samples:   chain length / sample budget (default 2000)
 //
 // Vertex ids refer to the loader's dense remapping order (first-seen order
-// in the file). Without arguments, the tool generates a small demo network,
-// writes it to a temp file, and runs on that — so it is runnable anywhere.
+// in the file) and may be a comma-separated list — the ids share one
+// BetweennessEngine, so later estimates reuse the passes of earlier ones.
+// Without arguments, the tool generates a small demo network, writes it to
+// a temp file, and runs on that — so it is runnable anywhere.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "centrality/api.h"
+#include "centrality/engine.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 
 namespace {
 
-int Run(const mhbc::CsrGraph& graph, mhbc::VertexId r,
-        const mhbc::EstimateOptions& options) {
-  const auto result = mhbc::EstimateBetweenness(graph, r, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
+int Run(const mhbc::CsrGraph& graph,
+        const std::vector<mhbc::VertexId>& vertices,
+        const mhbc::EstimateRequest& request) {
   std::printf("graph: n=%u m=%llu%s\n", graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()),
               graph.weighted() ? " (weighted)" : "");
-  std::printf("BC(%u) ~= %.8f   [estimator=%s, passes=%llu, %.3fs]\n", r,
-              result.value().value, mhbc::EstimatorKindName(options.kind),
-              static_cast<unsigned long long>(result.value().sp_passes),
-              result.value().seconds);
+  mhbc::BetweennessEngine engine(graph);
+  const auto reports = engine.EstimateMany(vertices, request);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "error: %s\n", reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const mhbc::EstimateReport& report : reports.value()) {
+    std::printf(
+        "BC(%u) ~= %.8f   [estimator=%s, passes=%llu%s, +/-%.2e, %.3fs]\n",
+        report.vertex, report.value, mhbc::EstimatorKindName(report.kind),
+        static_cast<unsigned long long>(report.sp_passes),
+        report.cache_hit ? " cached" : "", report.ci_half_width,
+        report.seconds);
+  }
+  std::printf("total passes across %zu queries: %llu\n", reports.value().size(),
+              static_cast<unsigned long long>(engine.total_sp_passes()));
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  mhbc::EstimateOptions options;
-  options.kind = mhbc::EstimatorKind::kMetropolisHastings;
-  options.samples = 2'000;
-  options.seed = 0x5eed;
+  mhbc::EstimateRequest request;
+  request.kind = mhbc::EstimatorKind::kMetropolisHastings;
+  request.samples = 2'000;
+  request.seed = 0x5eed;
 
   if (argc < 3) {
     std::printf(
-        "usage: %s <edge-list> <vertex-id> [estimator] [samples] [seed]\n"
+        "usage: %s <edge-list> <vertex-id...> [estimator] [samples] [seed]\n"
         "no file given: running the built-in demo\n\n",
         argv[0]);
     // Self-contained demo: write a caveman network to a temp edge list,
-    // load it back through the SNAP loader, estimate a gateway vertex.
+    // load it back through the SNAP loader, estimate two gateway vertices
+    // on one engine.
     const std::string path = "/tmp/mhbc_demo_edges.txt";
     const mhbc::CsrGraph demo = mhbc::MakeConnectedCaveman(6, 12);
     const mhbc::Status write_status = mhbc::WriteEdgeList(demo, path);
@@ -68,17 +80,22 @@ int main(int argc, char** argv) {
                    loaded.status().ToString().c_str());
       return 1;
     }
-    return Run(loaded.value(), /*gateway=*/11, options);
+    return Run(loaded.value(), /*gateways=*/{11, 23}, request);
   }
 
   const std::string path = argv[1];
-  const auto r = static_cast<mhbc::VertexId>(std::strtoul(argv[2], nullptr, 10));
-  if (argc > 3 && !mhbc::ParseEstimatorKind(argv[3], &options.kind)) {
+  const std::vector<mhbc::VertexId> vertices =
+      mhbc::ParseVertexIdList(argv[2]);
+  if (vertices.empty()) {
+    std::fprintf(stderr, "no vertex ids in '%s'\n", argv[2]);
+    return 2;
+  }
+  if (argc > 3 && !mhbc::ParseEstimatorKind(argv[3], &request.kind)) {
     std::fprintf(stderr, "unknown estimator '%s'\n", argv[3]);
     return 2;
   }
-  if (argc > 4) options.samples = std::strtoull(argv[4], nullptr, 10);
-  if (argc > 5) options.seed = std::strtoull(argv[5], nullptr, 10);
+  if (argc > 4) request.samples = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) request.seed = std::strtoull(argv[5], nullptr, 10);
 
   mhbc::EdgeListOptions load_options;
   load_options.largest_component_only = true;
@@ -88,5 +105,5 @@ int main(int argc, char** argv) {
                  loaded.status().ToString().c_str());
     return 1;
   }
-  return Run(loaded.value(), r, options);
+  return Run(loaded.value(), vertices, request);
 }

@@ -3,18 +3,19 @@
 // paying for exact betweenness of the whole network.
 //
 // We build a scale-free social graph, pick the highest-degree vertex of
-// each of several regions as its community core, and estimate each core's
-// betweenness with the MH sampler at a fraction of Brandes cost.
+// each of several regions as its community core, and estimate every core
+// through ONE BetweennessEngine: EstimateBatch runs both MH readouts per
+// core, and the engine's shared dependency memo means each additional
+// core costs far fewer passes than the first.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "centrality/api.h"
+#include "centrality/engine.h"
 #include "exact/brandes.h"
 #include "graph/generators.h"
-#include "util/timer.h"
 
 int main() {
   const mhbc::CsrGraph graph = mhbc::MakeBarabasiAlbert(5'000, 3, 0x50C1A1);
@@ -37,32 +38,53 @@ int main() {
   std::printf("social graph: n=%u m=%llu; scoring %zu community cores\n", n,
               static_cast<unsigned long long>(graph.num_edges()),
               cores.size());
-  std::printf("%-10s %-8s %-12s %-12s %-12s %-10s\n", "core", "degree",
-              "mh (Eq.7)", "mh-rb", "exact", "rb err%");
 
-  double sampler_seconds = 0.0;
+  // One heterogeneous batch: both chain readouts for every core.
+  std::vector<mhbc::EstimateRequest> requests;
   for (mhbc::VertexId core : cores) {
-    mhbc::EstimateOptions options;
-    options.samples = 2'000;
-    options.seed = 0xC0FE + core;
-    options.kind = mhbc::EstimatorKind::kMetropolisHastings;
-    const auto paper_est = mhbc::EstimateBetweenness(graph, core, options);
-    options.kind = mhbc::EstimatorKind::kMhRaoBlackwell;
-    const auto rb_est = mhbc::EstimateBetweenness(graph, core, options);
-    if (!paper_est.ok() || !rb_est.ok()) {
-      std::fprintf(stderr, "core %u failed\n", core);
-      return 1;
+    for (mhbc::EstimatorKind kind :
+         {mhbc::EstimatorKind::kMetropolisHastings,
+          mhbc::EstimatorKind::kMhRaoBlackwell}) {
+      mhbc::EstimateRequest request;
+      request.vertex = core;
+      request.kind = kind;
+      request.samples = 2'000;
+      request.seed = 0xC0FE + core;
+      requests.push_back(request);
     }
-    sampler_seconds += paper_est.value().seconds + rb_est.value().seconds;
+  }
+
+  mhbc::BetweennessEngine engine(graph);
+  const auto batch = engine.EstimateBatch(requests);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-10s %-10s\n", "core", "degree",
+              "mh (Eq.7)", "mh-rb", "exact", "rb err%", "passes");
+  double sampler_seconds = 0.0;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    const mhbc::EstimateReport& paper_est = batch.value()[2 * c];
+    const mhbc::EstimateReport& rb_est = batch.value()[2 * c + 1];
+    sampler_seconds += paper_est.seconds + rb_est.seconds;
+    const mhbc::VertexId core = cores[c];
     const double exact = mhbc::ExactBetweennessSingle(graph, core);
-    const double rb = rb_est.value().value;
-    std::printf("%-10u %-8u %-12.6f %-12.6f %-12.6f %-10.1f\n", core,
-                graph.degree(core), paper_est.value().value, rb, exact,
-                exact > 0 ? 100.0 * std::abs(rb - exact) / exact : 0.0);
+    const double rb = rb_est.value;
+    std::printf("%-10u %-8u %-12.6f %-12.6f %-12.6f %-10.1f %-10llu\n", core,
+                graph.degree(core), paper_est.value, rb, exact,
+                exact > 0 ? 100.0 * std::abs(rb - exact) / exact : 0.0,
+                static_cast<unsigned long long>(paper_est.sp_passes +
+                                                rb_est.sp_passes));
   }
   std::printf(
-      "sampling cost: %.2fs total (%u-pass Brandes baseline amortized over "
-      "%zu cores would cost ~%ux more passes per core)\n",
-      sampler_seconds, n, cores.size(), n / 2'001u);
+      "sampling cost: %.2fs, %llu passes total for %zu queries (a %u-pass\n"
+      "Brandes per core would cost ~%ux more; per-core cost also *falls*\n"
+      "with each query — the engine reuses dependency vectors, hits=%llu)\n",
+      sampler_seconds,
+      static_cast<unsigned long long>(engine.total_sp_passes()),
+      requests.size(), n, n / 2'001u,
+      static_cast<unsigned long long>(engine.dependency_cache_hits()));
   return 0;
 }

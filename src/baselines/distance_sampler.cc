@@ -4,9 +4,13 @@
 
 namespace mhbc {
 
-DistanceProportionalSampler::DistanceProportionalSampler(const CsrGraph& graph,
-                                                         std::uint64_t seed)
-    : graph_(&graph), oracle_(graph), rng_(seed) {}
+DistanceProportionalSampler::DistanceProportionalSampler(
+    const CsrGraph& graph, std::uint64_t seed, DependencyOracle* shared_oracle)
+    : graph_(&graph),
+      owned_oracle_(shared_oracle ? nullptr
+                                  : std::make_unique<DependencyOracle>(graph)),
+      oracle_(shared_oracle ? shared_oracle : owned_oracle_.get()),
+      rng_(seed) {}
 
 void DistanceProportionalSampler::PrepareTarget(VertexId r) {
   if (prepared_target_ == r) return;
@@ -25,6 +29,7 @@ void DistanceProportionalSampler::PrepareTarget(VertexId r) {
       }
     }
   }
+  oracle_->RecordSetupPasses(1);  // the distance pass above is real work
   table_ = std::make_unique<DiscreteSampler>(weights);
   probabilities_.assign(n, 0.0);
   for (VertexId v = 0; v < n; ++v) {
@@ -45,7 +50,7 @@ double DistanceProportionalSampler::Estimate(VertexId r,
     const auto s = static_cast<VertexId>(table_->Sample(&rng_));
     const double p = probabilities_[s];
     MHBC_DCHECK(p > 0.0);
-    acc += oracle_.Dependency(s, r) / p;
+    acc += oracle_->Dependency(s, r) / p;
   }
   const double raw = acc / static_cast<double>(num_samples);
   return raw / (n * (n - 1.0));

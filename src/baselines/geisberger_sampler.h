@@ -30,6 +30,10 @@ class GeisbergerSampler {
   /// Per sample: one BFS pass + one linear-scaled accumulation (O(|E|)).
   double Estimate(VertexId r, std::uint64_t num_samples);
 
+  /// Rewinds the random stream to that of a fresh sampler seeded `seed`
+  /// (reuse contract: consecutive Estimate calls continue one stream).
+  void Reset(std::uint64_t seed) { rng_ = Rng(seed); }
+
   std::uint64_t num_passes() const { return num_passes_; }
 
  private:

@@ -4,12 +4,18 @@
 
 namespace mhbc {
 
-OptimalSampler::OptimalSampler(const CsrGraph& graph, std::uint64_t seed)
-    : graph_(&graph), oracle_(graph), rng_(seed) {}
+OptimalSampler::OptimalSampler(const CsrGraph& graph, std::uint64_t seed,
+                               DependencyOracle* shared_oracle)
+    : graph_(&graph),
+      owned_oracle_(shared_oracle ? nullptr
+                                  : std::make_unique<DependencyOracle>(graph)),
+      oracle_(shared_oracle ? shared_oracle : owned_oracle_.get()),
+      rng_(seed) {}
 
 void OptimalSampler::PrepareTarget(VertexId r) {
   if (prepared_target_ == r) return;
   const std::vector<double> profile = DependencyProfile(*graph_, r);
+  oracle_->RecordSetupPasses(graph_->num_vertices());  // one per source
   raw_betweenness_ = 0.0;
   for (double d : profile) raw_betweenness_ += d;
   MHBC_DCHECK(raw_betweenness_ > 0.0);
@@ -40,7 +46,7 @@ double OptimalSampler::Estimate(VertexId r, std::uint64_t num_samples) {
     const auto s = static_cast<VertexId>(table_->Sample(&rng_));
     const double p = probabilities_[s];
     MHBC_DCHECK(p > 0.0);
-    acc += oracle_.Dependency(s, r) / p;
+    acc += oracle_->Dependency(s, r) / p;
   }
   const double raw = acc / static_cast<double>(num_samples);
   return raw / (n * (n - 1.0));

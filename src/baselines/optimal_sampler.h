@@ -23,9 +23,16 @@
 namespace mhbc {
 
 /// Zero-variance reference sampler (needs O(nm) setup per target).
+///
+/// Reuse contract: serves repeated Estimate calls for any targets (the
+/// Eq. 5 table is rebuilt only on target change, n recorded setup passes);
+/// Reset(seed) rewinds the random stream to a fresh sampler's.
 class OptimalSampler {
  public:
-  OptimalSampler(const CsrGraph& graph, std::uint64_t seed);
+  /// A non-null `shared_oracle` (same graph, outliving the sampler)
+  /// replaces the internally owned one.
+  OptimalSampler(const CsrGraph& graph, std::uint64_t seed,
+                 DependencyOracle* shared_oracle = nullptr);
 
   /// Paper-normalized estimate (equal to the exact value for any
   /// num_samples >= 1, up to floating-point accumulation).
@@ -35,13 +42,17 @@ class OptimalSampler {
   /// (computes the dependency profile on first use per target).
   const std::vector<double>& probabilities(VertexId r);
 
-  std::uint64_t num_passes() const { return oracle_.num_passes(); }
+  /// Rewinds the random stream to that of a fresh sampler seeded `seed`.
+  void Reset(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  std::uint64_t num_passes() const { return oracle_->num_passes(); }
 
  private:
   void PrepareTarget(VertexId r);
 
   const CsrGraph* graph_;
-  DependencyOracle oracle_;
+  std::unique_ptr<DependencyOracle> owned_oracle_;
+  DependencyOracle* oracle_;
   Rng rng_;
   VertexId prepared_target_ = kInvalidVertex;
   std::vector<double> probabilities_;

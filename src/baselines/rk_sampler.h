@@ -42,6 +42,11 @@ class RkSampler {
   static std::uint64_t SampleBound(std::uint32_t vertex_diameter, double eps,
                                    double delta);
 
+  /// Rewinds the random stream to that of a fresh sampler seeded `seed`
+  /// (reuse contract: consecutive Estimate/EstimateAll calls continue one
+  /// stream, so batched credit accumulation equals a single full run).
+  void Reset(std::uint64_t seed) { rng_ = Rng(seed); }
+
   std::uint64_t num_passes() const { return num_passes_; }
 
  private:

@@ -3,8 +3,13 @@
 namespace mhbc {
 
 UniformSourceSampler::UniformSourceSampler(const CsrGraph& graph,
-                                           std::uint64_t seed)
-    : graph_(&graph), oracle_(graph), rng_(seed) {}
+                                           std::uint64_t seed,
+                                           DependencyOracle* shared_oracle)
+    : graph_(&graph),
+      owned_oracle_(shared_oracle ? nullptr
+                                  : std::make_unique<DependencyOracle>(graph)),
+      oracle_(shared_oracle ? shared_oracle : owned_oracle_.get()),
+      rng_(seed) {}
 
 double UniformSourceSampler::Estimate(VertexId r, std::uint64_t num_samples) {
   MHBC_DCHECK(r < graph_->num_vertices());
@@ -14,7 +19,7 @@ double UniformSourceSampler::Estimate(VertexId r, std::uint64_t num_samples) {
   double acc = 0.0;
   for (std::uint64_t i = 0; i < num_samples; ++i) {
     const VertexId s = rng_.NextVertex(n);
-    acc += oracle_.Dependency(s, r);
+    acc += oracle_->Dependency(s, r);
   }
   const double mean = acc / static_cast<double>(num_samples);
   return mean / (static_cast<double>(n) - 1.0);

@@ -1,170 +1,39 @@
 #include "centrality/api.h"
 
-#include <algorithm>
-#include <numeric>
-#include <string>
-
-#include "baselines/distance_sampler.h"
-#include "baselines/geisberger_sampler.h"
-#include "baselines/rk_sampler.h"
-#include "baselines/uniform_sampler.h"
-#include "core/mh_betweenness.h"
-#include "exact/brandes.h"
-#include "graph/graph_stats.h"
-#include "util/timer.h"
-
 namespace mhbc {
 
 StatusOr<BetweennessEstimate> EstimateBetweenness(
     const CsrGraph& graph, VertexId r, const EstimateOptions& options) {
-  if (graph.num_vertices() < 2) {
-    return Status::InvalidArgument("graph needs at least two vertices");
-  }
-  if (r >= graph.num_vertices()) {
-    return Status::InvalidArgument("vertex " + std::to_string(r) +
-                                   " out of range (n=" +
-                                   std::to_string(graph.num_vertices()) + ")");
-  }
-  if (options.kind != EstimatorKind::kExact && options.samples == 0) {
-    return Status::InvalidArgument("sampling budget must be positive");
-  }
-  if (graph.weighted() && options.kind == EstimatorKind::kLinearScaling) {
-    return Status::InvalidArgument(
-        std::string(EstimatorKindName(options.kind)) +
-        " estimator supports unweighted graphs only");
-  }
-
-  BetweennessEstimate out;
-  out.kind = options.kind;
-  WallTimer timer;
-  switch (options.kind) {
-    case EstimatorKind::kExact: {
-      out.value = ExactBetweennessSingle(graph, r);
-      out.sp_passes = graph.num_vertices();
-      break;
-    }
-    case EstimatorKind::kMetropolisHastings: {
-      MhOptions mh;
-      mh.seed = options.seed;
-      MhBetweennessSampler sampler(graph, mh);
-      out.value = sampler.Estimate(r, options.samples);
-      out.sp_passes = sampler.num_passes();
-      break;
-    }
-    case EstimatorKind::kMhRaoBlackwell: {
-      MhOptions mh;
-      mh.seed = options.seed;
-      MhBetweennessSampler sampler(graph, mh);
-      out.value = sampler.Run(r, options.samples).proposal_estimate;
-      out.sp_passes = sampler.num_passes();
-      break;
-    }
-    case EstimatorKind::kUniformSource: {
-      UniformSourceSampler sampler(graph, options.seed);
-      out.value = sampler.Estimate(r, options.samples);
-      out.sp_passes = sampler.num_passes();
-      break;
-    }
-    case EstimatorKind::kDistanceProportional: {
-      DistanceProportionalSampler sampler(graph, options.seed);
-      out.value = sampler.Estimate(r, options.samples);
-      out.sp_passes = sampler.num_passes() + 1;  // + distance setup pass
-      break;
-    }
-    case EstimatorKind::kShortestPath: {
-      RkSampler sampler(graph, options.seed);
-      out.value = sampler.Estimate(r, options.samples);
-      out.sp_passes = sampler.num_passes();
-      break;
-    }
-    case EstimatorKind::kLinearScaling: {
-      GeisbergerSampler sampler(graph, options.seed);
-      out.value = sampler.Estimate(r, options.samples);
-      out.sp_passes = sampler.num_passes();
-      break;
-    }
-  }
-  out.seconds = timer.ElapsedSeconds();
-  return out;
+  BetweennessEngine engine(graph);
+  EstimateRequest request;
+  request.kind = options.kind;
+  request.samples = options.samples;
+  request.seed = options.seed;
+  StatusOr<EstimateReport> report = engine.Estimate(r, request);
+  if (!report.ok()) return report.status();
+  // Slice the report down to the legacy result type.
+  return static_cast<const BetweennessEstimate&>(report.value());
 }
 
 StatusOr<JointResult> EstimateRelativeBetweenness(
     const CsrGraph& graph, const std::vector<VertexId>& targets,
     std::uint64_t iterations, std::uint64_t seed) {
-  if (graph.num_vertices() < 2) {
-    return Status::InvalidArgument("graph needs at least two vertices");
-  }
-  if (targets.size() < 2) {
-    return Status::InvalidArgument("need at least two target vertices");
-  }
-  if (iterations == 0) {
-    return Status::InvalidArgument("iteration budget must be positive");
-  }
-  for (VertexId r : targets) {
-    if (r >= graph.num_vertices()) {
-      return Status::InvalidArgument("target vertex " + std::to_string(r) +
-                                     " out of range");
-    }
-  }
-  std::vector<VertexId> sorted = targets;
-  std::sort(sorted.begin(), sorted.end());
-  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
-    return Status::InvalidArgument("target vertices must be distinct");
-  }
-  JointOptions options;
-  options.seed = seed;
-  JointSpaceSampler sampler(graph, targets, options);
-  return sampler.Run(iterations);
+  BetweennessEngine engine(graph);
+  return engine.EstimateRelative(targets, iterations, seed);
 }
 
 StatusOr<std::vector<std::size_t>> RankByBetweenness(
     const CsrGraph& graph, const std::vector<VertexId>& targets,
     std::uint64_t iterations, std::uint64_t seed) {
-  StatusOr<JointResult> result =
-      EstimateRelativeBetweenness(graph, targets, iterations, seed);
-  if (!result.ok()) return result.status();
-  const std::vector<double>& scores = result.value().copeland_scores;
-  std::vector<std::size_t> order(targets.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&scores](std::size_t a, std::size_t b) {
-                     return scores[a] > scores[b];
-                   });
-  return order;
+  BetweennessEngine engine(graph);
+  return engine.RankTargets(targets, iterations, seed);
 }
 
 StatusOr<std::vector<TopKEntry>> EstimateTopKBetweenness(
     const CsrGraph& graph, std::uint32_t k, double eps, double delta,
     std::uint64_t seed) {
-  if (graph.num_vertices() < 2) {
-    return Status::InvalidArgument("graph needs at least two vertices");
-  }
-  if (k == 0 || k > graph.num_vertices()) {
-    return Status::InvalidArgument("k must be in [1, n]");
-  }
-  if (!(eps > 0.0 && eps < 1.0) || !(delta > 0.0 && delta < 1.0)) {
-    return Status::InvalidArgument("eps and delta must lie in (0, 1)");
-  }
-  const std::uint32_t vertex_diameter =
-      ApproxVertexDiameter(graph, /*probes=*/4, seed);
-  const std::uint64_t samples =
-      RkSampler::SampleBound(std::max(vertex_diameter, 2u), eps, delta);
-  RkSampler sampler(graph, seed);
-  const std::vector<double> estimates = sampler.EstimateAll(samples);
-
-  std::vector<std::size_t> order(estimates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&estimates](std::size_t a, std::size_t b) {
-                     return estimates[a] > estimates[b];
-                   });
-  std::vector<TopKEntry> top;
-  top.reserve(k);
-  for (std::uint32_t i = 0; i < k; ++i) {
-    top.push_back(TopKEntry{static_cast<VertexId>(order[i]),
-                            estimates[order[i]]});
-  }
-  return top;
+  BetweennessEngine engine(graph);
+  return engine.TopK(k, eps, delta, seed);
 }
 
 }  // namespace mhbc

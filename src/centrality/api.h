@@ -3,34 +3,57 @@
 
 #include <vector>
 
+#include "centrality/engine.h"
 #include "centrality/estimate.h"
 #include "core/joint_space.h"
 #include "graph/csr_graph.h"
 #include "util/status.h"
 
 /// \file
-/// Unified entry points. This is the API the examples and most downstream
-/// users consume; power users can instantiate the estimator classes in
-/// core/ and baselines/ directly for reuse across calls.
+/// One-shot convenience wrappers over BetweennessEngine.
+///
+/// The session-object API (centrality/engine.h) is the primary surface:
+/// construct a BetweennessEngine once per graph and issue
+/// EstimateRequest -> EstimateReport queries; setup state (distance
+/// tables, dependency vectors, diameter probes, credit vectors) is cached
+/// and amortized across queries, and reports carry diagnostics
+/// (acceptance rate, ESS, confidence interval, cache-hit flag).
 ///
 /// Quickstart:
 /// \code
 ///   mhbc::CsrGraph g = mhbc::MakeBarabasiAlbert(10'000, 4, /*seed=*/7);
-///   mhbc::EstimateOptions opt;            // defaults to the MH sampler
-///   opt.samples = 2'000;
-///   auto est = mhbc::EstimateBetweenness(g, /*r=*/42, opt);
-///   // est.value().value ~= exact BC(42) with ~2'001 BFS passes of work.
+///   mhbc::BetweennessEngine engine(g);   // construct once, query often
+///   mhbc::EstimateRequest req;           // defaults to the MH sampler
+///   req.samples = 2'000;
+///   auto a = engine.Estimate(42, req);   // pays ~2'001 BFS passes
+///   auto b = engine.Estimate(43, req);   // strictly cheaper: reuses a's
+///                                        // dependency vectors
+///   // a.value().value ~= exact BC(42); a.value().ci_half_width bounds it.
 /// \endcode
+///
+/// Migration note: the free functions below predate the engine and are
+/// kept as thin wrappers that build a throwaway engine per call — correct,
+/// but they re-pay setup every time and return bare results without
+/// diagnostics. They are deprecated for new code; prefer a long-lived
+/// BetweennessEngine anywhere more than one call touches the same graph.
+/// Mapping:
+///   EstimateBetweenness(g, r, opt)  -> engine.Estimate(r, request)
+///   EstimateRelativeBetweenness(..) -> engine.EstimateRelative(..)
+///   RankByBetweenness(..)           -> engine.RankTargets(..)
+///   EstimateTopKBetweenness(..)     -> engine.TopK(..)
 
 namespace mhbc {
 
 /// Estimates the (paper-normalized) betweenness of vertex r.
 ///
 /// Fails with InvalidArgument for out-of-range r, empty budgets, or an
-/// estimator that does not support the graph (e.g. shortest-path sampling
-/// on weighted graphs). The graph should be connected for meaningful
-/// scores (the paper's model); disconnected graphs are allowed and treat
-/// cross-component pairs as contributing zero.
+/// estimator that does not support the graph (e.g. linear-scaling
+/// sampling on weighted graphs). The graph should be connected for
+/// meaningful scores (the paper's model); disconnected graphs are allowed
+/// and treat cross-component pairs as contributing zero.
+///
+/// Deprecated in docs: prefer BetweennessEngine::Estimate (see file
+/// comment) for any repeated use.
 StatusOr<BetweennessEstimate> EstimateBetweenness(const CsrGraph& graph,
                                                   VertexId r,
                                                   const EstimateOptions& options);
@@ -38,28 +61,32 @@ StatusOr<BetweennessEstimate> EstimateBetweenness(const CsrGraph& graph,
 /// Estimates relative betweenness scores and ratios for the vertex set
 /// `targets` via the paper's joint-space sampler (§4.3). `iterations` is
 /// the chain length T (one shortest-path pass each).
+///
+/// Deprecated in docs: prefer BetweennessEngine::EstimateRelative, which
+/// additionally caches the result for a following RankTargets call.
 StatusOr<JointResult> EstimateRelativeBetweenness(
     const CsrGraph& graph, const std::vector<VertexId>& targets,
     std::uint64_t iterations, std::uint64_t seed = 0x5eed);
 
 /// Ranks `targets` by estimated betweenness using the joint-space chain's
 /// Copeland scores; returns indices into `targets`, most central first.
+/// Ties (equal Copeland scores) keep the input order of `targets`
+/// (RankOrderFromScores stable_sort contract).
+///
+/// Deprecated in docs: prefer BetweennessEngine::RankTargets.
 StatusOr<std::vector<std::size_t>> RankByBetweenness(
     const CsrGraph& graph, const std::vector<VertexId>& targets,
     std::uint64_t iterations, std::uint64_t seed = 0x5eed);
-
-/// One entry of a top-k result.
-struct TopKEntry {
-  VertexId vertex = kInvalidVertex;
-  /// Paper-normalized estimated betweenness.
-  double estimate = 0.0;
-};
 
 /// Approximate top-k betweenness vertices (the [30] use case the paper's
 /// intro contrasts with single-vertex estimation). Uses shortest-path
 /// sampling over the whole graph with the VC-dimension budget for
 /// (eps, delta) uniform accuracy, then returns the k best by estimate.
-/// Vertices whose scores differ by less than ~2 eps may swap ranks.
+/// Vertices whose scores differ by less than ~2 eps may swap ranks; exact
+/// ties keep vertex-id order.
+///
+/// Deprecated in docs: prefer BetweennessEngine::TopK, which reuses the
+/// sampled credit vector across calls.
 StatusOr<std::vector<TopKEntry>> EstimateTopKBetweenness(
     const CsrGraph& graph, std::uint32_t k, double eps = 0.02,
     double delta = 0.1, std::uint64_t seed = 0x5eed);

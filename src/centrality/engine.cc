@@ -1,0 +1,653 @@
+#include "centrality/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "baselines/distance_sampler.h"
+#include "baselines/geisberger_sampler.h"
+#include "baselines/rk_sampler.h"
+#include "baselines/uniform_sampler.h"
+#include "core/diagnostics.h"
+#include "exact/brandes.h"
+#include "graph/graph_stats.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace mhbc {
+
+// ------------------------------------------------------------- registry
+
+namespace {
+
+EstimatorEntry MakeEntry(EstimatorKind kind) {
+  EstimatorEntry entry;
+  entry.kind = kind;
+  entry.name = EstimatorKindName(kind);
+  entry.supports_weighted = true;
+  entry.chain_based = false;
+  switch (kind) {
+    case EstimatorKind::kExact:
+      entry.summary = "exact Brandes (n passes, zero error)";
+      break;
+    case EstimatorKind::kMetropolisHastings:
+      entry.summary = "single-space MH chain average (paper Eq. 7)";
+      entry.chain_based = true;
+      break;
+    case EstimatorKind::kMhRaoBlackwell:
+      entry.summary = "unbiased Rao-Blackwellized MH companion";
+      entry.chain_based = true;
+      break;
+    case EstimatorKind::kUniformSource:
+      entry.summary = "uniform source sampling (Bader et al.)";
+      break;
+    case EstimatorKind::kDistanceProportional:
+      entry.summary = "distance-proportional sources (Chehreghani [13])";
+      break;
+    case EstimatorKind::kShortestPath:
+      entry.summary = "Riondato-Kornaropoulos shortest-path sampling";
+      break;
+    case EstimatorKind::kLinearScaling:
+      entry.summary = "Geisberger linear-scaling sources (unweighted only)";
+      entry.supports_weighted = false;
+      break;
+  }
+  return entry;
+}
+
+}  // namespace
+
+const std::vector<EstimatorEntry>& EstimatorRegistry() {
+  static const std::vector<EstimatorEntry>* kRegistry = [] {
+    auto* entries = new std::vector<EstimatorEntry>();
+    for (EstimatorKind kind : AllEstimatorKinds()) {
+      entries->push_back(MakeEntry(kind));
+    }
+    return entries;
+  }();
+  return *kRegistry;
+}
+
+const EstimatorEntry* FindEstimator(EstimatorKind kind) {
+  for (const EstimatorEntry& entry : EstimatorRegistry()) {
+    if (entry.kind == kind) return &entry;
+  }
+  return nullptr;
+}
+
+const EstimatorEntry* FindEstimator(const std::string& name) {
+  // One name-resolution path: delegate to the canonical parser so a
+  // future alias cannot make the CLI and the registry disagree.
+  EstimatorKind kind;
+  if (!ParseEstimatorKind(name, &kind)) return nullptr;
+  return FindEstimator(kind);
+}
+
+// ------------------------------------------------------- cached results
+
+struct BetweennessEngine::RkCredit {
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  /// Paper-normalized estimates for every vertex.
+  std::vector<double> values;
+};
+
+struct BetweennessEngine::JointCache {
+  std::vector<VertexId> targets;
+  std::uint64_t iterations = 0;
+  std::uint64_t seed = 0;
+  JointResult result;
+};
+
+// ---------------------------------------------------------- construction
+
+BetweennessEngine::BetweennessEngine(const CsrGraph& graph,
+                                     EngineOptions options)
+    : graph_(&graph), options_(options) {}
+
+BetweennessEngine::~BetweennessEngine() = default;
+
+// ------------------------------------------------------------ lazy state
+
+DependencyOracle* BetweennessEngine::oracle() {
+  if (!oracle_) {
+    oracle_ = std::make_unique<DependencyOracle>(*graph_);
+    // Entry capacity from the byte budget: one memoized vector costs
+    // n doubles; more than n entries can never be used.
+    const std::size_t bytes_per_entry =
+        static_cast<std::size_t>(graph_->num_vertices()) * sizeof(double);
+    const std::size_t entries =
+        bytes_per_entry == 0
+            ? 0
+            : std::min<std::size_t>(
+                  options_.dependency_cache_bytes / bytes_per_entry,
+                  graph_->num_vertices());
+    oracle_->set_cache_capacity(entries);
+  }
+  return oracle_.get();
+}
+
+MhBetweennessSampler* BetweennessEngine::mh_sampler() {
+  if (!mh_) {
+    MhOptions mh_options;
+    mh_options.record_series = true;  // f/proposal series feed diagnostics
+    mh_ = std::make_unique<MhBetweennessSampler>(*graph_, mh_options,
+                                                 oracle());
+  }
+  return mh_.get();
+}
+
+UniformSourceSampler* BetweennessEngine::uniform_sampler() {
+  if (!uniform_) {
+    uniform_ = std::make_unique<UniformSourceSampler>(*graph_, /*seed=*/0,
+                                                      oracle());
+  }
+  return uniform_.get();
+}
+
+DistanceProportionalSampler* BetweennessEngine::distance_sampler() {
+  if (!distance_) {
+    distance_ = std::make_unique<DistanceProportionalSampler>(
+        *graph_, /*seed=*/0, oracle());
+  }
+  return distance_.get();
+}
+
+RkSampler* BetweennessEngine::rk_sampler() {
+  if (!rk_) rk_ = std::make_unique<RkSampler>(*graph_, /*seed=*/0);
+  return rk_.get();
+}
+
+GeisbergerSampler* BetweennessEngine::geisberger_sampler() {
+  if (!geisberger_) {
+    geisberger_ = std::make_unique<GeisbergerSampler>(*graph_, /*seed=*/0);
+  }
+  return geisberger_.get();
+}
+
+const std::vector<double>& BetweennessEngine::exact_scores() {
+  if (!exact_ready_) {
+    exact_scores_ = ExactBetweenness(*graph_);
+    extra_passes_ += graph_->num_vertices();
+    exact_ready_ = true;
+  }
+  return exact_scores_;
+}
+
+std::uint32_t BetweennessEngine::vertex_diameter(std::uint64_t seed) {
+  if (!vertex_diameter_.has_value() || diameter_seed_ != seed) {
+    vertex_diameter_ =
+        ApproxVertexDiameter(*graph_, options_.diameter_probes, seed);
+    diameter_seed_ = seed;
+    extra_passes_ += 2ull * options_.diameter_probes;  // double-sweep probes
+  }
+  return *vertex_diameter_;
+}
+
+const BetweennessEngine::RkCredit& BetweennessEngine::EnsureRkCredit(
+    std::uint64_t samples, std::uint64_t seed, VertexId se_vertex,
+    std::vector<double>* batch_estimates, bool* served_from_cache) {
+  if (rk_credit_ && rk_credit_->samples == samples &&
+      rk_credit_->seed == seed) {
+    *served_from_cache = true;
+    return *rk_credit_;
+  }
+  *served_from_cache = false;
+  RkSampler* rk = rk_sampler();
+  rk->Reset(seed);
+  const std::uint64_t batches = std::max<std::uint64_t>(
+      1, std::min(options_.report_batches, samples));
+  const std::uint64_t base = samples / batches;
+  const std::uint64_t extra = samples % batches;
+  auto credit = std::make_unique<RkCredit>();
+  credit->samples = samples;
+  credit->seed = seed;
+  credit->values.assign(graph_->num_vertices(), 0.0);
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::uint64_t size = base + (b < extra ? 1 : 0);
+    const std::vector<double> estimates = rk->EstimateAll(size);
+    const double weight = static_cast<double>(size);
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      credit->values[v] += estimates[v] * weight;
+    }
+    if (batch_estimates != nullptr) {
+      batch_estimates->push_back(estimates[se_vertex]);
+    }
+  }
+  for (double& value : credit->values) {
+    value /= static_cast<double>(samples);
+  }
+  rk_credit_ = std::move(credit);
+  return *rk_credit_;
+}
+
+std::uint64_t BetweennessEngine::total_sp_passes() const {
+  std::uint64_t passes = extra_passes_;
+  if (oracle_) passes += oracle_->num_passes();
+  if (rk_) passes += rk_->num_passes();
+  if (geisberger_) passes += geisberger_->num_passes();
+  return passes;
+}
+
+std::uint64_t BetweennessEngine::dependency_cache_hits() const {
+  return oracle_ ? oracle_->cache_hits() : 0;
+}
+
+// ------------------------------------------------------------ validation
+
+Status BetweennessEngine::ValidateRequest(
+    VertexId r, const EstimateRequest& request) const {
+  if (graph_->num_vertices() < 2) {
+    return Status::InvalidArgument("graph needs at least two vertices");
+  }
+  if (r >= graph_->num_vertices()) {
+    return Status::InvalidArgument(
+        "vertex " + std::to_string(r) + " out of range (n=" +
+        std::to_string(graph_->num_vertices()) + ")");
+  }
+  const EstimatorEntry* entry = FindEstimator(request.kind);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("unknown estimator kind");
+  }
+  if (graph_->weighted() && !entry->supports_weighted) {
+    return Status::InvalidArgument(std::string(entry->name) +
+                                   " estimator supports unweighted graphs "
+                                   "only");
+  }
+  if (request.kind == EstimatorKind::kExact) return Status::Ok();
+  switch (request.budget) {
+    case BudgetKind::kSamples:
+      if (request.samples == 0) {
+        return Status::InvalidArgument("sampling budget must be positive");
+      }
+      break;
+    case BudgetKind::kDeadline:
+      if (!(request.deadline_seconds > 0.0)) {
+        return Status::InvalidArgument(
+            "deadline_seconds must be positive for a deadline budget");
+      }
+      break;
+    case BudgetKind::kStandardError:
+      if (!(request.target_std_error > 0.0)) {
+        return Status::InvalidArgument(
+            "target_std_error must be positive for a standard-error budget");
+      }
+      break;
+  }
+  if (request.budget != BudgetKind::kSamples && request.max_samples == 0) {
+    return Status::InvalidArgument("max_samples must be positive");
+  }
+  return Status::Ok();
+}
+
+Status BetweennessEngine::ValidateTargets(const std::vector<VertexId>& targets,
+                                          std::uint64_t iterations) const {
+  if (graph_->num_vertices() < 2) {
+    return Status::InvalidArgument("graph needs at least two vertices");
+  }
+  if (targets.size() < 2) {
+    return Status::InvalidArgument("need at least two target vertices");
+  }
+  if (iterations == 0) {
+    return Status::InvalidArgument("iteration budget must be positive");
+  }
+  for (VertexId r : targets) {
+    if (r >= graph_->num_vertices()) {
+      return Status::InvalidArgument("target vertex " + std::to_string(r) +
+                                     " out of range");
+    }
+  }
+  std::vector<VertexId> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("target vertices must be distinct");
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- serving
+
+namespace {
+
+/// Fills value / acceptance / ESS / std-error of a report from one chain
+/// run. kMetropolisHastings reads the Eq. 7 chain average (standard error
+/// via the Geyer ESS, as in core/adaptive.h); kMhRaoBlackwell reads the
+/// unbiased proposal average (its terms are iid, so plain sqrt(T) SE).
+void FillChainReport(const MhResult& result, EstimatorKind kind,
+                     EstimateReport* report) {
+  report->acceptance_rate = result.diagnostics.acceptance_rate();
+  if (kind == EstimatorKind::kMetropolisHastings) {
+    report->value = result.estimate;
+    RunningStats stats;
+    for (double f : result.f_series) stats.Add(f);
+    const double ess = EffectiveSampleSize(result.f_series);
+    report->ess = ess;
+    report->std_error =
+        ess > 1.0 ? std::sqrt(stats.variance() / ess) : stats.stddev();
+  } else {
+    report->value = result.proposal_estimate;
+    const double count = static_cast<double>(result.proposal_series.size());
+    report->ess = count;
+    report->std_error =
+        count > 1.0 ? StdDev(result.proposal_series) / std::sqrt(count) : 0.0;
+  }
+}
+
+}  // namespace
+
+double BetweennessEngine::RunBatch(EstimatorKind kind, VertexId r,
+                                   std::uint64_t count, MhResult* chain_out) {
+  switch (kind) {
+    case EstimatorKind::kExact:
+      return exact_scores()[r];
+    case EstimatorKind::kMetropolisHastings:
+    case EstimatorKind::kMhRaoBlackwell: {
+      MhResult result = mh_sampler()->Run(r, count);
+      const double value = kind == EstimatorKind::kMetropolisHastings
+                               ? result.estimate
+                               : result.proposal_estimate;
+      if (chain_out != nullptr) *chain_out = std::move(result);
+      return value;
+    }
+    case EstimatorKind::kUniformSource:
+      return uniform_sampler()->Estimate(r, count);
+    case EstimatorKind::kDistanceProportional:
+      return distance_sampler()->Estimate(r, count);
+    case EstimatorKind::kShortestPath:
+      return rk_sampler()->Estimate(r, count);
+    case EstimatorKind::kLinearScaling:
+      return geisberger_sampler()->Estimate(r, count);
+  }
+  MHBC_DCHECK(false);
+  return 0.0;
+}
+
+void BetweennessEngine::ServeSamplesBudget(VertexId r,
+                                           const EstimateRequest& request,
+                                           EstimateReport* report) {
+  const EstimatorKind kind = request.kind;
+  if (kind == EstimatorKind::kExact) {
+    report->cache_hit = exact_ready_;
+    report->value = exact_scores()[r];
+    return;
+  }
+  if (kind == EstimatorKind::kMetropolisHastings ||
+      kind == EstimatorKind::kMhRaoBlackwell) {
+    MhBetweennessSampler* sampler = mh_sampler();
+    sampler->Reset(request.seed);
+    const MhResult result = sampler->Run(r, request.samples);
+    FillChainReport(result, kind, report);
+    report->samples_used = request.samples;
+    return;
+  }
+  if (kind == EstimatorKind::kShortestPath) {
+    std::vector<double> batch_estimates;
+    bool served_from_cache = false;
+    const RkCredit& credit = EnsureRkCredit(
+        request.samples, request.seed, r, &batch_estimates, &served_from_cache);
+    report->value = credit.values[r];
+    report->ess = static_cast<double>(request.samples);
+    if (served_from_cache) {
+      // Whole-graph credit vector from an earlier query (or TopK) —
+      // serving any vertex costs zero passes and spends no new samples.
+      report->cache_hit = true;
+      return;
+    }
+    report->samples_used = request.samples;
+    if (batch_estimates.size() >= 2) {
+      RunningStats batch_means;
+      for (double estimate : batch_estimates) batch_means.Add(estimate);
+      report->std_error = batch_means.stddev() /
+                          std::sqrt(static_cast<double>(batch_means.count()));
+    }
+    return;
+  }
+
+  // iid source samplers: split the budget into near-equal batches so the
+  // report carries a standard error; the weighted batch mean regroups the
+  // exact same sample stream, so the estimate matches a single full call.
+  switch (kind) {
+    case EstimatorKind::kUniformSource:
+      uniform_sampler()->Reset(request.seed);
+      break;
+    case EstimatorKind::kDistanceProportional:
+      distance_sampler()->Reset(request.seed);
+      break;
+    case EstimatorKind::kLinearScaling:
+      geisberger_sampler()->Reset(request.seed);
+      break;
+    default:
+      MHBC_DCHECK(false);
+  }
+  const std::uint64_t batches = std::max<std::uint64_t>(
+      1, std::min(options_.report_batches, request.samples));
+  const std::uint64_t base = request.samples / batches;
+  const std::uint64_t extra = request.samples % batches;
+  double weighted_sum = 0.0;
+  RunningStats batch_means;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::uint64_t size = base + (b < extra ? 1 : 0);
+    const double estimate = RunBatch(kind, r, size, nullptr);
+    weighted_sum += estimate * static_cast<double>(size);
+    batch_means.Add(estimate);
+  }
+  report->value = weighted_sum / static_cast<double>(request.samples);
+  report->samples_used = request.samples;
+  report->ess = static_cast<double>(request.samples);
+  if (batch_means.count() >= 2) {
+    report->std_error = batch_means.stddev() /
+                        std::sqrt(static_cast<double>(batch_means.count()));
+  }
+}
+
+void BetweennessEngine::ServeAdaptiveBudget(VertexId r,
+                                            const EstimateRequest& request,
+                                            EstimateReport* report) {
+  WallTimer timer;
+  const bool se_mode = request.budget == BudgetKind::kStandardError;
+  const EstimatorKind kind = request.kind;
+
+  if (kind == EstimatorKind::kMetropolisHastings ||
+      kind == EstimatorKind::kMhRaoBlackwell) {
+    // Doubling re-runs, as in core/adaptive.h. Reseeding before every
+    // run makes each chain a pure function of (seed, budget): the
+    // converged report is reproducible as a kSamples request with
+    // samples=samples_used and the same seed. Total iterations stay
+    // within 2x the final chain length (and replayed prefixes hit the
+    // dependency memo, so the pass cost of re-running is small).
+    MhBetweennessSampler* sampler = mh_sampler();
+    std::uint64_t budget =
+        std::min(std::max<std::uint64_t>(options_.initial_batch, 2),
+                 request.max_samples);
+    while (true) {
+      sampler->Reset(request.seed);
+      const MhResult result = sampler->Run(r, budget);
+      FillChainReport(result, kind, report);
+      report->samples_used = budget;
+      if (se_mode && report->std_error <= request.target_std_error) {
+        report->converged = true;
+        return;
+      }
+      if (!se_mode &&
+          timer.ElapsedSeconds() >= request.deadline_seconds) {
+        return;  // deadline reached; converged stays true
+      }
+      if (budget >= request.max_samples) {
+        report->converged = !se_mode;
+        return;
+      }
+      budget = std::min(budget * 2, request.max_samples);
+    }
+  }
+
+  // iid kinds: accumulate fixed-size batches (the weighted mean equals a
+  // single call of the total size; batch means feed the stop rule).
+  switch (kind) {
+    case EstimatorKind::kUniformSource:
+      uniform_sampler()->Reset(request.seed);
+      break;
+    case EstimatorKind::kDistanceProportional:
+      distance_sampler()->Reset(request.seed);
+      break;
+    case EstimatorKind::kShortestPath:
+      rk_sampler()->Reset(request.seed);
+      break;
+    case EstimatorKind::kLinearScaling:
+      geisberger_sampler()->Reset(request.seed);
+      break;
+    default:
+      MHBC_DCHECK(false);
+  }
+  double weighted_sum = 0.0;
+  std::uint64_t total = 0;
+  RunningStats batch_means;
+  while (true) {
+    const std::uint64_t batch = std::min(
+        std::max<std::uint64_t>(options_.initial_batch, 1),
+        request.max_samples - total);
+    if (batch == 0) {
+      report->converged = !se_mode;
+      return;
+    }
+    const double estimate = RunBatch(kind, r, batch, nullptr);
+    weighted_sum += estimate * static_cast<double>(batch);
+    total += batch;
+    batch_means.Add(estimate);
+    report->value = weighted_sum / static_cast<double>(total);
+    report->samples_used = total;
+    report->ess = static_cast<double>(total);
+    if (batch_means.count() >= 2) {
+      report->std_error = batch_means.stddev() /
+                          std::sqrt(static_cast<double>(batch_means.count()));
+    }
+    if (se_mode) {
+      if (batch_means.count() >= 3 &&
+          report->std_error <= request.target_std_error) {
+        report->converged = true;
+        return;
+      }
+    } else if (timer.ElapsedSeconds() >= request.deadline_seconds) {
+      return;  // deadline reached; converged stays true
+    }
+  }
+}
+
+StatusOr<EstimateReport> BetweennessEngine::Estimate(
+    VertexId r, const EstimateRequest& request) {
+  const Status status = ValidateRequest(r, request);
+  if (!status.ok()) return status;
+
+  EstimateReport report;
+  report.vertex = r;
+  report.kind = request.kind;
+  const std::uint64_t passes_before = total_sp_passes();
+  const std::uint64_t hits_before = dependency_cache_hits();
+  WallTimer timer;
+
+  if (request.kind == EstimatorKind::kExact ||
+      request.budget == BudgetKind::kSamples) {
+    ServeSamplesBudget(r, request, &report);
+  } else {
+    ServeAdaptiveBudget(r, request, &report);
+  }
+
+  report.seconds = timer.ElapsedSeconds();
+  report.sp_passes = total_sp_passes() - passes_before;
+  report.cache_hit =
+      report.cache_hit || dependency_cache_hits() > hits_before;
+  report.ci_half_width = request.z * report.std_error;
+  return report;
+}
+
+StatusOr<std::vector<EstimateReport>> BetweennessEngine::EstimateBatch(
+    const std::vector<EstimateRequest>& requests) {
+  for (const EstimateRequest& request : requests) {
+    const Status status = ValidateRequest(request.vertex, request);
+    if (!status.ok()) return status;  // fail fast, before any work
+  }
+  std::vector<EstimateReport> reports;
+  reports.reserve(requests.size());
+  for (const EstimateRequest& request : requests) {
+    StatusOr<EstimateReport> report = Estimate(request.vertex, request);
+    if (!report.ok()) return report.status();
+    reports.push_back(std::move(report).value());
+  }
+  return reports;
+}
+
+StatusOr<std::vector<EstimateReport>> BetweennessEngine::EstimateMany(
+    const std::vector<VertexId>& vertices, const EstimateRequest& request) {
+  for (VertexId vertex : vertices) {
+    const Status status = ValidateRequest(vertex, request);
+    if (!status.ok()) return status;  // fail fast, before any work
+  }
+  std::vector<EstimateReport> reports;
+  reports.reserve(vertices.size());
+  for (VertexId vertex : vertices) {
+    StatusOr<EstimateReport> report = Estimate(vertex, request);
+    if (!report.ok()) return report.status();
+    reports.push_back(std::move(report).value());
+  }
+  return reports;
+}
+
+StatusOr<JointResult> BetweennessEngine::EstimateRelative(
+    const std::vector<VertexId>& targets, std::uint64_t iterations,
+    std::uint64_t seed) {
+  const Status status = ValidateTargets(targets, iterations);
+  if (!status.ok()) return status;
+  if (joint_cache_ && joint_cache_->targets == targets &&
+      joint_cache_->iterations == iterations && joint_cache_->seed == seed) {
+    return joint_cache_->result;
+  }
+  JointOptions joint_options;
+  joint_options.seed = seed;
+  JointSpaceSampler sampler(*graph_, targets, joint_options, oracle());
+  auto cache = std::make_unique<JointCache>();
+  cache->targets = targets;
+  cache->iterations = iterations;
+  cache->seed = seed;
+  cache->result = sampler.Run(iterations);
+  joint_cache_ = std::move(cache);
+  return joint_cache_->result;
+}
+
+StatusOr<std::vector<std::size_t>> BetweennessEngine::RankTargets(
+    const std::vector<VertexId>& targets, std::uint64_t iterations,
+    std::uint64_t seed) {
+  StatusOr<JointResult> result = EstimateRelative(targets, iterations, seed);
+  if (!result.ok()) return result.status();
+  return RankOrderFromScores(result.value().copeland_scores);
+}
+
+StatusOr<std::vector<TopKEntry>> BetweennessEngine::TopK(std::uint32_t k,
+                                                         double eps,
+                                                         double delta,
+                                                         std::uint64_t seed) {
+  if (graph_->num_vertices() < 2) {
+    return Status::InvalidArgument("graph needs at least two vertices");
+  }
+  if (k == 0 || k > graph_->num_vertices()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (!(eps > 0.0 && eps < 1.0) || !(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("eps and delta must lie in (0, 1)");
+  }
+  const std::uint32_t diameter = std::max(vertex_diameter(seed), 2u);
+  const std::uint64_t samples = RkSampler::SampleBound(diameter, eps, delta);
+  bool served_from_cache = false;
+  const RkCredit& credit = EnsureRkCredit(samples, seed, /*se_vertex=*/0,
+                                          /*batch_estimates=*/nullptr,
+                                          &served_from_cache);
+  const std::vector<std::size_t> order = RankOrderFromScores(credit.values);
+  std::vector<TopKEntry> top;
+  top.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    top.push_back(TopKEntry{static_cast<VertexId>(order[i]),
+                            credit.values[order[i]]});
+  }
+  return top;
+}
+
+}  // namespace mhbc

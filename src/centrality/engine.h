@@ -1,0 +1,294 @@
+#ifndef MHBC_CENTRALITY_ENGINE_H_
+#define MHBC_CENTRALITY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "centrality/estimate.h"
+#include "core/joint_space.h"
+#include "core/mh_betweenness.h"
+#include "exact/dependency_oracle.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+/// \file
+/// BetweennessEngine — the session-object estimation API.
+///
+/// Every estimator in this library is a "pay setup once, then iterate"
+/// algorithm, and one shortest-path pass from a source v yields the
+/// dependency of v on *every* target at once. An engine exploits both: it
+/// is constructed once per graph, owns lazily-built per-estimator state
+/// (a memoizing dependency oracle shared by the source samplers, distance
+/// proposal tables, the RK diameter probe and all-vertices credit vector,
+/// cached exact scores, the last joint-space result), and serves
+/// EstimateRequest -> EstimateReport queries whose work amortizes across
+/// calls. Querying a second vertex on a live engine costs strictly fewer
+/// shortest-path passes than a second one-shot call, because dependency
+/// vectors computed for the first query are served from the memo.
+///
+/// Quickstart:
+/// \code
+///   mhbc::BetweennessEngine engine(graph);
+///   mhbc::EstimateRequest req;
+///   req.kind = mhbc::EstimatorKind::kMetropolisHastings;
+///   req.samples = 2'000;
+///   auto a = engine.Estimate(10, req);   // pays the passes
+///   auto b = engine.Estimate(11, req);   // reuses a's dependency vectors
+///   // b.value().std_error, .acceptance_rate, .ess, .cache_hit ...
+/// \endcode
+///
+/// Reports are deterministic: a fixed (request, engine-construction) pair
+/// reproduces the same value bit-for-bit no matter how many queries ran in
+/// between (samplers are Reset to the request seed per query, and memo
+/// hits return bit-identical vectors), only the work accounting differs.
+///
+/// Thread-compatibility: an engine is NOT thread-safe; shard one engine
+/// per worker for concurrent serving (engines share nothing but the
+/// graph).
+
+namespace mhbc {
+
+class UniformSourceSampler;
+class DistanceProportionalSampler;
+class RkSampler;
+class GeisbergerSampler;
+
+/// How an EstimateRequest's budget is interpreted.
+enum class BudgetKind {
+  /// Spend exactly `samples` samples / chain iterations (kExact: n/a).
+  kSamples,
+  /// Keep sampling in batches until `deadline_seconds` of wall clock.
+  kDeadline,
+  /// Keep sampling in batches until the estimate's standard error drops
+  /// to `target_std_error` (or `max_samples` is hit); KADABRA-style
+  /// adaptivity driven by batch means / chain ESS (see core/adaptive.h).
+  kStandardError,
+};
+
+/// One estimation query. Generalizes EstimateOptions: the budget is a
+/// sample count, a wall-clock deadline, or a target standard error.
+struct EstimateRequest {
+  /// Target vertex — used by EstimateBatch; Estimate/EstimateMany take the
+  /// vertex as an argument and ignore this field.
+  VertexId vertex = kInvalidVertex;
+  EstimatorKind kind = EstimatorKind::kMetropolisHastings;
+  BudgetKind budget = BudgetKind::kSamples;
+  /// kSamples: the exact budget. Other budgets: ignored.
+  std::uint64_t samples = 1000;
+  /// kDeadline only: wall-clock budget in seconds (> 0).
+  double deadline_seconds = 0.0;
+  /// kStandardError only: stop once std_error <= this (> 0).
+  double target_std_error = 0.0;
+  /// Normal quantile for the reported confidence half-width (1.96 ~ 95%).
+  double z = 1.96;
+  /// Safety valve for kDeadline / kStandardError runs.
+  std::uint64_t max_samples = 1 << 20;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Outcome of one engine query: the plain estimate plus diagnostics.
+struct EstimateReport : BetweennessEstimate {
+  /// The queried vertex.
+  VertexId vertex = kInvalidVertex;
+  /// Samples / chain iterations backing `value` (0 for kExact and for
+  /// result-cache serves, which spend no new work). For adaptive chain
+  /// budgets this is the *final* chain's length — the value is
+  /// reproducible as a kSamples request with this count and the same
+  /// seed; the doubling re-runs' total work shows up in sp_passes.
+  std::uint64_t samples_used = 0;
+  /// Fraction of MH proposals accepted (chain estimators only, else 0).
+  double acceptance_rate = 0.0;
+  /// Effective sample size: Geyer ESS of the chain's f-series for
+  /// kMetropolisHastings, the iid draw count otherwise (0 for kExact).
+  double ess = 0.0;
+  /// Standard error of `value` (0 when not measurable: kExact,
+  /// result-cache serves, or single-batch runs).
+  double std_error = 0.0;
+  /// z * std_error — the normal-approximation confidence half-width.
+  double ci_half_width = 0.0;
+  /// True when engine caches did part of the work: dependency-memo hits,
+  /// or a whole-result serve (exact scores, RK credit vector).
+  bool cache_hit = false;
+  /// kStandardError: whether the target was met before max_samples.
+  /// Other budgets: always true.
+  bool converged = true;
+};
+
+/// Engine-wide knobs.
+struct EngineOptions {
+  /// Memory budget (bytes) for the shared dependency-vector memo; the
+  /// engine derives the entry capacity as budget / (n * 8 bytes), so the
+  /// footprint stays bounded on any graph size (capped at n entries —
+  /// beyond that every source is already memoized). 0 disables
+  /// cross-query pass reuse.
+  std::size_t dependency_cache_bytes = std::size_t{256} << 20;  // 256 MiB
+  /// Double-sweep probes for the cached vertex-diameter estimate backing
+  /// TopK's VC sample bound.
+  std::uint32_t diameter_probes = 4;
+  /// First batch size for kDeadline / kStandardError budgets (the total
+  /// doubles until the stop rule fires).
+  std::uint64_t initial_batch = 128;
+  /// kSamples budgets are split into up to this many equal batches so the
+  /// report carries a standard error; the estimate itself is the exact
+  /// full-budget value (batching only regroups the same sample stream).
+  std::uint64_t report_batches = 16;
+};
+
+/// Registry metadata for one estimator. The registry is the single
+/// dispatch table the engine, CLI tools, benches, and tests share, keyed
+/// by both EstimatorKind and its stable string name.
+struct EstimatorEntry {
+  EstimatorKind kind;
+  /// EstimatorKindName(kind): "exact", "mh", "mh-rb", ...
+  const char* name;
+  /// One-line description for CLI help / bench tables.
+  const char* summary;
+  /// False for estimators restricted to unweighted graphs.
+  bool supports_weighted;
+  /// True for the MH chain family (acceptance rate / ESS diagnostics).
+  bool chain_based;
+};
+
+/// All registered estimators, in AllEstimatorKinds() order.
+const std::vector<EstimatorEntry>& EstimatorRegistry();
+
+/// Registry lookup by kind; never null for a valid kind.
+const EstimatorEntry* FindEstimator(EstimatorKind kind);
+
+/// Registry lookup by stable name; null for unknown names.
+const EstimatorEntry* FindEstimator(const std::string& name);
+
+/// Reusable estimation session bound to one graph. See file comment.
+class BetweennessEngine {
+ public:
+  /// The graph must outlive the engine. Construction is O(1); all
+  /// per-estimator state is built lazily on first use.
+  explicit BetweennessEngine(const CsrGraph& graph,
+                             EngineOptions options = EngineOptions());
+  ~BetweennessEngine();
+
+  BetweennessEngine(const BetweennessEngine&) = delete;
+  BetweennessEngine& operator=(const BetweennessEngine&) = delete;
+
+  /// Estimates the (paper-normalized) betweenness of vertex r.
+  ///
+  /// Fails with InvalidArgument for out-of-range r, empty/ill-formed
+  /// budgets, or an estimator that does not support the graph (e.g.
+  /// linear-scaling sampling on weighted graphs). The graph should be
+  /// connected for meaningful scores (the paper's model); disconnected
+  /// graphs are allowed and treat cross-component pairs as zero.
+  StatusOr<EstimateReport> Estimate(VertexId r, const EstimateRequest& request);
+
+  /// Serves heterogeneous requests (each naming its vertex in
+  /// `request.vertex`) through the shared caches. Fails fast: the first
+  /// invalid request aborts the batch.
+  StatusOr<std::vector<EstimateReport>> EstimateBatch(
+      const std::vector<EstimateRequest>& requests);
+
+  /// One request applied to many vertices — the multi-vertex serving shape
+  /// setup amortizes best over (for kShortestPath, all vertices after the
+  /// first are served from the shared credit vector at zero passes).
+  StatusOr<std::vector<EstimateReport>> EstimateMany(
+      const std::vector<VertexId>& vertices, const EstimateRequest& request);
+
+  /// Relative betweenness scores and ratios for `targets` via the paper's
+  /// joint-space sampler (§4.3). The last result is cached keyed on
+  /// (targets, iterations, seed), so asking for scores and then a ranking
+  /// runs the chain once.
+  StatusOr<JointResult> EstimateRelative(const std::vector<VertexId>& targets,
+                                         std::uint64_t iterations,
+                                         std::uint64_t seed = 0x5eed);
+
+  /// Ranks `targets` by the joint-space chain's Copeland scores; returns
+  /// indices into `targets`, most central first. Ties keep input order
+  /// (RankOrderFromScores contract).
+  StatusOr<std::vector<std::size_t>> RankTargets(
+      const std::vector<VertexId>& targets, std::uint64_t iterations,
+      std::uint64_t seed = 0x5eed);
+
+  /// Approximate top-k betweenness vertices via shortest-path sampling at
+  /// the VC-dimension budget for (eps, delta) uniform accuracy. The
+  /// diameter probe and the credit vector are cached, so repeat calls
+  /// (any k) cost no new passes.
+  StatusOr<std::vector<TopKEntry>> TopK(std::uint32_t k, double eps = 0.02,
+                                        double delta = 0.1,
+                                        std::uint64_t seed = 0x5eed);
+
+  const CsrGraph& graph() const { return *graph_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Total shortest-path passes this engine has executed, over all
+  /// estimators and queries (setup passes included).
+  std::uint64_t total_sp_passes() const;
+
+  /// Dependencies served from the shared memo instead of a pass.
+  std::uint64_t dependency_cache_hits() const;
+
+ private:
+  struct RkCredit;     // cached all-vertices RK credit vector
+  struct JointCache;   // cached joint-space result
+
+  Status ValidateRequest(VertexId r, const EstimateRequest& request) const;
+  Status ValidateTargets(const std::vector<VertexId>& targets,
+                         std::uint64_t iterations) const;
+
+  // Lazily-built shared state.
+  DependencyOracle* oracle();
+  MhBetweennessSampler* mh_sampler();
+  UniformSourceSampler* uniform_sampler();
+  DistanceProportionalSampler* distance_sampler();
+  RkSampler* rk_sampler();
+  GeisbergerSampler* geisberger_sampler();
+  const std::vector<double>& exact_scores();
+  std::uint32_t vertex_diameter(std::uint64_t seed);
+
+  /// Returns the all-vertices RK credit vector for (samples, seed),
+  /// serving the cache when the key matches and (re)building it through
+  /// the batched accumulation otherwise — one construction path, so a
+  /// cache serve is always bit-identical to a rebuild. When building and
+  /// `batch_estimates` is non-null, it receives the per-batch estimates
+  /// of `se_vertex` (for the standard-error readout).
+  const RkCredit& EnsureRkCredit(std::uint64_t samples, std::uint64_t seed,
+                                 VertexId se_vertex,
+                                 std::vector<double>* batch_estimates,
+                                 bool* served_from_cache);
+
+  /// Runs `count` more samples of `kind` for vertex r, continuing the
+  /// current sampler stream, and returns the batch estimate. Chain kinds
+  /// run one fresh chain of `count` iterations (`chain_out` receives its
+  /// full result).
+  double RunBatch(EstimatorKind kind, VertexId r, std::uint64_t count,
+                  MhResult* chain_out);
+
+  void ServeSamplesBudget(VertexId r, const EstimateRequest& request,
+                          EstimateReport* report);
+  void ServeAdaptiveBudget(VertexId r, const EstimateRequest& request,
+                           EstimateReport* report);
+
+  const CsrGraph* graph_;
+  EngineOptions options_;
+
+  std::unique_ptr<DependencyOracle> oracle_;
+  std::unique_ptr<MhBetweennessSampler> mh_;
+  std::unique_ptr<UniformSourceSampler> uniform_;
+  std::unique_ptr<DistanceProportionalSampler> distance_;
+  std::unique_ptr<RkSampler> rk_;
+  std::unique_ptr<GeisbergerSampler> geisberger_;
+
+  std::vector<double> exact_scores_;
+  bool exact_ready_ = false;
+  std::optional<std::uint32_t> vertex_diameter_;
+  std::uint64_t diameter_seed_ = 0;
+  std::unique_ptr<RkCredit> rk_credit_;
+  std::unique_ptr<JointCache> joint_cache_;
+
+  /// Passes run outside the oracle and samplers (exact build, probes).
+  std::uint64_t extra_passes_ = 0;
+};
+
+}  // namespace mhbc
+
+#endif  // MHBC_CENTRALITY_ENGINE_H_

@@ -1,6 +1,18 @@
 #include "centrality/estimate.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace mhbc {
+
+const std::vector<EstimatorKind>& AllEstimatorKinds() {
+  static const std::vector<EstimatorKind> kKinds{
+      EstimatorKind::kExact,          EstimatorKind::kMetropolisHastings,
+      EstimatorKind::kMhRaoBlackwell, EstimatorKind::kUniformSource,
+      EstimatorKind::kDistanceProportional, EstimatorKind::kShortestPath,
+      EstimatorKind::kLinearScaling};
+  return kKinds;
+}
 
 const char* EstimatorKindName(EstimatorKind kind) {
   switch (kind) {
@@ -23,17 +35,24 @@ const char* EstimatorKindName(EstimatorKind kind) {
 }
 
 bool ParseEstimatorKind(const std::string& name, EstimatorKind* kind) {
-  for (EstimatorKind candidate :
-       {EstimatorKind::kExact, EstimatorKind::kMetropolisHastings,
-        EstimatorKind::kMhRaoBlackwell, EstimatorKind::kUniformSource,
-        EstimatorKind::kDistanceProportional, EstimatorKind::kShortestPath,
-        EstimatorKind::kLinearScaling}) {
+  for (EstimatorKind candidate : AllEstimatorKinds()) {
     if (name == EstimatorKindName(candidate)) {
       *kind = candidate;
       return true;
     }
   }
   return false;
+}
+
+std::vector<std::size_t> RankOrderFromScores(
+    const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
 }
 
 }  // namespace mhbc

@@ -3,14 +3,18 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "util/common.h"
 
 /// \file
 /// Common result/config types of the unified estimation API (see
-/// centrality/api.h for the entry points).
+/// centrality/engine.h for the session-object entry point and
+/// centrality/api.h for the one-shot convenience wrappers).
 
 namespace mhbc {
 
-/// Which estimator backs an EstimateBetweenness call.
+/// Which estimator backs an estimate.
 enum class EstimatorKind {
   /// Exact Brandes (no sampling; `samples` ignored).
   kExact,
@@ -34,6 +38,11 @@ enum class EstimatorKind {
   kLinearScaling,
 };
 
+/// Every EstimatorKind, in canonical (declaration) order. The single
+/// source of truth the name round-trip, the estimator registry
+/// (centrality/engine.h), and the experiment harnesses iterate.
+const std::vector<EstimatorKind>& AllEstimatorKinds();
+
 /// Returns a stable lowercase name ("mh", "uniform", ...) for tables/CLIs.
 const char* EstimatorKindName(EstimatorKind kind);
 
@@ -41,7 +50,8 @@ const char* EstimatorKindName(EstimatorKind kind);
 /// unknown names.
 bool ParseEstimatorKind(const std::string& name, EstimatorKind* kind);
 
-/// Configuration for a single-vertex estimate.
+/// Configuration for a one-shot single-vertex estimate (the free-function
+/// API; BetweennessEngine requests use the richer EstimateRequest).
 struct EstimateOptions {
   EstimatorKind kind = EstimatorKind::kMetropolisHastings;
   /// Sampling budget: MH iterations or sample count (kind-dependent);
@@ -55,13 +65,26 @@ struct BetweennessEstimate {
   /// Paper-normalized (Eq. 1) betweenness score in [0, 1].
   double value = 0.0;
   /// Shortest-path passes the call consumed (work unit; exact runs report
-  /// n passes).
+  /// n passes; cache-served engine calls can report 0).
   std::uint64_t sp_passes = 0;
   /// Wall-clock seconds.
   double seconds = 0.0;
   /// Estimator that produced the value.
   EstimatorKind kind = EstimatorKind::kExact;
 };
+
+/// One entry of a top-k result.
+struct TopKEntry {
+  VertexId vertex = kInvalidVertex;
+  /// Paper-normalized estimated betweenness.
+  double estimate = 0.0;
+};
+
+/// Indices into `scores`, highest score first. Stable: entries with equal
+/// scores keep their input order (std::stable_sort contract) — callers may
+/// rely on this for deterministic tie-breaking, e.g. "first-listed target
+/// wins" in RankByBetweenness.
+std::vector<std::size_t> RankOrderFromScores(const std::vector<double>& scores);
 
 }  // namespace mhbc
 

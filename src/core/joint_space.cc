@@ -8,11 +8,14 @@ namespace mhbc {
 
 JointSpaceSampler::JointSpaceSampler(const CsrGraph& graph,
                                      std::vector<VertexId> targets,
-                                     JointOptions options)
+                                     JointOptions options,
+                                     DependencyOracle* shared_oracle)
     : graph_(&graph),
       targets_(std::move(targets)),
       options_(options),
-      oracle_(graph),
+      owned_oracle_(shared_oracle ? nullptr
+                                  : std::make_unique<DependencyOracle>(graph)),
+      oracle_(shared_oracle ? shared_oracle : owned_oracle_.get()),
       rng_(options.seed) {
   MHBC_DCHECK(graph.num_vertices() >= 2);
   MHBC_DCHECK(targets_.size() >= 2);
@@ -30,6 +33,7 @@ JointResult JointSpaceSampler::Run(std::uint64_t iterations) {
   const std::size_t k = targets_.size();
 
   JointResult result;
+  const std::uint64_t passes_before = oracle_->num_passes();
   result.samples_per_target.assign(k, 0);
   // accum[j][i] collects sum over M(j) of min{1, delta_v(ri)/delta_v(rj)}.
   std::vector<std::vector<double>> accum(k, std::vector<double>(k, 0.0));
@@ -40,7 +44,7 @@ JointResult JointSpaceSampler::Run(std::uint64_t iterations) {
   std::vector<double> row_proposed(k, 0.0);
 
   auto load_row = [&](VertexId v, std::vector<double>* row) {
-    const std::vector<double>& deltas = oracle_.Dependencies(v);
+    const std::vector<double>& deltas = oracle_->Dependencies(v);
     for (std::size_t i = 0; i < k; ++i) (*row)[i] = deltas[targets_[i]];
   };
 
@@ -86,7 +90,8 @@ JointResult JointSpaceSampler::Run(std::uint64_t iterations) {
   }
 
   result.diagnostics.iterations = options_.burn_in + iterations;
-  result.diagnostics.sp_passes = oracle_.num_passes();
+  // Work this run actually paid for (oracle memo hits cost no pass).
+  result.diagnostics.sp_passes = oracle_->num_passes() - passes_before;
   result.diagnostics.distinct_states = distinct.size();
 
   // Finalize Eq. 23 estimates and Eq. 22 ratios.

@@ -2,6 +2,7 @@
 #define MHBC_CORE_JOINT_SPACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/diagnostics.h"
@@ -65,24 +66,39 @@ struct JointResult {
 };
 
 /// Joint-space MH estimator for relative betweenness over a set R.
+///
+/// Reuse contract: one instance may run any number of chains (each Run is
+/// a fresh chain continuing the instance's random stream); Reset(seed)
+/// rewinds the stream so a cached instance reproduces a fresh one.
 class JointSpaceSampler {
  public:
   /// `targets` (the paper's R) must hold >= 2 distinct valid vertex ids.
+  /// A non-null `shared_oracle` (bound to the same graph, outliving the
+  /// sampler) replaces the internally owned one; its memo can serve
+  /// repeated chain states without re-running passes.
   JointSpaceSampler(const CsrGraph& graph, std::vector<VertexId> targets,
-                    JointOptions options);
+                    JointOptions options,
+                    DependencyOracle* shared_oracle = nullptr);
 
   /// Runs a fresh chain of `iterations` MH steps.
   JointResult Run(std::uint64_t iterations);
 
+  /// Rewinds the random stream to that of a fresh sampler seeded `seed`.
+  void Reset(std::uint64_t seed) {
+    options_.seed = seed;
+    rng_ = Rng(seed);
+  }
+
   const std::vector<VertexId>& targets() const { return targets_; }
 
-  std::uint64_t num_passes() const { return oracle_.num_passes(); }
+  std::uint64_t num_passes() const { return oracle_->num_passes(); }
 
  private:
   const CsrGraph* graph_;
   std::vector<VertexId> targets_;
   JointOptions options_;
-  DependencyOracle oracle_;
+  std::unique_ptr<DependencyOracle> owned_oracle_;
+  DependencyOracle* oracle_;
   Rng rng_;
 };
 

@@ -5,8 +5,14 @@
 namespace mhbc {
 
 MhBetweennessSampler::MhBetweennessSampler(const CsrGraph& graph,
-                                           MhOptions options)
-    : graph_(&graph), options_(options), oracle_(graph), rng_(options.seed) {
+                                           MhOptions options,
+                                           DependencyOracle* shared_oracle)
+    : graph_(&graph),
+      options_(options),
+      owned_oracle_(shared_oracle ? nullptr
+                                  : std::make_unique<DependencyOracle>(graph)),
+      oracle_(shared_oracle ? shared_oracle : owned_oracle_.get()),
+      rng_(options.seed) {
   MHBC_DCHECK(graph.num_vertices() >= 2);
 }
 
@@ -18,27 +24,27 @@ MhResult MhBetweennessSampler::Run(VertexId r, std::uint64_t iterations) {
 
   MhResult result;
   std::unordered_set<VertexId> distinct;
+  const std::uint64_t passes_before = oracle_->num_passes();
 
   // Initial state v0 (uniform unless pinned) and its dependency, 1 pass.
   VertexId current = options_.initial_state != kInvalidVertex
                          ? options_.initial_state
                          : rng_.NextVertex(n);
   MHBC_DCHECK(current < n);
-  double delta_current = oracle_.Dependency(current, r);
+  double delta_current = oracle_->Dependency(current, r);
 
   double f_sum = 0.0;            // sum of f over recorded chain states
   std::uint64_t f_count = 0;     // recorded states (T + 1 when burn_in == 0)
   double proposal_sum = 0.0;     // sum of importance-weighted proposal terms
   std::uint64_t proposal_count = 0;
 
+  const bool record_series = options_.record_trace || options_.record_series;
   auto record_state = [&](VertexId v, double delta) {
     f_sum += delta / n_minus_1;
     ++f_count;
     distinct.insert(v);
-    if (options_.record_trace) {
-      result.trace.push_back(v);
-      result.f_series.push_back(delta / n_minus_1);
-    }
+    if (options_.record_trace) result.trace.push_back(v);
+    if (record_series) result.f_series.push_back(delta / n_minus_1);
   };
   if (options_.burn_in == 0) record_state(current, delta_current);
 
@@ -49,7 +55,7 @@ MhResult MhBetweennessSampler::Run(VertexId r, std::uint64_t iterations) {
 
   for (std::uint64_t t = 1; t <= options_.burn_in + iterations; ++t) {
     const VertexId proposed = DrawProposal(*graph_, options_.proposal, &rng_);
-    const double delta_proposed = oracle_.Dependency(proposed, r);
+    const double delta_proposed = oracle_->Dependency(proposed, r);
 
     // Rao-Blackwellized companion: proposals are iid from q, so
     // delta(proposed) / q(proposed) is an unbiased estimate of raw BC(r).
@@ -58,6 +64,10 @@ MhResult MhBetweennessSampler::Run(VertexId r, std::uint64_t iterations) {
         total_proposal_mass;
     proposal_sum += delta_proposed / q_mass;
     ++proposal_count;
+    if (record_series) {
+      result.proposal_series.push_back(delta_proposed / q_mass /
+                                       (static_cast<double>(n) * n_minus_1));
+    }
 
     const double accept_probability =
         options_.proposal == ProposalKind::kUniform
@@ -77,7 +87,8 @@ MhResult MhBetweennessSampler::Run(VertexId r, std::uint64_t iterations) {
   }
 
   result.diagnostics.iterations = options_.burn_in + iterations;
-  result.diagnostics.sp_passes = oracle_.num_passes();
+  // Work this run actually paid for (oracle memo hits cost no pass).
+  result.diagnostics.sp_passes = oracle_->num_passes() - passes_before;
   result.diagnostics.distinct_states = distinct.size();
 
   // Eq. 7 exactly: BC^(r) = (1/((T+1)(n-1))) sum over chain states of

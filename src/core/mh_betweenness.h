@@ -2,6 +2,7 @@
 #define MHBC_CORE_MH_BETWEENNESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/diagnostics.h"
@@ -41,8 +42,12 @@ struct MhOptions {
   /// (the paper's choice). Theorem 1 holds from any initial state.
   VertexId initial_state = kInvalidVertex;
   /// Record the state trace and per-state f-series (memory O(T); needed by
-  /// the stationarity tests and the mixing bench E6).
+  /// the stationarity tests and the mixing bench E6). Implies
+  /// record_series.
   bool record_trace = false;
+  /// Record only the f-series and proposal-series (memory O(T), no vertex
+  /// trace) — what the engine's ESS / standard-error diagnostics need.
+  bool record_series = false;
 };
 
 /// Outcome of one chain run.
@@ -58,15 +63,31 @@ struct MhResult {
   ChainDiagnostics diagnostics;
   /// States of the chain at steps 0..T (only when record_trace).
   std::vector<VertexId> trace;
-  /// f(state) series parallel to `trace` (only when record_trace).
+  /// f(state) series over the recorded chain states (when record_trace or
+  /// record_series).
   std::vector<double> f_series;
+  /// Paper-normalized importance-weighted proposal terms, one per
+  /// iteration (when record_trace or record_series). These are iid draws
+  /// whose mean is `proposal_estimate`, so stddev/sqrt(T) is its standard
+  /// error.
+  std::vector<double> proposal_series;
 };
 
 /// Reusable single-vertex MH estimator bound to one graph.
+///
+/// Reuse contract: one instance may run any number of chains (each Run is
+/// a fresh chain continuing the instance's random stream, for any target).
+/// Reset(seed) rewinds the stream so a cached instance reproduces a fresh
+/// one bit-for-bit.
 class MhBetweennessSampler {
  public:
-  /// Graph must be non-trivial (n >= 2) and outlive the sampler.
-  MhBetweennessSampler(const CsrGraph& graph, MhOptions options);
+  /// Graph must be non-trivial (n >= 2) and outlive the sampler. A
+  /// non-null `shared_oracle` (bound to the same graph, outliving the
+  /// sampler) replaces the internally owned one; its memo can serve
+  /// repeated proposal sources without re-running passes (see
+  /// DependencyOracle) without changing any estimate.
+  MhBetweennessSampler(const CsrGraph& graph, MhOptions options,
+                       DependencyOracle* shared_oracle = nullptr);
 
   /// Runs a fresh chain of `iterations` MH steps targeting vertex r.
   MhResult Run(VertexId r, std::uint64_t iterations);
@@ -76,15 +97,25 @@ class MhBetweennessSampler {
     return Run(r, iterations).estimate;
   }
 
-  const MhOptions& options() const { return options_; }
+  /// Rewinds the random stream to that of a fresh sampler seeded `seed`.
+  void Reset(std::uint64_t seed) {
+    options_.seed = seed;
+    rng_ = Rng(seed);
+  }
 
-  /// Total shortest-path passes across all runs.
-  std::uint64_t num_passes() const { return oracle_.num_passes(); }
+  const MhOptions& options() const { return options_; }
+  MhOptions* mutable_options() { return &options_; }
+
+  /// Total shortest-path passes across all runs through this sampler's
+  /// oracle (a shared oracle also counts the other users' work; per-run
+  /// work is in MhResult::diagnostics.sp_passes).
+  std::uint64_t num_passes() const { return oracle_->num_passes(); }
 
  private:
   const CsrGraph* graph_;
   MhOptions options_;
-  DependencyOracle oracle_;
+  std::unique_ptr<DependencyOracle> owned_oracle_;
+  DependencyOracle* oracle_;
   Rng rng_;
 };
 

@@ -11,15 +11,36 @@ DependencyOracle::DependencyOracle(const CsrGraph& graph)
   }
 }
 
+void DependencyOracle::set_cache_capacity(std::size_t max_entries) {
+  cache_capacity_ = max_entries;
+  if (cache_capacity_ == 0) cache_.clear();
+}
+
 const std::vector<double>& DependencyOracle::Dependencies(VertexId source) {
   MHBC_DCHECK(source < graph_->num_vertices());
+  if (cache_capacity_ > 0) {
+    const auto it = cache_.find(source);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
   ++num_passes_;
+  const std::vector<double>* deps;
   if (dijkstra_) {
     dijkstra_->Run(source);
-    return accumulator_.Accumulate(*dijkstra_);
+    deps = &accumulator_.Accumulate(*dijkstra_);
+  } else {
+    bfs_->Run(source);
+    deps = &accumulator_.Accumulate(*bfs_);
   }
-  bfs_->Run(source);
-  return accumulator_.Accumulate(*bfs_);
+  if (cache_capacity_ > 0) {
+    // Bulk eviction keeps the policy trivial and deterministic; the cache
+    // refills from the live working set within one query's worth of passes.
+    if (cache_.size() >= cache_capacity_) cache_.clear();
+    return cache_.emplace(source, *deps).first->second;
+  }
+  return *deps;
 }
 
 double DependencyOracle::Dependency(VertexId source, VertexId target) {

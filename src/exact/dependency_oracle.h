@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "graph/csr_graph.h"
 #include "sp/bfs_spd.h"
@@ -23,6 +24,14 @@ namespace mhbc {
 /// O(|E| + |V| log |V|) for weighted graphs" (§4.1). The oracle counts its
 /// passes so harnesses can report work in pass units — the fair comparison
 /// currency across samplers.
+///
+/// One pass from source v yields the dependency of v on *every* target at
+/// once, so a single oracle shared by several estimators (or by one
+/// estimator serving several target vertices — see centrality/engine.h)
+/// can memoize whole dependency vectors and serve repeated sources without
+/// re-running the pass. Memoization is opt-in via set_cache_capacity();
+/// cached answers are bit-identical to recomputed ones (the passes are
+/// deterministic), so caching never changes estimates, only work.
 class DependencyOracle {
  public:
   /// The graph must outlive the oracle. Weighted graphs automatically use
@@ -32,8 +41,9 @@ class DependencyOracle {
   /// Runs one pass from `source` and returns delta_{source.}(target).
   double Dependency(VertexId source, VertexId target);
 
-  /// Runs one pass from `source` and returns the whole dependency vector
-  /// delta_{source.}(.) (valid until the next call).
+  /// Runs one pass from `source` (or serves the memoized vector) and
+  /// returns the whole dependency vector delta_{source.}(.) (valid until
+  /// the next call).
   const std::vector<double>& Dependencies(VertexId source);
 
   /// Paper Eq. 7 integrand: f(v) = 1/(n-1) * sum_u sigma_{vu}(r)/sigma_{vu}
@@ -41,8 +51,22 @@ class DependencyOracle {
   /// One pass from v.
   double EstimatorTerm(VertexId v, VertexId r);
 
-  /// Number of shortest-path passes executed so far.
+  /// Enables memoization of up to `max_entries` dependency vectors
+  /// (memory: max_entries * n doubles; the cache is bulk-evicted when
+  /// full). 0 (the default) disables caching and frees the store.
+  void set_cache_capacity(std::size_t max_entries);
+
+  /// Records `count` shortest-path passes executed *outside* the oracle on
+  /// its behalf (distance-table setup, diameter probes), so every sampler
+  /// reports its true total work through this one counter.
+  void RecordSetupPasses(std::uint64_t count) { num_passes_ += count; }
+
+  /// Number of shortest-path passes executed so far (including recorded
+  /// setup passes; excluding cache hits, which cost no pass).
   std::uint64_t num_passes() const { return num_passes_; }
+
+  /// Number of Dependencies() calls served from the memo without a pass.
+  std::uint64_t cache_hits() const { return cache_hits_; }
 
   const CsrGraph& graph() const { return *graph_; }
 
@@ -52,6 +76,9 @@ class DependencyOracle {
   std::unique_ptr<DijkstraSpd> dijkstra_;
   DependencyAccumulator accumulator_;
   std::uint64_t num_passes_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::size_t cache_capacity_ = 0;
+  std::unordered_map<VertexId, std::vector<double>> cache_;
 };
 
 }  // namespace mhbc

@@ -1,6 +1,7 @@
 #include "graph/graph_io.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -120,6 +121,23 @@ Status WriteEdgeList(const CsrGraph& graph, const std::string& path) {
     return Status::IoError("write to '" + path + "' failed");
   }
   return Status::Ok();
+}
+
+std::vector<VertexId> ParseVertexIdList(const std::string& csv) {
+  std::vector<VertexId> ids;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!token.empty()) {
+      ids.push_back(static_cast<VertexId>(
+          std::strtoul(token.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
 }
 
 }  // namespace mhbc

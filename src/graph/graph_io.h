@@ -36,6 +36,11 @@ StatusOr<CsrGraph> ParseEdgeList(std::istream& in, const EdgeListOptions& option
 StatusOr<CsrGraph> LoadSnapEdgeList(const std::string& path,
                                     const EdgeListOptions& options);
 
+/// Parses a comma-separated vertex-id list ("3,17,42" -> {3, 17, 42});
+/// empty tokens are skipped. The CLI-argument companion of the loaders
+/// above (tools take vertex lists wherever they take an edge list).
+std::vector<VertexId> ParseVertexIdList(const std::string& csv);
+
 /// Writes "u v [w]" lines (u < v, dense ids) plus a '#' header. Output
 /// round-trips through LoadSnapEdgeList.
 Status WriteEdgeList(const CsrGraph& graph, const std::string& path);

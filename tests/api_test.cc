@@ -91,16 +91,30 @@ TEST(ApiTest, RankByBetweennessOrdersBridgeFirst) {
 }
 
 TEST(ApiTest, EstimatorKindNamesRoundTrip) {
-  for (EstimatorKind kind :
-       {EstimatorKind::kExact, EstimatorKind::kMetropolisHastings,
-        EstimatorKind::kUniformSource, EstimatorKind::kDistanceProportional,
-        EstimatorKind::kShortestPath, EstimatorKind::kLinearScaling}) {
+  // Every kind — AllEstimatorKinds() is the canonical list, so a newly
+  // added estimator is covered (or fails here) automatically.
+  for (EstimatorKind kind : AllEstimatorKinds()) {
     EstimatorKind parsed;
-    ASSERT_TRUE(ParseEstimatorKind(EstimatorKindName(kind), &parsed));
+    ASSERT_TRUE(ParseEstimatorKind(EstimatorKindName(kind), &parsed))
+        << EstimatorKindName(kind);
     EXPECT_EQ(parsed, kind);
   }
   EstimatorKind parsed;
   EXPECT_FALSE(ParseEstimatorKind("nonsense", &parsed));
+  EXPECT_FALSE(ParseEstimatorKind("", &parsed));
+  EXPECT_FALSE(ParseEstimatorKind("unknown", &parsed));
+}
+
+TEST(ApiTest, RankOrderFromScoresBreaksTiesByInputOrder) {
+  // The documented stable_sort contract: equal scores keep input order.
+  const std::vector<double> scores{2.0, 5.0, 2.0, 7.0, 2.0};
+  const std::vector<std::size_t> order = RankOrderFromScores(scores);
+  const std::vector<std::size_t> expected{3, 1, 0, 2, 4};
+  EXPECT_EQ(order, expected);
+  EXPECT_TRUE(RankOrderFromScores({}).empty());
+  const std::vector<std::size_t> all_tied = RankOrderFromScores({1.0, 1.0, 1.0});
+  const std::vector<std::size_t> identity{0, 1, 2};
+  EXPECT_EQ(all_tied, identity);
 }
 
 }  // namespace
