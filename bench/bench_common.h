@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exact/brandes.h"
@@ -47,6 +49,64 @@ inline void PrintTable(const std::string& title, const Table& table) {
 /// Standard experiment banner.
 inline void Banner(const char* id, const char* what) {
   std::printf("== %s: %s ==\n", id, what);
+}
+
+/// Machine-readable twin of the markdown output: collects the tables (and
+/// free-form metadata) a harness prints and writes them as
+/// `BENCH_<id>.json` next to the markdown, i.e. into the working
+/// directory, so the perf trajectory is diffable/trackable across PRs
+/// without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_id) : bench_id_(std::move(bench_id)) {}
+
+  /// Records a context key/value pair (graph size, seed, host threads...).
+  void AddMeta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+
+  void AddTable(const std::string& title, const Table& table) {
+    tables_.emplace_back(title, table.ToJson());
+  }
+
+  /// Writes BENCH_<id>.json into the working directory and returns the
+  /// file name (empty on I/O failure, with a note on stderr — a bench run
+  /// must never die on a read-only directory).
+  std::string Write() const {
+    const std::string path = "BENCH_" + bench_id_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "note: could not write %s\n", path.c_str());
+      return "";
+    }
+    out << "{\"bench\": \"" << EscapeJson(bench_id_) << "\", \"meta\": {";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "\"" << EscapeJson(meta_[i].first) << "\": \""
+          << EscapeJson(meta_[i].second) << "\"";
+    }
+    out << "}, \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"title\": \"" << EscapeJson(tables_[i].first)
+          << "\", \"table\": " << tables_[i].second << "}";
+    }
+    out << "]}\n";
+    return path;
+  }
+
+ private:
+  std::string bench_id_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, std::string>> tables_;  // title, json
+};
+
+/// Prints the table to stdout AND records it in the JSON report — the
+/// one-call emission shape harnesses should prefer over bare PrintTable.
+inline void EmitTable(JsonReport* report, const std::string& title,
+                      const Table& table) {
+  PrintTable(title, table);
+  if (report != nullptr) report->AddTable(title, table);
 }
 
 }  // namespace mhbc::bench

@@ -20,6 +20,7 @@
 int main() {
   using namespace mhbc;
   bench::Banner("E10", "speedup vs exact Brandes at the Eq. 14 budget");
+  bench::JsonReport json("e10_speedup");
   const double kEps = 0.1, kDelta = 0.1;
   constexpr std::uint64_t kRunCap = 20'000;
 
@@ -65,9 +66,11 @@ int main() {
          FormatDouble(exact_seconds / mh_seconds, 2) +
              (projected ? "*" : "")});
   }
-  bench::PrintTable(
+  bench::EmitTable(
+      &json,
       "E10: exact-vs-MH cost at the Eq. 14 budget ('*' = projected from "
       "per-pass cost; speedup < 1 means the bound exceeds exact cost)",
       table);
+  json.Write();
   return 0;
 }

@@ -1,5 +1,7 @@
 // mhbc_tool — multitool CLI over the BetweennessEngine session API.
 //
+//   mhbc_tool [--threads=<k>] [--json] <command> ...
+//
 //   mhbc_tool stats      <edge-list>
 //   mhbc_tool estimators
 //   mhbc_tool estimate   <edge-list> <v1,v2,...> [estimator] [samples] [seed]
@@ -10,6 +12,14 @@
 //              families: ba <n> <m-per-vertex> <seed> | er <n> <p> <seed> |
 //                        ws <n> <k> <beta> <seed>    | grid <rows> <cols> |
 //                        caveman <communities> <size>
+//
+// Global flags (anywhere on the command line):
+//   --threads=<k>  engine worker threads (0 = one per hardware thread,
+//                  default 1). Values are bit-identical at any setting —
+//                  threads change wall-clock, never results.
+//   --json         machine-readable output: tables render as
+//                  {"columns": ..., "rows": ...}, estimates as full report
+//                  objects (value, std_error, ci, passes, seconds, ...).
 //
 // Every command builds ONE engine per invocation; multi-vertex estimates
 // and the rank command's score+order pair amortize their passes through
@@ -32,6 +42,28 @@ namespace {
 
 using mhbc::CsrGraph;
 using mhbc::VertexId;
+
+/// Global flags, stripped from argv before command dispatch.
+struct ToolFlags {
+  unsigned threads = 1;
+  bool json = false;
+};
+ToolFlags g_flags;
+
+mhbc::EngineOptions ToolEngineOptions() {
+  mhbc::EngineOptions options;
+  options.num_threads = g_flags.threads;
+  return options;
+}
+
+/// Renders a titled table honouring --json.
+void PrintTableOrJson(const mhbc::Table& table) {
+  if (g_flags.json) {
+    std::printf("%s\n", table.ToJson().c_str());
+  } else {
+    std::printf("%s", table.ToMarkdown().c_str());
+  }
+}
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -64,17 +96,18 @@ int CmdStats(const std::string& path) {
                 mhbc::FormatDouble(s.avg_local_clustering, 4)});
   table.AddRow({"connected", s.connected ? "yes" : "no (LCC shown)"});
   table.AddRow({"weighted", s.weighted ? "yes" : "no"});
-  std::printf("%s", table.ToMarkdown().c_str());
+  PrintTableOrJson(table);
   return 0;
 }
 
 int CmdEstimators() {
-  mhbc::Table table({"name", "weighted", "chain", "description"});
+  mhbc::Table table({"name", "weighted", "chain", "sharded", "description"});
   for (const mhbc::EstimatorEntry& entry : mhbc::EstimatorRegistry()) {
     table.AddRow({entry.name, entry.supports_weighted ? "yes" : "no",
-                  entry.chain_based ? "yes" : "no", entry.summary});
+                  entry.chain_based ? "yes" : "no",
+                  entry.sharded_many ? "yes" : "no", entry.summary});
   }
-  std::printf("%s", table.ToMarkdown().c_str());
+  PrintTableOrJson(table);
   return 0;
 }
 
@@ -92,9 +125,31 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
   }
   if (argc > 2) request.samples = std::strtoull(argv[2], nullptr, 10);
   if (argc > 3) request.seed = std::strtoull(argv[3], nullptr, 10);
-  mhbc::BetweennessEngine engine(graph.value());
+  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
   const auto reports = engine.EstimateMany(vertices, request);
   if (!reports.ok()) return Fail(reports.status().ToString());
+  if (g_flags.json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < reports.value().size(); ++i) {
+      const mhbc::EstimateReport& report = reports.value()[i];
+      std::printf(
+          "%s{\"vertex\": %u, \"value\": %.17g, \"estimator\": \"%s\", "
+          "\"samples_used\": %llu, \"std_error\": %.17g, "
+          "\"ci_half_width\": %.17g, \"ess\": %.17g, "
+          "\"acceptance_rate\": %.17g, \"sp_passes\": %llu, "
+          "\"cache_hit\": %s, \"converged\": %s, \"seconds\": %.6f}",
+          i > 0 ? ", " : "", report.vertex, report.value,
+          mhbc::EstimatorKindName(report.kind),
+          static_cast<unsigned long long>(report.samples_used),
+          report.std_error, report.ci_half_width, report.ess,
+          report.acceptance_rate,
+          static_cast<unsigned long long>(report.sp_passes),
+          report.cache_hit ? "true" : "false",
+          report.converged ? "true" : "false", report.seconds);
+    }
+    std::printf("]\n");
+    return 0;
+  }
   for (const mhbc::EstimateReport& report : reports.value()) {
     std::printf("BC(%u) ~= %.8f  [%s, %llu passes%s, +/-%.2e, %.3fs]\n",
                 report.vertex, report.value,
@@ -112,9 +167,17 @@ int CmdExact(const std::string& path, const char* vertex) {
   mhbc::EstimateRequest request;
   request.kind = mhbc::EstimatorKind::kExact;
   const auto r = static_cast<VertexId>(std::strtoul(vertex, nullptr, 10));
-  mhbc::BetweennessEngine engine(graph.value());
+  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
   const auto result = engine.Estimate(r, request);
   if (!result.ok()) return Fail(result.status().ToString());
+  if (g_flags.json) {
+    std::printf("{\"vertex\": %u, \"value\": %.17g, \"estimator\": \"exact\", "
+                "\"sp_passes\": %llu, \"seconds\": %.6f}\n",
+                r, result.value().value,
+                static_cast<unsigned long long>(result.value().sp_passes),
+                result.value().seconds);
+    return 0;
+  }
   std::printf("BC(%u) = %.10f  [exact, %.3fs]\n", r, result.value().value,
               result.value().seconds);
   return 0;
@@ -126,7 +189,7 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
   const auto k = static_cast<std::uint32_t>(std::strtoul(argv[0], nullptr, 10));
   const double eps = argc > 1 ? std::strtod(argv[1], nullptr) : 0.02;
   const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
-  mhbc::BetweennessEngine engine(graph.value());
+  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
   const auto result = engine.TopK(k, eps, delta);
   if (!result.ok()) return Fail(result.status().ToString());
   mhbc::Table table({"rank", "vertex", "estimated BC"});
@@ -135,7 +198,7 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
     table.AddRow({std::to_string(rank++), std::to_string(entry.vertex),
                   mhbc::FormatDouble(entry.estimate, 6)});
   }
-  std::printf("%s", table.ToMarkdown().c_str());
+  PrintTableOrJson(table);
   return 0;
 }
 
@@ -146,7 +209,7 @@ int CmdRank(const std::string& path, int argc, char** argv) {
   const std::uint64_t iterations =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
   // One engine: the joint chain runs once and serves both calls.
-  mhbc::BetweennessEngine engine(graph.value());
+  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
   const auto joint = engine.EstimateRelative(targets, iterations);
   if (!joint.ok()) return Fail(joint.status().ToString());
   const auto order = engine.RankTargets(targets, iterations);
@@ -158,7 +221,7 @@ int CmdRank(const std::string& path, int argc, char** argv) {
                   mhbc::FormatDouble(joint.value().copeland_scores[idx], 0),
                   mhbc::FormatCount(joint.value().samples_per_target[idx])});
   }
-  std::printf("%s", table.ToMarkdown().c_str());
+  PrintTableOrJson(table);
   if (joint.value().undersampled) {
     std::printf("warning: some targets were never sampled (zero or "
                 "near-zero betweenness)\n");
@@ -193,6 +256,12 @@ int CmdGenerate(int argc, char** argv) {
   }
   const mhbc::Status status = mhbc::WriteEdgeList(graph, out);
   if (!status.ok()) return Fail(status.ToString());
+  if (g_flags.json) {
+    std::printf("{\"file\": \"%s\", \"n\": %u, \"m\": %llu}\n", out.c_str(),
+                graph.num_vertices(),
+                static_cast<unsigned long long>(graph.num_edges()));
+    return 0;
+  }
   std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
   return 0;
@@ -224,7 +293,34 @@ int Demo() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  // Strip global flags (accepted anywhere) before positional dispatch.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(raw_argc));
+  for (int i = 0; i < raw_argc; ++i) {
+    const std::string arg = raw_argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(std::string("--threads=").size());
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return Fail("--threads expects a non-negative integer, got '" +
+                    value + "'");
+      }
+      const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+      if (parsed > 4096) {
+        return Fail("--threads=" + value + " is implausibly large (max 4096)");
+      }
+      g_flags.threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--json") {
+      g_flags.json = true;
+    } else if (i > 0 && arg.rfind("--", 0) == 0) {
+      return Fail("unknown flag '" + arg + "' (flags: --threads=<k>, --json)");
+    } else {
+      args.push_back(raw_argv[i]);
+    }
+  }
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
   if (argc < 2) return Demo();
   const std::string command = argv[1];
   if (command == "stats" && argc == 3) return CmdStats(argv[2]);

@@ -4,7 +4,9 @@ namespace mhbc {
 
 StatusOr<BetweennessEstimate> EstimateBetweenness(
     const CsrGraph& graph, VertexId r, const EstimateOptions& options) {
-  BetweennessEngine engine(graph);
+  EngineOptions engine_options;
+  engine_options.num_threads = options.num_threads;
+  BetweennessEngine engine(graph, engine_options);
   EstimateRequest request;
   request.kind = options.kind;
   request.samples = options.samples;

@@ -31,6 +31,13 @@
 ///   // a.value().value ~= exact BC(42); a.value().ci_half_width bounds it.
 /// \endcode
 ///
+/// Parallelism: set EngineOptions::num_threads (or
+/// EstimateOptions::num_threads here) to run the engine's internal
+/// parallel paths — sharded EstimateMany/EstimateBatch fan-out, the
+/// source-parallel exact build, concurrent RK credit batches. Reported
+/// values are bit-identical at every thread count; see centrality/engine.h
+/// for the precise contract.
+///
 /// Migration note: the free functions below predate the engine and are
 /// kept as thin wrappers that build a throwaway engine per call — correct,
 /// but they re-pay setup every time and return bare results without

@@ -12,7 +12,9 @@
 #include "core/diagnostics.h"
 #include "exact/brandes.h"
 #include "graph/graph_stats.h"
+#include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace mhbc {
@@ -27,9 +29,14 @@ EstimatorEntry MakeEntry(EstimatorKind kind) {
   entry.name = EstimatorKindName(kind);
   entry.supports_weighted = true;
   entry.chain_based = false;
+  // Per-vertex queries are independent for every sampling kind; only the
+  // whole-graph products (exact scores, the RK credit vector) are computed
+  // once and served to all vertices, so sharding them would waste work.
+  entry.sharded_many = true;
   switch (kind) {
     case EstimatorKind::kExact:
       entry.summary = "exact Brandes (n passes, zero error)";
+      entry.sharded_many = false;
       break;
     case EstimatorKind::kMetropolisHastings:
       entry.summary = "single-space MH chain average (paper Eq. 7)";
@@ -47,6 +54,7 @@ EstimatorEntry MakeEntry(EstimatorKind kind) {
       break;
     case EstimatorKind::kShortestPath:
       entry.summary = "Riondato-Kornaropoulos shortest-path sampling";
+      entry.sharded_many = false;
       break;
     case EstimatorKind::kLinearScaling:
       entry.summary = "Geisberger linear-scaling sources (unweighted only)";
@@ -166,9 +174,75 @@ GeisbergerSampler* BetweennessEngine::geisberger_sampler() {
   return geisberger_.get();
 }
 
+unsigned BetweennessEngine::resolved_threads() const {
+  return ResolveThreadCount(options_.num_threads);
+}
+
+ThreadPool* BetweennessEngine::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_threads());
+  return pool_.get();
+}
+
+void BetweennessEngine::EnsureShards() {
+  if (!shards_.empty()) return;
+  // One fully sequential engine per pool worker. Shards split the memo
+  // byte budget so the engine's total cache footprint stays within the
+  // configured bound no matter how wide the pool is — but never below one
+  // entry (n doubles), or a large graph would silently disable shard
+  // memoization entirely. 0 stays 0: caching explicitly off.
+  EngineOptions shard_options = options_;
+  shard_options.num_threads = 1;
+  shard_options.dependency_cache_bytes =
+      options_.dependency_cache_bytes / resolved_threads();
+  const std::size_t one_entry_bytes =
+      static_cast<std::size_t>(graph_->num_vertices()) * sizeof(double);
+  if (options_.dependency_cache_bytes > 0) {
+    shard_options.dependency_cache_bytes =
+        std::max(shard_options.dependency_cache_bytes, one_entry_bytes);
+  }
+  shards_.reserve(pool()->num_threads());
+  for (unsigned w = 0; w < pool()->num_threads(); ++w) {
+    shards_.push_back(
+        std::make_unique<BetweennessEngine>(*graph_, shard_options));
+  }
+}
+
+template <typename VertexAt, typename RequestAt>
+std::vector<EstimateReport> BetweennessEngine::ServeSharded(
+    std::size_t count, VertexAt vertex_at, RequestAt request_at) {
+  EnsureShards();
+  // Pre-warm each shard from the owning oracle's memo (a vector copy is
+  // much cheaper than the pass it replaces), then fan out. Within one
+  // fan-out the shards still pay their passes independently — that is the
+  // price of a zero-synchronization hot path — but knowledge accumulated
+  // by earlier queries and earlier fan-outs is shared.
+  if (oracle_) {
+    for (const std::unique_ptr<BetweennessEngine>& shard : shards_) {
+      shard->oracle()->MergeCacheFrom(*oracle_);
+    }
+  }
+  std::vector<EstimateReport> reports = ParallelMap<EstimateReport>(
+      pool(), count, [this, &vertex_at, &request_at](unsigned worker,
+                                                     std::size_t i) {
+        StatusOr<EstimateReport> report =
+            shards_[worker]->Estimate(vertex_at(i), request_at(i));
+        // Requests were validated against this engine's graph up front, and
+        // shards are bound to the same graph.
+        MHBC_DCHECK(report.ok());
+        return std::move(report).value();
+      });
+  // Pull the shards' freshly memoized dependency vectors into the owning
+  // oracle so sequential queries after the fan-out reuse the passes.
+  for (const std::unique_ptr<BetweennessEngine>& shard : shards_) {
+    if (shard->oracle_) oracle()->MergeCacheFrom(*shard->oracle_);
+  }
+  return reports;
+}
+
 const std::vector<double>& BetweennessEngine::exact_scores() {
   if (!exact_ready_) {
-    exact_scores_ = ExactBetweenness(*graph_);
+    exact_scores_ =
+        BrandesBetweenness(*graph_, Normalization::kPaper, resolved_threads());
     extra_passes_ += graph_->num_vertices();
     exact_ready_ = true;
   }
@@ -194,20 +268,29 @@ const BetweennessEngine::RkCredit& BetweennessEngine::EnsureRkCredit(
     return *rk_credit_;
   }
   *served_from_cache = false;
-  RkSampler* rk = rk_sampler();
-  rk->Reset(seed);
   const std::uint64_t batches = std::max<std::uint64_t>(
       1, std::min(options_.report_batches, samples));
   const std::uint64_t base = samples / batches;
   const std::uint64_t extra = samples % batches;
+  // Each batch runs on its own sampler seeded purely from (seed, batch
+  // index) — the batch structure and seeds never depend on the thread
+  // count, and the weighted merge below folds in batch order, so the
+  // credit vector is bit-identical at any parallelism level.
+  const std::vector<std::vector<double>> batch_credit =
+      ParallelMap<std::vector<double>>(
+          pool(), static_cast<std::size_t>(batches),
+          [this, seed, base, extra](unsigned, std::size_t b) {
+            std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (b + 1);
+            RkSampler sampler(*graph_, SplitMix64(&state));
+            return sampler.EstimateAll(base + (b < extra ? 1 : 0));
+          });
   auto credit = std::make_unique<RkCredit>();
   credit->samples = samples;
   credit->seed = seed;
   credit->values.assign(graph_->num_vertices(), 0.0);
   for (std::uint64_t b = 0; b < batches; ++b) {
-    const std::uint64_t size = base + (b < extra ? 1 : 0);
-    const std::vector<double> estimates = rk->EstimateAll(size);
-    const double weight = static_cast<double>(size);
+    const std::vector<double>& estimates = batch_credit[b];
+    const double weight = static_cast<double>(base + (b < extra ? 1 : 0));
     for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
       credit->values[v] += estimates[v] * weight;
     }
@@ -218,6 +301,7 @@ const BetweennessEngine::RkCredit& BetweennessEngine::EnsureRkCredit(
   for (double& value : credit->values) {
     value /= static_cast<double>(samples);
   }
+  extra_passes_ += samples;  // one pass per sampled path, on batch samplers
   rk_credit_ = std::move(credit);
   return *rk_credit_;
 }
@@ -227,11 +311,18 @@ std::uint64_t BetweennessEngine::total_sp_passes() const {
   if (oracle_) passes += oracle_->num_passes();
   if (rk_) passes += rk_->num_passes();
   if (geisberger_) passes += geisberger_->num_passes();
+  for (const std::unique_ptr<BetweennessEngine>& shard : shards_) {
+    passes += shard->total_sp_passes();
+  }
   return passes;
 }
 
 std::uint64_t BetweennessEngine::dependency_cache_hits() const {
-  return oracle_ ? oracle_->cache_hits() : 0;
+  std::uint64_t hits = oracle_ ? oracle_->cache_hits() : 0;
+  for (const std::unique_ptr<BetweennessEngine>& shard : shards_) {
+    hits += shard->dependency_cache_hits();
+  }
+  return hits;
 }
 
 // ------------------------------------------------------------ validation
@@ -562,9 +653,18 @@ StatusOr<EstimateReport> BetweennessEngine::Estimate(
 
 StatusOr<std::vector<EstimateReport>> BetweennessEngine::EstimateBatch(
     const std::vector<EstimateRequest>& requests) {
+  bool all_sharded = !requests.empty();
   for (const EstimateRequest& request : requests) {
     const Status status = ValidateRequest(request.vertex, request);
     if (!status.ok()) return status;  // fail fast, before any work
+    all_sharded = all_sharded && FindEstimator(request.kind)->sharded_many;
+  }
+  if (all_sharded && requests.size() > 1 && resolved_threads() > 1) {
+    return ServeSharded(
+        requests.size(), [&requests](std::size_t i) { return requests[i].vertex; },
+        [&requests](std::size_t i) -> const EstimateRequest& {
+          return requests[i];
+        });
   }
   std::vector<EstimateReport> reports;
   reports.reserve(requests.size());
@@ -581,6 +681,12 @@ StatusOr<std::vector<EstimateReport>> BetweennessEngine::EstimateMany(
   for (VertexId vertex : vertices) {
     const Status status = ValidateRequest(vertex, request);
     if (!status.ok()) return status;  // fail fast, before any work
+  }
+  if (!vertices.empty() && FindEstimator(request.kind)->sharded_many &&
+      vertices.size() > 1 && resolved_threads() > 1) {
+    return ServeSharded(
+        vertices.size(), [&vertices](std::size_t i) { return vertices[i]; },
+        [&request](std::size_t) -> const EstimateRequest& { return request; });
   }
   std::vector<EstimateReport> reports;
   reports.reserve(vertices.size());

@@ -45,9 +45,31 @@
 /// between (samplers are Reset to the request seed per query, and memo
 /// hits return bit-identical vectors), only the work accounting differs.
 ///
-/// Thread-compatibility: an engine is NOT thread-safe; shard one engine
-/// per worker for concurrent serving (engines share nothing but the
-/// graph).
+/// Parallelism and the thread contract. Set EngineOptions::num_threads to
+/// parallelize *inside* the engine: the exact-score build runs the
+/// source-parallel Brandes, the RK credit vector accumulates its sample
+/// batches concurrently, and EstimateMany / EstimateBatch fan independent
+/// per-vertex queries out across internal per-worker engine shards (each
+/// shard is a fully sequential engine with its own samplers and a private
+/// dependency oracle; shard memos merge back into the owning engine's
+/// oracle when the fan-out completes, so later queries reuse the shards'
+/// passes). Because every per-vertex report is a pure function of
+/// (graph, request) and every parallel reduction uses a fixed,
+/// thread-count-independent grouping, all *statistical* report fields —
+/// value, samples_used, acceptance_rate, ess, std_error, ci_half_width,
+/// converged — are bit-identical at every num_threads setting. Work
+/// accounting (sp_passes attribution, cache_hit, seconds) legitimately
+/// depends on scheduling and is excluded from that guarantee, as are
+/// kDeadline budgets (wall-clock stop rules are nondeterministic even
+/// sequentially). Chain-driven calls (EstimateRelative / RankTargets) stay
+/// sequential by design: a Markov chain is one serial dependency, and
+/// splitting it would change the estimator.
+///
+/// External thread-compatibility is unchanged: concurrent calls into ONE
+/// engine still require external synchronization (queries mutate shared
+/// caches). For concurrent serving either put a mutex in front of one
+/// engine or shard one engine per server worker — engines share nothing
+/// but the graph.
 
 namespace mhbc {
 
@@ -55,6 +77,7 @@ class UniformSourceSampler;
 class DistanceProportionalSampler;
 class RkSampler;
 class GeisbergerSampler;
+class ThreadPool;
 
 /// How an EstimateRequest's budget is interpreted.
 enum class BudgetKind {
@@ -132,9 +155,19 @@ struct EngineOptions {
   /// doubles until the stop rule fires).
   std::uint64_t initial_batch = 128;
   /// kSamples budgets are split into up to this many equal batches so the
-  /// report carries a standard error; the estimate itself is the exact
-  /// full-budget value (batching only regroups the same sample stream).
+  /// report carries a standard error. For the iid source samplers batching
+  /// only regroups one sample stream, so the estimate is invariant to this
+  /// knob; for kShortestPath the batches are independently seeded (that is
+  /// what lets the credit vector build in parallel), so this knob is part
+  /// of the RK sampling plan — changing it redraws the paths. For fixed
+  /// options every estimate is deterministic at any thread count.
   std::uint64_t report_batches = 16;
+  /// Worker threads for the engine's parallel paths (exact Brandes build,
+  /// RK credit batches, sharded EstimateMany / EstimateBatch). 0 = one per
+  /// hardware thread, 1 = fully sequential (the pre-parallel behavior).
+  /// Statistical report fields are bit-identical at every setting — see
+  /// the file comment for the exact contract.
+  unsigned num_threads = 1;
 };
 
 /// Registry metadata for one estimator. The registry is the single
@@ -150,6 +183,12 @@ struct EstimatorEntry {
   bool supports_weighted;
   /// True for the MH chain family (acceptance rate / ESS diagnostics).
   bool chain_based;
+  /// True when EstimateMany / EstimateBatch may fan this kind out across
+  /// per-worker engine shards (each per-vertex query is independent).
+  /// False for whole-graph products (exact scores, the RK credit vector)
+  /// that are computed once and serve every vertex at zero marginal
+  /// passes — sharding those would rebuild the product per worker.
+  bool sharded_many;
 };
 
 /// All registered estimators, in AllEstimatorKinds() order.
@@ -235,6 +274,22 @@ class BetweennessEngine {
   Status ValidateTargets(const std::vector<VertexId>& targets,
                          std::uint64_t iterations) const;
 
+  /// options_.num_threads resolved (0 -> hardware concurrency).
+  unsigned resolved_threads() const;
+  /// Lazily-built worker pool (resolved_threads() wide).
+  ThreadPool* pool();
+  /// Lazily builds one sequential engine shard per pool worker.
+  void EnsureShards();
+  /// Parallel fan-out used by EstimateMany / EstimateBatch once requests
+  /// are validated: query i = (vertex_at(i), request_at(i)) runs on
+  /// whichever shard its claiming worker owns; shard oracle memos merge
+  /// back on completion. Reports come back in query order (defined in
+  /// engine.cc, the only translation unit that instantiates it).
+  template <typename VertexAt, typename RequestAt>
+  std::vector<EstimateReport> ServeSharded(std::size_t count,
+                                           VertexAt vertex_at,
+                                           RequestAt request_at);
+
   // Lazily-built shared state.
   DependencyOracle* oracle();
   MhBetweennessSampler* mh_sampler();
@@ -285,7 +340,13 @@ class BetweennessEngine {
   std::unique_ptr<RkCredit> rk_credit_;
   std::unique_ptr<JointCache> joint_cache_;
 
-  /// Passes run outside the oracle and samplers (exact build, probes).
+  /// Worker pool and per-worker engine shards for the parallel paths;
+  /// both lazily built, both absent while the engine runs sequentially.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<BetweennessEngine>> shards_;
+
+  /// Passes run outside the oracle and samplers (exact build, RK credit
+  /// batches, probes).
   std::uint64_t extra_passes_ = 0;
 };
 

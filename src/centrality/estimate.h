@@ -58,6 +58,10 @@ struct EstimateOptions {
   /// ignored by kExact.
   std::uint64_t samples = 1000;
   std::uint64_t seed = 0x5eed;
+  /// Worker threads for the call's parallel paths (0 = hardware
+  /// concurrency, 1 = sequential). Forwarded to
+  /// EngineOptions::num_threads; values are bit-identical at any setting.
+  unsigned num_threads = 1;
 };
 
 /// Outcome of a single-vertex estimate.

@@ -1,8 +1,10 @@
 #include "core/multi_chain.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace mhbc {
 
@@ -25,7 +27,11 @@ double GelmanRubinRhat(const std::vector<std::vector<double>>& chains) {
   for (double mean : means) across.Add(mean);
   const double between = static_cast<double>(len) * across.variance();
   const double within = Mean(variances);
-  if (within <= 0.0) return 1.0;  // all chains constant
+  if (within <= 0.0) {
+    // All chains constant: perfect agreement is R-hat = 1 exactly, but
+    // constant chains stuck at different levels disagree maximally.
+    return between <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
   const double n = static_cast<double>(len);
   const double pooled = (n - 1.0) / n * within + between / n;
   return std::sqrt(pooled / within);
@@ -34,18 +40,29 @@ double GelmanRubinRhat(const std::vector<std::vector<double>>& chains) {
 MultiChainResult RunMultipleChains(const CsrGraph& graph, VertexId r,
                                    std::uint64_t iterations,
                                    std::uint32_t num_chains,
-                                   const MhOptions& options) {
+                                   const MhOptions& options,
+                                   unsigned num_threads) {
   MHBC_DCHECK(num_chains >= 2);
+  // Each chain is a pure function of its index (seed derivation below), so
+  // the chains can run on any number of workers; pooling below folds the
+  // per-chain results in chain order, which keeps every field bit-identical
+  // to the sequential run.
+  ThreadPool pool(ResolveThreadCount(num_threads));
+  const std::vector<MhResult> results = ParallelMap<MhResult>(
+      &pool, num_chains, [&graph, r, iterations, &options](unsigned,
+                                                           std::size_t c) {
+        MhOptions chain_options = options;
+        chain_options.seed = options.seed + 0x9e3779b97f4a7c15ULL * (c + 1);
+        chain_options.record_trace = true;
+        MhBetweennessSampler sampler(graph, chain_options);
+        return sampler.Run(r, iterations);
+      });
+
   MultiChainResult out;
   std::vector<std::vector<double>> series;
   double estimate_sum = 0.0;
   double proposal_sum = 0.0;
-  for (std::uint32_t c = 0; c < num_chains; ++c) {
-    MhOptions chain_options = options;
-    chain_options.seed = options.seed + 0x9e3779b97f4a7c15ULL * (c + 1);
-    chain_options.record_trace = true;
-    MhBetweennessSampler sampler(graph, chain_options);
-    const MhResult result = sampler.Run(r, iterations);
+  for (const MhResult& result : results) {
     out.chain_estimates.push_back(result.estimate);
     estimate_sum += result.estimate;
     proposal_sum += result.proposal_estimate;

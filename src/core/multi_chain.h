@@ -34,14 +34,23 @@ struct MultiChainResult {
 
 /// Runs `num_chains` chains of `iterations` steps each; seeds are derived
 /// from options.seed, initial states are drawn independently per chain.
+///
+/// The chains are fully independent (each owns its sampler and oracle), so
+/// `num_threads` > 1 runs them concurrently on a fixed worker pool
+/// (0 = hardware concurrency). Per-chain seeds depend only on the chain
+/// index and the per-chain results are pooled in chain order, so the
+/// result is bit-identical at every thread count.
 MultiChainResult RunMultipleChains(const CsrGraph& graph, VertexId r,
                                    std::uint64_t iterations,
                                    std::uint32_t num_chains,
-                                   const MhOptions& options);
+                                   const MhOptions& options,
+                                   unsigned num_threads = 1);
 
-/// Gelman-Rubin R-hat for equal-length scalar series (>= 2 chains). Uses
-/// the classic between/within variance form; returns 1 for degenerate
-/// (zero-variance) inputs.
+/// Gelman-Rubin R-hat for equal-length scalar series (>= 2 chains of >= 2
+/// elements). Uses the classic between/within variance form. Degenerate
+/// inputs: identical constant chains agree perfectly and return exactly 1;
+/// constant chains at *different* levels have zero within-chain variance
+/// but real disagreement and return +infinity.
 double GelmanRubinRhat(const std::vector<std::vector<double>>& chains);
 
 }  // namespace mhbc

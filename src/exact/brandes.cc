@@ -1,8 +1,11 @@
 #include "exact/brandes.h"
 
+#include <algorithm>
+
 #include "sp/bfs_spd.h"
 #include "sp/dependency.h"
 #include "sp/dijkstra_spd.h"
+#include "util/thread_pool.h"
 
 namespace mhbc {
 
@@ -27,26 +30,40 @@ void NormalizeScores(std::vector<double>* scores, Normalization norm,
 
 namespace {
 
-/// Shared driver: accumulates per-source dependencies into `into` (which
-/// may be a full vector or a single slot via the callback).
+/// Shared driver: runs one pass per source in [begin, end) in ascending
+/// order and hands each dependency vector to the callback.
 template <typename PerSource>
-void ForEachSourceDependencies(const CsrGraph& graph, PerSource&& per_source) {
-  const VertexId n = graph.num_vertices();
+void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
+                                      VertexId end, PerSource&& per_source) {
   DependencyAccumulator accumulator(graph);
   if (graph.weighted()) {
     DijkstraSpd engine(graph);
-    for (VertexId s = 0; s < n; ++s) {
+    for (VertexId s = begin; s < end; ++s) {
       engine.Run(s);
       per_source(accumulator.Accumulate(engine));
     }
   } else {
     BfsSpd engine(graph);
-    for (VertexId s = 0; s < n; ++s) {
+    for (VertexId s = begin; s < end; ++s) {
       engine.Run(s);
       per_source(accumulator.Accumulate(engine));
     }
   }
 }
+
+/// All sources, in order (the sequential driver).
+template <typename PerSource>
+void ForEachSourceDependencies(const CsrGraph& graph, PerSource&& per_source) {
+  ForEachSourceDependenciesInRange(graph, 0, graph.num_vertices(),
+                                   std::forward<PerSource>(per_source));
+}
+
+/// Source shards for BrandesBetweenness. Fixed (a function of n only) so
+/// the merge regrouping — and therefore every bit of the result — is
+/// independent of the thread count. 32 shards parallelize well past the
+/// core counts of the target machines while keeping the per-shard partial
+/// vectors (32 * n doubles) an acceptable footprint.
+constexpr std::size_t kBrandesSourceShards = 32;
 
 }  // namespace
 
@@ -57,6 +74,43 @@ std::vector<double> ExactBetweenness(const CsrGraph& graph,
   ForEachSourceDependencies(graph, [&scores, n](const std::vector<double>& delta) {
     for (VertexId v = 0; v < n; ++v) scores[v] += delta[v];
   });
+  NormalizeScores(&scores, norm, n);
+  return scores;
+}
+
+std::vector<double> BrandesBetweenness(const CsrGraph& graph,
+                                       Normalization norm,
+                                       unsigned num_threads) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  const std::size_t shards =
+      std::min<std::size_t>(n, kBrandesSourceShards);
+  ThreadPool pool(ResolveThreadCount(num_threads));
+  // Each shard accumulates its contiguous source range into a private
+  // partial vector; the per-vertex sums regroup as
+  //   ((partial_0 + partial_1) + partial_2) + ...
+  // which depends only on the shard structure, not on which worker ran
+  // which shard or how many workers there were.
+  ParallelOrderedReduce<std::vector<double>>(
+      &pool, shards,
+      [&graph, n, shards](unsigned, std::size_t shard) {
+        const auto begin = static_cast<VertexId>(
+            static_cast<std::size_t>(n) * shard / shards);
+        const auto end = static_cast<VertexId>(
+            static_cast<std::size_t>(n) * (shard + 1) / shards);
+        std::vector<double> partial(n, 0.0);
+        ForEachSourceDependenciesInRange(
+            graph, begin, end, [&partial, n](const std::vector<double>& delta) {
+              for (VertexId v = 0; v < n; ++v) partial[v] += delta[v];
+            });
+        return partial;
+      },
+      &scores,
+      [n](std::vector<double>* accum, std::vector<double> partial,
+          std::size_t) {
+        for (VertexId v = 0; v < n; ++v) (*accum)[v] += partial[v];
+      });
   NormalizeScores(&scores, norm, n);
   return scores;
 }

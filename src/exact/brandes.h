@@ -34,8 +34,22 @@ void NormalizeScores(std::vector<double>* scores, Normalization norm,
 
 /// Exact betweenness of all vertices. O(nm) unweighted, O(nm + n^2 log n)
 /// weighted. Works on disconnected graphs (unreachable pairs contribute 0).
+/// Single-threaded; see BrandesBetweenness for the source-parallel form.
 std::vector<double> ExactBetweenness(const CsrGraph& graph,
                                      Normalization norm = Normalization::kPaper);
+
+/// Source-parallel exact betweenness: the n single-source passes are
+/// independent, so they are split into a *fixed* number of contiguous
+/// source shards (a function of n only, never of the thread count), each
+/// accumulated into its own per-shard score vector by whichever worker
+/// claims it, and merged in shard order at the end. The fixed shard
+/// structure plus the ordered merge make the result bit-identical at every
+/// `num_threads` (0 = hardware concurrency, 1 = sequential). Values may
+/// differ from ExactBetweenness by floating-point regrouping only (last
+/// ulp); both are exact Brandes.
+std::vector<double> BrandesBetweenness(
+    const CsrGraph& graph, Normalization norm = Normalization::kPaper,
+    unsigned num_threads = 0);
 
 /// Exact betweenness of a single vertex r (same asymptotic cost as the full
 /// computation — the point the paper's samplers attack — but with O(n)

@@ -16,6 +16,15 @@ void DependencyOracle::set_cache_capacity(std::size_t max_entries) {
   if (cache_capacity_ == 0) cache_.clear();
 }
 
+void DependencyOracle::MergeCacheFrom(const DependencyOracle& other) {
+  MHBC_DCHECK(graph_ == other.graph_);
+  if (cache_capacity_ == 0) return;
+  for (const auto& [source, deps] : other.cache_) {
+    if (cache_.size() >= cache_capacity_) return;
+    cache_.emplace(source, deps);  // no-op when the source is present
+  }
+}
+
 const std::vector<double>& DependencyOracle::Dependencies(VertexId source) {
   MHBC_DCHECK(source < graph_->num_vertices());
   if (cache_capacity_ > 0) {

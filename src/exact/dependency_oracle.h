@@ -56,6 +56,16 @@ class DependencyOracle {
   /// full). 0 (the default) disables caching and frees the store.
   void set_cache_capacity(std::size_t max_entries);
 
+  /// Copies `other`'s memoized dependency vectors into this oracle's memo
+  /// (skipping sources already present) until this oracle's capacity is
+  /// reached. Counts no passes and no hits — it moves knowledge, not work.
+  /// Used by the engine's sharded fan-out: per-worker oracles run races-free
+  /// in isolation and their memos merge back on completion, so later
+  /// queries on the owning engine reuse the shards' passes. Both oracles
+  /// must be bound to the same graph; memoized vectors are deterministic,
+  /// so merged entries are bit-identical to locally computed ones.
+  void MergeCacheFrom(const DependencyOracle& other);
+
   /// Records `count` shortest-path passes executed *outside* the oracle on
   /// its behalf (distance-table setup, diameter probes), so every sampler
   /// reports its true total work through this one counter.

@@ -65,6 +65,46 @@ std::string Table::ToCsv() const {
   return out;
 }
 
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char ch : raw) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Table::ToJson() const {
+  auto render = [](const std::vector<std::string>& cells) {
+    std::string line = "[";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += ", ";
+      line += "\"" + EscapeJson(cells[c]) + "\"";
+    }
+    return line + "]";
+  };
+  std::string out = "{\"columns\": " + render(headers_) + ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += render(rows_[r]);
+  }
+  return out + "]}";
+}
+
 std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include "util/common.h"
+
+namespace mhbc {
+
+unsigned ResolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t count, const std::function<void(unsigned, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t index = 0; index < count; ++index) fn(0, index);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MHBC_DCHECK(job_ == nullptr);  // ParallelFor must not be nested
+    job_ = &fn;
+    job_count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    job_pending_workers_ = static_cast<unsigned>(workers_.size());
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0; it claims items alongside the pool threads.
+  while (true) {
+    const std::size_t index = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= count) break;
+    fn(0, index);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return job_pending_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(unsigned, std::size_t)>* job;
+    std::size_t count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      job = job_;
+      count = job_count_;
+    }
+    while (true) {
+      const std::size_t index =
+          next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      (*job)(worker, index);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--job_pending_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace mhbc

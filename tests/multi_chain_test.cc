@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/theory.h"
 #include "exact/brandes.h"
 #include "graph/generators.h"
@@ -17,6 +19,33 @@ TEST(GelmanRubinTest, IdenticalChainsGiveOne) {
 TEST(GelmanRubinTest, ConstantChainsGiveOne) {
   std::vector<double> flat(50, 2.0);
   EXPECT_DOUBLE_EQ(GelmanRubinRhat({flat, flat, flat}), 1.0);
+}
+
+TEST(GelmanRubinTest, DistinctConstantChainsGiveInfinity) {
+  // Zero within-chain variance but nonzero disagreement: the chains are
+  // stuck at different levels, the worst possible convergence failure.
+  std::vector<double> low(50, 1.0), high(50, 3.0);
+  EXPECT_TRUE(std::isinf(GelmanRubinRhat({low, high})));
+}
+
+TEST(GelmanRubinTest, TwoElementSeriesIsTheMinimumAndFinite) {
+  // len = 2 is the shortest legal series; the estimator must stay finite
+  // and ordered (agreeing pairs near/below 1, disjoint pairs far above).
+  // At n = 2 the (n-1)/n deflation legitimately pulls agreeing chains to
+  // sqrt(1/2) ~ 0.71 — a known small-sample artifact, not a failure.
+  const double close = GelmanRubinRhat({{0.10, 0.30}, {0.12, 0.28}});
+  EXPECT_TRUE(std::isfinite(close));
+  EXPECT_GE(close, 0.5);
+  EXPECT_LE(close, 1.1);
+  const double far = GelmanRubinRhat({{0.0, 0.01}, {10.0, 10.01}});
+  EXPECT_TRUE(std::isfinite(far));
+  EXPECT_GT(far, 5.0);
+  EXPECT_GT(far, close);
+}
+
+TEST(GelmanRubinTest, TwoElementConstantChainsStayDegenerateSafe) {
+  EXPECT_DOUBLE_EQ(GelmanRubinRhat({{2.0, 2.0}, {2.0, 2.0}}), 1.0);
+  EXPECT_TRUE(std::isinf(GelmanRubinRhat({{2.0, 2.0}, {5.0, 5.0}})));
 }
 
 TEST(GelmanRubinTest, DisjointChainsBlowUp) {

@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mhbc {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&order](unsigned worker, std::size_t index) {
+    EXPECT_EQ(worker, 0u);  // inline: the caller is the only worker
+    order.push_back(static_cast<int>(index));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // in order, inline
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    for (auto& hit : hits) hit.store(0);
+    pool.ParallelFor(kCount, [&hits](unsigned worker, std::size_t index) {
+      EXPECT_LT(worker, 8u);
+      hits[index].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayInRange) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<bool> in_range{true};
+  pool.ParallelFor(500, [&in_range](unsigned worker, std::size_t) {
+    if (worker >= 3) in_range.store(false);
+  });
+  EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&ran](unsigned, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.ParallelFor(20, [&total](unsigned, std::size_t index) {
+      total.fetch_add(index);
+    });
+  }
+  EXPECT_EQ(total.load(), 50ull * (19 * 20 / 2));
+}
+
+TEST(ParallelMapTest, ResultsComeBackInIndexOrder) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const std::vector<int> squares = ParallelMap<int>(
+        &pool, 100,
+        [](unsigned, std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+      EXPECT_EQ(squares[i], static_cast<int>(i * i));
+    }
+  }
+}
+
+TEST(ParallelOrderedReduceTest, FoldRunsInIndexOrderAtAnyThreadCount) {
+  // The fold sees results strictly in index order, so a non-commutative
+  // reduction gives the same answer at any thread count.
+  auto concatenate = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::string out;
+    ParallelOrderedReduce<std::string>(
+        &pool, 26,
+        [](unsigned, std::size_t i) {
+          return std::string(1, static_cast<char>('a' + i));
+        },
+        &out,
+        [](std::string* accum, std::string piece, std::size_t) {
+          *accum += piece;
+        });
+    return out;
+  };
+  const std::string expected = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(concatenate(1), expected);
+  EXPECT_EQ(concatenate(2), expected);
+  EXPECT_EQ(concatenate(4), expected);
+}
+
+}  // namespace
+}  // namespace mhbc
