@@ -1,0 +1,190 @@
+// E19 — ingestion: text parse vs binary snapshot load.
+//
+// The paper's evaluation graphs enter the system as SNAP text edge lists;
+// PR 3 added `.mhbc` binary CSR snapshots (graph/snapshot.h) so a dataset
+// is parsed once and mmap-loaded afterwards. This harness quantifies that
+// trade on the largest registry dataset: it writes the graph as text,
+// converts it to a snapshot, then measures (median of `reps`) the
+// wall-clock and bytes touched of every load path — text parse, buffered
+// snapshot read, mmap with checksum verification, and mmap without
+// (headers only; array pages fault in lazily on first traversal). It also
+// re-checks the central correctness claim: a fixed-seed engine query
+// returns bit-identical statistics no matter which loader produced the
+// graph.
+//
+//   bench_e19_ingest [dataset] [reps]     (default: social-like-8k, 9)
+//
+// Emits BENCH_e19.json next to the markdown output (bench_common.h).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "centrality/engine.h"
+#include "datasets/registry.h"
+#include "graph/graph_io.h"
+#include "graph/ingest.h"
+#include "graph/snapshot.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mhbc::CsrGraph;
+
+/// Median wall-clock seconds of `reps` runs of `body`.
+template <typename Body>
+double MedianSeconds(int reps, Body&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    mhbc::WallTimer timer;
+    body();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::string Ms(double seconds) {
+  return mhbc::FormatDouble(seconds * 1e3, 3) + " ms";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "social-like-8k";
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 9;
+  mhbc::bench::Banner("E19", "ingestion: text parse vs snapshot load");
+
+  auto made = mhbc::MakeDataset(dataset);
+  if (!made.ok()) {
+    std::fprintf(stderr, "error: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  const CsrGraph& graph = made.value();
+
+  const fs::path dir = fs::temp_directory_path() / "mhbc_bench_e19";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string text_path = (dir / (dataset + ".txt")).string();
+  const std::string snapshot_path =
+      (dir / (dataset + mhbc::kSnapshotExtension)).string();
+  if (!mhbc::WriteEdgeList(graph, text_path).ok()) {
+    std::fprintf(stderr, "error: cannot write %s\n", text_path.c_str());
+    return 1;
+  }
+  // The snapshot is taken from the text-loaded graph — the realistic
+  // convert flow, and the id space the parity check below compares in
+  // (the text loader densely remaps ids in first-seen order).
+  auto parsed = mhbc::LoadSnapEdgeList(text_path, {});
+  if (!parsed.ok() ||
+      !mhbc::SaveSnapshot(parsed.value(), snapshot_path).ok()) {
+    std::fprintf(stderr, "error: cannot write %s\n", snapshot_path.c_str());
+    return 1;
+  }
+  const auto text_bytes = static_cast<std::uint64_t>(fs::file_size(text_path));
+  const auto snap_bytes =
+      static_cast<std::uint64_t>(fs::file_size(snapshot_path));
+
+  mhbc::bench::JsonReport report("e19");
+  report.AddMeta("dataset", graph.name());
+  report.AddMeta("n", std::to_string(graph.num_vertices()));
+  report.AddMeta("m", std::to_string(graph.num_edges()));
+  report.AddMeta("reps", std::to_string(reps));
+
+  // --- load-path timings (medians) -------------------------------------
+  const double text_s = MedianSeconds(reps, [&] {
+    auto loaded = mhbc::LoadSnapEdgeList(text_path, {});
+    if (!loaded.ok()) std::abort();
+  });
+  const double buffered_s = MedianSeconds(reps, [&] {
+    auto loaded = mhbc::LoadSnapshotBuffered(snapshot_path);
+    if (!loaded.ok()) std::abort();
+  });
+  mhbc::SnapshotOptions verify_opts;
+  const double mmap_verify_s = MedianSeconds(reps, [&] {
+    auto loaded = mhbc::LoadSnapshotMapped(snapshot_path, verify_opts);
+    if (!loaded.ok()) std::abort();
+  });
+  mhbc::SnapshotOptions lazy_opts;
+  lazy_opts.verify_checksum = false;
+  const double mmap_lazy_s = MedianSeconds(reps, [&] {
+    auto loaded = mhbc::LoadSnapshotMapped(snapshot_path, lazy_opts);
+    if (!loaded.ok()) std::abort();
+  });
+
+  mhbc::Table table({"load path", "file bytes", "bytes touched at load",
+                     "median load", "speedup vs text"});
+  auto add_row = [&](const char* label, std::uint64_t bytes,
+                     const std::string& touched, double seconds) {
+    table.AddRow({label, mhbc::FormatCount(bytes), touched, Ms(seconds),
+                  mhbc::FormatDouble(text_s / seconds, 1) + "x"});
+  };
+  add_row("text parse (LoadSnapEdgeList)", text_bytes,
+          mhbc::FormatCount(text_bytes), text_s);
+  add_row("snapshot buffered read", snap_bytes, mhbc::FormatCount(snap_bytes),
+          buffered_s);
+  add_row("snapshot mmap + checksum", snap_bytes, mhbc::FormatCount(snap_bytes),
+          mmap_verify_s);
+  add_row("snapshot mmap, lazy pages", snap_bytes, "header only",
+          mmap_lazy_s);
+  mhbc::bench::EmitTable(&report, "E19: load paths on " + graph.name(), table);
+
+  // --- loader equivalence: bit-identical engine statistics -------------
+  auto text_graph = mhbc::LoadSnapEdgeList(text_path, {});
+  auto mapped = mhbc::LoadSnapshotMapped(snapshot_path, verify_opts);
+  if (!text_graph.ok() || !mapped.ok()) {
+    std::fprintf(stderr, "error: reload for the parity check failed\n");
+    return 1;
+  }
+  mhbc::EstimateRequest request;
+  request.kind = mhbc::EstimatorKind::kMetropolisHastings;
+  request.samples = 2'000;
+  request.seed = 0xE19;
+  const mhbc::VertexId target =
+      mhbc::bench::PickTargets(text_graph.value()).hub;
+  mhbc::BetweennessEngine text_engine(text_graph.value());
+  mhbc::BetweennessEngine snap_engine(mapped.value().graph());
+  const auto a = text_engine.Estimate(target, request);
+  const auto b = snap_engine.Estimate(target, request);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "error: parity estimates failed\n");
+    return 1;
+  }
+  const bool identical =
+      a.value().value == b.value().value &&
+      a.value().std_error == b.value().std_error &&
+      a.value().ess == b.value().ess &&
+      a.value().acceptance_rate == b.value().acceptance_rate &&
+      a.value().samples_used == b.value().samples_used;
+  mhbc::Table parity({"loader", "BC estimate (hub)", "std error"});
+  parity.AddRow({"text parse", mhbc::FormatScientific(a.value().value, 12),
+                 mhbc::FormatScientific(a.value().std_error, 12)});
+  parity.AddRow({"snapshot mmap", mhbc::FormatScientific(b.value().value, 12),
+                 mhbc::FormatScientific(b.value().std_error, 12)});
+  parity.AddRow({"bit-identical", identical ? "yes" : "NO", ""});
+  mhbc::bench::EmitTable(&report, "E19: loader equivalence", parity);
+
+  const double speedup = text_s / mmap_verify_s;
+  report.AddMeta("text_parse_ms", mhbc::FormatDouble(text_s * 1e3, 3));
+  report.AddMeta("mmap_verified_ms", mhbc::FormatDouble(mmap_verify_s * 1e3, 3));
+  report.AddMeta("mmap_lazy_ms", mhbc::FormatDouble(mmap_lazy_s * 1e3, 3));
+  report.AddMeta("speedup_mmap_vs_text", mhbc::FormatDouble(speedup, 1));
+  report.AddMeta("bit_identical", identical ? "true" : "false");
+  const std::string json = report.Write();
+  if (!json.empty()) std::printf("\nwrote %s\n", json.c_str());
+
+  std::printf("\nsnapshot mmap (verified) is %.1fx faster than text parse\n",
+              speedup);
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: loaders disagree on engine statistics\n");
+    return 1;
+  }
+  return speedup >= 10.0 ? 0 : 2;
+}

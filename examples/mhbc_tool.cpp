@@ -1,25 +1,41 @@
 // mhbc_tool — multitool CLI over the BetweennessEngine session API.
 //
-//   mhbc_tool [--threads=<k>] [--json] <command> ...
+//   mhbc_tool [--threads=<k>] [--json] [--graph=<file>] [--cache-dir=<dir>]
+//             <command> ...
 //
-//   mhbc_tool stats      <edge-list>
+//   mhbc_tool stats      <graph>
+//   mhbc_tool inspect    <file>
+//   mhbc_tool convert    <in> <out>
 //   mhbc_tool estimators
-//   mhbc_tool estimate   <edge-list> <v1,v2,...> [estimator] [samples] [seed]
-//   mhbc_tool exact      <edge-list> <vertex>
-//   mhbc_tool topk       <edge-list> <k> [eps] [delta]
-//   mhbc_tool rank       <edge-list> <v1,v2,...> [iterations]
+//   mhbc_tool estimate   <graph> <v1,v2,...> [estimator] [samples] [seed]
+//   mhbc_tool exact      <graph> <vertex>
+//   mhbc_tool topk       <graph> <k> [eps] [delta]
+//   mhbc_tool rank       <graph> <v1,v2,...> [iterations]
 //   mhbc_tool generate   <family> <args...> <out-file>
 //              families: ba <n> <m-per-vertex> <seed> | er <n> <p> <seed> |
 //                        ws <n> <k> <beta> <seed>    | grid <rows> <cols> |
 //                        caveman <communities> <size>
 //
+// <graph> accepts every ingestion format (graph/ingest.h, docs/formats.md):
+// SNAP edge lists, weighted edge lists, Matrix Market `.mtx`, and `.mhbc`
+// binary snapshots — format is sniffed from extension/content. `convert`
+// transcodes between them by output extension (`.mhbc` snapshot, `.mtx`
+// Matrix Market, anything else edge list); `inspect` prints snapshot
+// header/checksum metadata without building the graph.
+//
 // Global flags (anywhere on the command line):
-//   --threads=<k>  engine worker threads (0 = one per hardware thread,
-//                  default 1). Values are bit-identical at any setting —
-//                  threads change wall-clock, never results.
-//   --json         machine-readable output: tables render as
-//                  {"columns": ..., "rows": ...}, estimates as full report
-//                  objects (value, std_error, ci, passes, seconds, ...).
+//   --threads=<k>    engine worker threads (0 = one per hardware thread,
+//                    default 1). Values are bit-identical at any setting —
+//                    threads change wall-clock, never results.
+//   --json           machine-readable output: tables render as
+//                    {"columns": ..., "rows": ...}, estimates as full
+//                    report objects (value, std_error, ci, passes, ...).
+//   --graph=<file>   default graph file; commands taking a <graph>
+//                    positional use it when the positional is omitted
+//                    (e.g. `mhbc_tool --graph=g.mhbc stats`).
+//   --cache-dir=<d>  snapshot cache: text datasets are parsed once,
+//                    snapshotted under <d>, and mmap-loaded zero-copy on
+//                    every later run.
 //
 // Every command builds ONE engine per invocation; multi-vertex estimates
 // and the rank command's score+order pair amortize their passes through
@@ -36,6 +52,8 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "graph/ingest.h"
+#include "graph/snapshot.h"
 #include "util/table.h"
 
 namespace {
@@ -47,6 +65,8 @@ using mhbc::VertexId;
 struct ToolFlags {
   unsigned threads = 1;
   bool json = false;
+  std::string graph;      // --graph= default graph file
+  std::string cache_dir;  // --cache-dir= snapshot cache
 };
 ToolFlags g_flags;
 
@@ -70,16 +90,20 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-mhbc::StatusOr<CsrGraph> Load(const std::string& path) {
-  mhbc::EdgeListOptions options;
+/// Opens a graph in any ingestion format, honouring --cache-dir. The
+/// largest component is always extracted (the estimators assume a
+/// connected G, and SNAP files ship satellite components).
+mhbc::StatusOr<mhbc::GraphSource> Load(const std::string& path) {
+  mhbc::IngestOptions options;
   options.largest_component_only = true;
-  return mhbc::LoadSnapEdgeList(path, options);
+  options.cache_dir = g_flags.cache_dir;
+  return mhbc::OpenGraphSource(path, options);
 }
 
 int CmdStats(const std::string& path) {
-  auto graph = Load(path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  const mhbc::GraphStats s = mhbc::ComputeGraphStats(graph.value());
+  auto source = Load(path);
+  if (!source.ok()) return Fail(source.status().ToString());
+  const mhbc::GraphStats s = mhbc::ComputeGraphStats(source.value().graph());
   mhbc::Table table({"metric", "value"});
   table.AddRow({"n", mhbc::FormatCount(s.num_vertices)});
   table.AddRow({"m", mhbc::FormatCount(s.num_edges)});
@@ -96,7 +120,94 @@ int CmdStats(const std::string& path) {
                 mhbc::FormatDouble(s.avg_local_clustering, 4)});
   table.AddRow({"connected", s.connected ? "yes" : "no (LCC shown)"});
   table.AddRow({"weighted", s.weighted ? "yes" : "no"});
+  table.AddRow({"loaded from",
+                std::string(mhbc::GraphFileFormatName(
+                    source.value().source_format())) +
+                    (source.value().zero_copy() ? ", zero-copy mmap" : "") +
+                    (source.value().cache_hit() ? ", cache hit" : "")});
   PrintTableOrJson(table);
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  const mhbc::GraphFileFormat format = mhbc::SniffGraphFormat(path);
+  mhbc::Table table({"field", "value"});
+  if (format == mhbc::GraphFileFormat::kSnapshot) {
+    auto info = mhbc::InspectSnapshot(path);
+    if (!info.ok()) return Fail(info.status().ToString());
+    const mhbc::SnapshotInfo& s = info.value();
+    table.AddRow({"format", "snapshot (.mhbc)"});
+    table.AddRow({"version", std::to_string(s.version)});
+    table.AddRow({"name", s.name});
+    table.AddRow({"n", mhbc::FormatCount(s.num_vertices)});
+    table.AddRow({"m", mhbc::FormatCount(s.num_edges)});
+    table.AddRow({"weighted", s.weighted ? "yes" : "no"});
+    table.AddRow({"file bytes", mhbc::FormatCount(s.file_bytes)});
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(s.stored_checksum));
+    table.AddRow({"checksum", std::string(checksum) +
+                                  (s.checksum_ok ? " (ok)" : " (MISMATCH)")});
+    PrintTableOrJson(table);
+    return s.checksum_ok ? 0 : 1;
+  }
+  // Text formats: parse without preprocessing and report the basics.
+  mhbc::IngestOptions options;
+  auto source = mhbc::OpenGraphSource(path, options);
+  if (!source.ok()) return Fail(source.status().ToString());
+  const CsrGraph& graph = source.value().graph();
+  table.AddRow({"format", mhbc::GraphFileFormatName(format)});
+  table.AddRow({"n", mhbc::FormatCount(graph.num_vertices())});
+  table.AddRow({"m", mhbc::FormatCount(graph.num_edges())});
+  table.AddRow({"weighted", graph.weighted() ? "yes" : "no"});
+  PrintTableOrJson(table);
+  return 0;
+}
+
+int CmdConvert(const std::string& in, const std::string& out) {
+  // Faithful transcode: no component extraction or relabeling.
+  auto source = mhbc::OpenGraphSource(in, mhbc::IngestOptions());
+  if (!source.ok()) return Fail(source.status().ToString());
+  const CsrGraph& graph = source.value().graph();
+  const mhbc::GraphFileFormat out_format = [&out] {
+    const std::string::size_type dot = out.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : out.substr(dot);
+    if (ext == mhbc::kSnapshotExtension) return mhbc::GraphFileFormat::kSnapshot;
+    if (ext == ".mtx" || ext == ".mm") return mhbc::GraphFileFormat::kMatrixMarket;
+    return mhbc::GraphFileFormat::kWeightedEdgeList;
+  }();
+  mhbc::Status status;
+  switch (out_format) {
+    case mhbc::GraphFileFormat::kSnapshot:
+      if (graph.name().empty()) {
+        // Stamp the source path as the name (loaders normally set it;
+        // copying only in this rare case avoids duplicating the arrays).
+        CsrGraph named = graph;
+        named.set_name(in);
+        status = mhbc::SaveSnapshot(named, out);
+      } else {
+        status = mhbc::SaveSnapshot(graph, out);
+      }
+      break;
+    case mhbc::GraphFileFormat::kMatrixMarket:
+      status = mhbc::WriteMatrixMarket(graph, out);
+      break;
+    default:
+      status = mhbc::WriteEdgeList(graph, out);
+      break;
+  }
+  if (!status.ok()) return Fail(status.ToString());
+  if (g_flags.json) {
+    std::printf("{\"in\": \"%s\", \"out\": \"%s\", \"format\": \"%s\", "
+                "\"n\": %u, \"m\": %llu}\n",
+                in.c_str(), out.c_str(), mhbc::GraphFileFormatName(out_format),
+                graph.num_vertices(),
+                static_cast<unsigned long long>(graph.num_edges()));
+    return 0;
+  }
+  std::printf("wrote %s (%s): n=%u m=%llu\n", out.c_str(),
+              mhbc::GraphFileFormatName(out_format), graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
   return 0;
 }
 
@@ -112,8 +223,8 @@ int CmdEstimators() {
 }
 
 int CmdEstimate(const std::string& path, int argc, char** argv) {
-  auto graph = Load(path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto source = Load(path);
+  if (!source.ok()) return Fail(source.status().ToString());
   mhbc::EstimateRequest request;
   request.kind = mhbc::EstimatorKind::kMetropolisHastings;
   request.samples = 2'000;
@@ -125,7 +236,7 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
   }
   if (argc > 2) request.samples = std::strtoull(argv[2], nullptr, 10);
   if (argc > 3) request.seed = std::strtoull(argv[3], nullptr, 10);
-  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
+  mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto reports = engine.EstimateMany(vertices, request);
   if (!reports.ok()) return Fail(reports.status().ToString());
   if (g_flags.json) {
@@ -162,12 +273,12 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
 }
 
 int CmdExact(const std::string& path, const char* vertex) {
-  auto graph = Load(path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto source = Load(path);
+  if (!source.ok()) return Fail(source.status().ToString());
   mhbc::EstimateRequest request;
   request.kind = mhbc::EstimatorKind::kExact;
   const auto r = static_cast<VertexId>(std::strtoul(vertex, nullptr, 10));
-  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
+  mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto result = engine.Estimate(r, request);
   if (!result.ok()) return Fail(result.status().ToString());
   if (g_flags.json) {
@@ -184,12 +295,12 @@ int CmdExact(const std::string& path, const char* vertex) {
 }
 
 int CmdTopK(const std::string& path, int argc, char** argv) {
-  auto graph = Load(path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto source = Load(path);
+  if (!source.ok()) return Fail(source.status().ToString());
   const auto k = static_cast<std::uint32_t>(std::strtoul(argv[0], nullptr, 10));
   const double eps = argc > 1 ? std::strtod(argv[1], nullptr) : 0.02;
   const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
-  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
+  mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto result = engine.TopK(k, eps, delta);
   if (!result.ok()) return Fail(result.status().ToString());
   mhbc::Table table({"rank", "vertex", "estimated BC"});
@@ -203,13 +314,13 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
 }
 
 int CmdRank(const std::string& path, int argc, char** argv) {
-  auto graph = Load(path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto source = Load(path);
+  if (!source.ok()) return Fail(source.status().ToString());
   const std::vector<VertexId> targets = mhbc::ParseVertexIdList(argv[0]);
   const std::uint64_t iterations =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
   // One engine: the joint chain runs once and serves both calls.
-  mhbc::BetweennessEngine engine(graph.value(), ToolEngineOptions());
+  mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto joint = engine.EstimateRelative(targets, iterations);
   if (!joint.ok()) return Fail(joint.status().ToString());
   const auto order = engine.RankTargets(targets, iterations);
@@ -276,6 +387,10 @@ int Demo() {
   if (CmdGenerate(4, gen_args) != 0) return 1;
   std::printf("\n-- stats --\n");
   if (CmdStats(path) != 0) return 1;
+  std::printf("\n-- convert to snapshot + inspect --\n");
+  const std::string snapshot = "/tmp/mhbc_tool_demo.mhbc";
+  if (CmdConvert(path, snapshot) != 0) return 1;
+  if (CmdInspect(snapshot) != 0) return 1;
   std::printf("\n-- estimators --\n");
   if (CmdEstimators() != 0) return 1;
   std::printf("\n-- estimate gateways 11,23 (mh-rb) --\n");
@@ -313,8 +428,17 @@ int main(int raw_argc, char** raw_argv) {
       g_flags.threads = static_cast<unsigned>(parsed);
     } else if (arg == "--json") {
       g_flags.json = true;
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      g_flags.graph = arg.substr(std::string("--graph=").size());
+      if (g_flags.graph.empty()) return Fail("--graph expects a file path");
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      g_flags.cache_dir = arg.substr(std::string("--cache-dir=").size());
+      if (g_flags.cache_dir.empty()) {
+        return Fail("--cache-dir expects a directory path");
+      }
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
-      return Fail("unknown flag '" + arg + "' (flags: --threads=<k>, --json)");
+      return Fail("unknown flag '" + arg + "' (flags: --threads=<k>, --json, "
+                  "--graph=<file>, --cache-dir=<dir>)");
     } else {
       args.push_back(raw_argv[i]);
     }
@@ -323,19 +447,42 @@ int main(int raw_argc, char** raw_argv) {
   char** argv = args.data();
   if (argc < 2) return Demo();
   const std::string command = argv[1];
-  if (command == "stats" && argc == 3) return CmdStats(argv[2]);
+
+  // Graph-taking commands read their <graph> from --graph= when given,
+  // else from the first positional after the command. `rest` is the index
+  // of the first command-specific argument either way.
+  const char* graph = nullptr;
+  int rest = 2;
+  if (!g_flags.graph.empty()) {
+    graph = g_flags.graph.c_str();
+  } else if (argc > 2) {
+    graph = argv[2];
+    rest = 3;
+  }
+
   if (command == "estimators" && argc == 2) return CmdEstimators();
-  if (command == "estimate" && argc >= 4) {
-    return CmdEstimate(argv[2], argc - 3, argv + 3);
-  }
-  if (command == "exact" && argc == 4) return CmdExact(argv[2], argv[3]);
-  if (command == "topk" && argc >= 4) {
-    return CmdTopK(argv[2], argc - 3, argv + 3);
-  }
-  if (command == "rank" && argc >= 4) {
-    return CmdRank(argv[2], argc - 3, argv + 3);
-  }
   if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
+  if (command == "convert") {
+    // convert takes <in> <out>; with --graph= only <out> remains.
+    if (graph != nullptr && argc == rest + 1) {
+      return CmdConvert(graph, argv[rest]);
+    }
+  } else if (graph != nullptr) {
+    if (command == "stats" && argc == rest) return CmdStats(graph);
+    if (command == "inspect" && argc == rest) return CmdInspect(graph);
+    if (command == "estimate" && argc > rest) {
+      return CmdEstimate(graph, argc - rest, argv + rest);
+    }
+    if (command == "exact" && argc == rest + 1) {
+      return CmdExact(graph, argv[rest]);
+    }
+    if (command == "topk" && argc > rest) {
+      return CmdTopK(graph, argc - rest, argv + rest);
+    }
+    if (command == "rank" && argc > rest) {
+      return CmdRank(graph, argc - rest, argv + rest);
+    }
+  }
   return Fail("unknown command or wrong arity; run without arguments for "
               "the demo and usage");
 }

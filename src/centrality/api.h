@@ -59,8 +59,24 @@ namespace mhbc {
 /// meaningful scores (the paper's model); disconnected graphs are allowed
 /// and treat cross-component pairs as contributing zero.
 ///
-/// Deprecated in docs: prefer BetweennessEngine::Estimate (see file
-/// comment) for any repeated use.
+/// \deprecated Prefer BetweennessEngine::Estimate for any repeated use —
+/// it amortizes passes across queries and reports diagnostics. Migration:
+/// \code
+///   // before:
+///   mhbc::EstimateOptions opt;
+///   opt.kind = mhbc::EstimatorKind::kMetropolisHastings;
+///   opt.samples = 2'000;
+///   auto est = mhbc::EstimateBetweenness(g, 42, opt);
+///   // est.value().value
+///
+///   // after:
+///   mhbc::BetweennessEngine engine(g);   // keep it alive per graph
+///   mhbc::EstimateRequest req;
+///   req.kind = mhbc::EstimatorKind::kMetropolisHastings;
+///   req.samples = 2'000;
+///   auto rep = engine.Estimate(42, req);
+///   // rep.value().value, plus .std_error/.ci_half_width/.ess/...
+/// \endcode
 StatusOr<BetweennessEstimate> EstimateBetweenness(const CsrGraph& graph,
                                                   VertexId r,
                                                   const EstimateOptions& options);
@@ -69,8 +85,16 @@ StatusOr<BetweennessEstimate> EstimateBetweenness(const CsrGraph& graph,
 /// `targets` via the paper's joint-space sampler (§4.3). `iterations` is
 /// the chain length T (one shortest-path pass each).
 ///
-/// Deprecated in docs: prefer BetweennessEngine::EstimateRelative, which
-/// additionally caches the result for a following RankTargets call.
+/// \deprecated Prefer BetweennessEngine::EstimateRelative, which caches
+/// the chain result for a following RankTargets call. Migration:
+/// \code
+///   // before:
+///   auto joint = mhbc::EstimateRelativeBetweenness(g, targets, 20'000);
+///   // after (scores + ranking run the chain ONCE):
+///   mhbc::BetweennessEngine engine(g);
+///   auto joint = engine.EstimateRelative(targets, 20'000);
+///   auto order = engine.RankTargets(targets, 20'000);  // cache hit
+/// \endcode
 StatusOr<JointResult> EstimateRelativeBetweenness(
     const CsrGraph& graph, const std::vector<VertexId>& targets,
     std::uint64_t iterations, std::uint64_t seed = 0x5eed);
@@ -80,7 +104,12 @@ StatusOr<JointResult> EstimateRelativeBetweenness(
 /// Ties (equal Copeland scores) keep the input order of `targets`
 /// (RankOrderFromScores stable_sort contract).
 ///
-/// Deprecated in docs: prefer BetweennessEngine::RankTargets.
+/// \deprecated Prefer BetweennessEngine::RankTargets (same contract; the
+/// joint-space chain result is cached for a preceding/following
+/// EstimateRelative with the same arguments):
+/// \code
+///   auto order = mhbc::BetweennessEngine(g).RankTargets(targets, 20'000);
+/// \endcode
 StatusOr<std::vector<std::size_t>> RankByBetweenness(
     const CsrGraph& graph, const std::vector<VertexId>& targets,
     std::uint64_t iterations, std::uint64_t seed = 0x5eed);
@@ -92,8 +121,14 @@ StatusOr<std::vector<std::size_t>> RankByBetweenness(
 /// Vertices whose scores differ by less than ~2 eps may swap ranks; exact
 /// ties keep vertex-id order.
 ///
-/// Deprecated in docs: prefer BetweennessEngine::TopK, which reuses the
-/// sampled credit vector across calls.
+/// \deprecated Prefer BetweennessEngine::TopK — the diameter probe and
+/// credit vector are cached, so repeat calls (any k, same eps/delta/seed)
+/// cost zero new passes:
+/// \code
+///   mhbc::BetweennessEngine engine(g);
+///   auto top10 = engine.TopK(10, 0.02, 0.1);
+///   auto top50 = engine.TopK(50, 0.02, 0.1);  // free: same credit vector
+/// \endcode
 StatusOr<std::vector<TopKEntry>> EstimateTopKBetweenness(
     const CsrGraph& graph, std::uint32_t k, double eps = 0.02,
     double delta = 0.1, std::uint64_t seed = 0x5eed);

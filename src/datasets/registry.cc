@@ -1,7 +1,12 @@
 #include "datasets/registry.h"
 
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
 #include "graph/generators.h"
 #include "graph/graph_algos.h"
+#include "graph/snapshot.h"
 
 namespace mhbc {
 
@@ -83,6 +88,40 @@ StatusOr<CsrGraph> MakeDataset(const std::string& name) {
     if (spec.name == name) return spec.make();
   }
   return Status::NotFound("no dataset named '" + name + "' in the registry");
+}
+
+StatusOr<GraphSource> MaterializeDataset(const std::string& name,
+                                         const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  StatusOr<CsrGraph> (*build)(const std::string&) = &MakeDataset;
+  if (cache_dir.empty()) {
+    auto graph = build(name);
+    if (!graph.ok()) return graph.status();
+    return GraphSource::FromOwned(std::move(graph).value(),
+                                  GraphFileFormat::kSnapshot);
+  }
+  const fs::path cache_file =
+      fs::path(cache_dir) / (name + kSnapshotExtension);
+  std::error_code ec;
+  if (fs::exists(cache_file, ec)) {
+    auto cached = GraphSource::FromSnapshotFile(
+        cache_file.string(), SnapshotOptions(), /*cache_hit=*/true,
+        GraphFileFormat::kSnapshot);
+    if (cached.ok()) return cached;
+    // Corrupt or version-stale entry: regenerate and overwrite below.
+  }
+  auto graph = build(name);
+  if (!graph.ok()) return graph.status();
+  fs::create_directories(cache_dir, ec);
+  if (!ec && SaveSnapshot(graph.value(), cache_file.string()).ok()) {
+    auto cached = GraphSource::FromSnapshotFile(
+        cache_file.string(), SnapshotOptions(), /*cache_hit=*/false,
+        GraphFileFormat::kSnapshot);
+    if (cached.ok()) return cached;
+  }
+  // Cache I/O failed; the generated graph is still good.
+  return GraphSource::FromOwned(std::move(graph).value(),
+                                GraphFileFormat::kSnapshot);
 }
 
 std::vector<std::string> DefaultExperimentDatasets() {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/ingest.h"
 #include "util/status.h"
 
 /// \file
@@ -35,6 +36,18 @@ const std::vector<DatasetSpec>& DatasetRegistry();
 
 /// Builds a registered dataset by name.
 StatusOr<CsrGraph> MakeDataset(const std::string& name);
+
+/// Materializes a registered dataset through a snapshot cache: the first
+/// call generates the graph and writes `<cache_dir>/<name>.mhbc`
+/// (graph/snapshot.h); later calls mmap-load that snapshot zero-copy and
+/// report GraphSource::cache_hit(). Registry datasets are deterministic,
+/// so the dataset name is the whole cache key; delete the file (or pass a
+/// fresh directory) after changing a generator. With an empty `cache_dir`
+/// this degrades to MakeDataset wrapped in a GraphSource, and any cache
+/// I/O failure degrades the same way — materialization never fails for
+/// cache reasons.
+StatusOr<GraphSource> MaterializeDataset(const std::string& name,
+                                         const std::string& cache_dir);
 
 /// The subset of registry names used by the fast experiment defaults
 /// (graphs small enough for exact ground truth on one core).

@@ -1,8 +1,95 @@
 #include "graph/csr_graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace mhbc {
+
+CsrGraph CsrGraph::WrapExternal(std::span<const EdgeId> offsets,
+                                std::span<const VertexId> neighbors,
+                                std::span<const double> weights,
+                                std::string name) {
+  MHBC_DCHECK(offsets.empty() || offsets.front() == 0);
+  MHBC_DCHECK(offsets.empty() || offsets.back() == neighbors.size());
+  MHBC_DCHECK(weights.empty() || weights.size() == neighbors.size());
+  CsrGraph graph;
+  graph.offsets_ = offsets.data();
+  graph.num_offsets_ = offsets.size();
+  graph.neighbors_ = neighbors.data();
+  graph.num_adjacency_ = neighbors.size();
+  graph.weights_ = weights.empty() ? nullptr : weights.data();
+  graph.external_ = true;
+  graph.name_ = std::move(name);
+  return graph;
+}
+
+CsrGraph CsrGraph::AdoptVerbatim(std::vector<EdgeId> offsets,
+                                 std::vector<VertexId> neighbors,
+                                 std::vector<double> weights,
+                                 std::string name) {
+  MHBC_DCHECK(offsets.empty() || offsets.front() == 0);
+  MHBC_DCHECK(offsets.empty() || offsets.back() == neighbors.size());
+  MHBC_DCHECK(weights.empty() || weights.size() == neighbors.size());
+  CsrGraph graph;
+  graph.offsets_store_ = std::move(offsets);
+  graph.neighbors_store_ = std::move(neighbors);
+  graph.weights_store_ = std::move(weights);
+  graph.name_ = std::move(name);
+  graph.BindOwned();
+  return graph;
+}
+
+void CsrGraph::BindOwned() {
+  offsets_ = offsets_store_.data();
+  num_offsets_ = offsets_store_.size();
+  neighbors_ = neighbors_store_.data();
+  num_adjacency_ = neighbors_store_.size();
+  weights_ = weights_store_.empty() ? nullptr : weights_store_.data();
+  external_ = false;
+}
+
+void CsrGraph::CopyFrom(const CsrGraph& other) {
+  name_ = other.name_;
+  if (other.external_) {
+    // Copies of a view are views over the same external arrays; the
+    // caller's lifetime contract (WrapExternal) covers them.
+    offsets_store_.clear();
+    neighbors_store_.clear();
+    weights_store_.clear();
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+    weights_ = other.weights_;
+    num_offsets_ = other.num_offsets_;
+    num_adjacency_ = other.num_adjacency_;
+    external_ = true;
+    return;
+  }
+  offsets_store_ = other.offsets_store_;
+  neighbors_store_ = other.neighbors_store_;
+  weights_store_ = other.weights_store_;
+  BindOwned();
+}
+
+void CsrGraph::MoveFrom(CsrGraph&& other) noexcept {
+  name_ = std::move(other.name_);
+  offsets_store_ = std::move(other.offsets_store_);
+  neighbors_store_ = std::move(other.neighbors_store_);
+  weights_store_ = std::move(other.weights_store_);
+  // Moving a vector transfers its heap buffer, so other's pointers stay
+  // valid for owned storage and unchanged for external views.
+  offsets_ = other.offsets_;
+  neighbors_ = other.neighbors_;
+  weights_ = other.weights_;
+  num_offsets_ = other.num_offsets_;
+  num_adjacency_ = other.num_adjacency_;
+  external_ = other.external_;
+  other.offsets_ = nullptr;
+  other.neighbors_ = nullptr;
+  other.weights_ = nullptr;
+  other.num_offsets_ = 0;
+  other.num_adjacency_ = 0;
+  other.external_ = false;
+}
 
 bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
   MHBC_DCHECK(u < num_vertices());

@@ -1,6 +1,7 @@
 #ifndef MHBC_GRAPH_CSR_GRAPH_H_
 #define MHBC_GRAPH_CSR_GRAPH_H_
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,25 +15,71 @@
 /// positive edge weights. The per-sample cost of every sampler is one
 /// truncated Brandes pass over this structure, so adjacency is stored as two
 /// flat arrays (offsets + neighbor ids) for sequential scanning.
+///
+/// Storage comes in two flavors behind one interface: an *owning* graph
+/// (built by GraphBuilder, arrays held in private vectors) and a *view*
+/// over externally-owned arrays (WrapExternal), which is what lets the
+/// binary snapshot loader (graph/snapshot.h) serve an mmap'ed file without
+/// copying it. The accessors are identical and branch-free either way.
 
 namespace mhbc {
 
 /// Immutable undirected graph in CSR form.
 ///
 /// Each undirected edge {u,v} is stored twice (u→v and v→u). Construction
-/// goes through GraphBuilder, which sorts, deduplicates, and validates.
+/// goes through GraphBuilder, which sorts, deduplicates, and validates —
+/// or through WrapExternal for pre-validated zero-copy views.
 class CsrGraph {
  public:
   /// Empty graph.
   CsrGraph() = default;
 
+  CsrGraph(const CsrGraph& other) { CopyFrom(other); }
+  CsrGraph& operator=(const CsrGraph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  CsrGraph(CsrGraph&& other) noexcept { MoveFrom(std::move(other)); }
+  CsrGraph& operator=(CsrGraph&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  /// Wraps externally-owned CSR arrays as a read-only graph *without
+  /// copying them*. The arrays must satisfy the GraphBuilder invariants
+  /// (offsets ascending with offsets[0] == 0 and offsets[n] ==
+  /// neighbors.size(), per-vertex neighbor slices sorted, both directions
+  /// of every undirected edge present, weights empty or parallel to
+  /// neighbors) and must stay alive and unchanged for the lifetime of the
+  /// returned graph **and every copy of it** — copies of a view are again
+  /// views. The snapshot loader is the intended caller; anything else
+  /// should go through GraphBuilder.
+  static CsrGraph WrapExternal(std::span<const EdgeId> offsets,
+                               std::span<const VertexId> neighbors,
+                               std::span<const double> weights,
+                               std::string name);
+
+  /// Owning companion of WrapExternal: adopts pre-validated CSR arrays
+  /// verbatim — same invariants as WrapExternal, but the graph takes
+  /// ownership, so there is no lifetime contract to honor. Intended for
+  /// the snapshot loader's buffered path; anything constructing a graph
+  /// from scratch should go through GraphBuilder.
+  static CsrGraph AdoptVerbatim(std::vector<EdgeId> offsets,
+                                std::vector<VertexId> neighbors,
+                                std::vector<double> weights, std::string name);
+
+  /// True when this graph borrows externally-owned arrays (WrapExternal)
+  /// rather than owning its storage; see WrapExternal for the lifetime
+  /// contract.
+  bool is_external_view() const { return external_; }
+
   /// Number of vertices.
   VertexId num_vertices() const {
-    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+    return static_cast<VertexId>(num_offsets_ == 0 ? 0 : num_offsets_ - 1);
   }
 
   /// Number of undirected edges m (adjacency holds 2m entries).
-  std::uint64_t num_edges() const { return neighbors_.size() / 2; }
+  std::uint64_t num_edges() const { return num_adjacency_ / 2; }
 
   /// Degree of v.
   std::uint32_t degree(VertexId v) const {
@@ -43,8 +90,7 @@ class CsrGraph {
   /// Neighbors of v, sorted ascending.
   std::span<const VertexId> neighbors(VertexId v) const {
     MHBC_DCHECK(v < num_vertices());
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    return {neighbors_ + offsets_[v], neighbors_ + offsets_[v + 1]};
   }
 
   /// Weights parallel to neighbors(v); empty span when the graph is
@@ -52,11 +98,11 @@ class CsrGraph {
   std::span<const double> weights(VertexId v) const {
     MHBC_DCHECK(v < num_vertices());
     if (!weighted()) return {};
-    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+    return {weights_ + offsets_[v], weights_ + offsets_[v + 1]};
   }
 
   /// True when edges carry positive weights.
-  bool weighted() const { return !weights_.empty(); }
+  bool weighted() const { return weights_ != nullptr; }
 
   /// True if {u,v} is an edge (binary search over u's sorted neighbors).
   bool HasEdge(VertexId u, VertexId v) const;
@@ -69,6 +115,17 @@ class CsrGraph {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// The raw CSR arrays, for serialization (graph/snapshot.h). offsets has
+  /// num_vertices()+1 entries, adjacency 2m, edge_weights 2m or empty.
+  std::span<const EdgeId> raw_offsets() const { return {offsets_, num_offsets_}; }
+  std::span<const VertexId> raw_adjacency() const {
+    return {neighbors_, num_adjacency_};
+  }
+  std::span<const double> raw_weights() const {
+    return weighted() ? std::span<const double>{weights_, num_adjacency_}
+                      : std::span<const double>{};
+  }
+
   /// All (u, v, w) with u < v; reconstructs the builder input.
   struct Edge {
     VertexId u;
@@ -80,9 +137,26 @@ class CsrGraph {
  private:
   friend class GraphBuilder;
 
-  std::vector<EdgeId> offsets_;      // size n+1
-  std::vector<VertexId> neighbors_;  // size 2m, sorted per vertex
-  std::vector<double> weights_;      // size 2m or empty
+  /// Points the accessor pointers at the owned vectors (after the builder
+  /// fills them in).
+  void BindOwned();
+  void CopyFrom(const CsrGraph& other);
+  void MoveFrom(CsrGraph&& other) noexcept;
+
+  // Owned storage; empty for external views.
+  std::vector<EdgeId> offsets_store_;      // size n+1
+  std::vector<VertexId> neighbors_store_;  // size 2m, sorted per vertex
+  std::vector<double> weights_store_;      // size 2m or empty
+
+  // The arrays the accessors read — either the owned vectors above or
+  // externally-owned memory (external_ == true).
+  const EdgeId* offsets_ = nullptr;
+  const VertexId* neighbors_ = nullptr;
+  const double* weights_ = nullptr;  // null when unweighted
+  std::size_t num_offsets_ = 0;
+  std::size_t num_adjacency_ = 0;
+  bool external_ = false;
+
   std::string name_;
 };
 

@@ -127,4 +127,47 @@ CsrGraph InducedSubgraph(const CsrGraph& graph,
   return sub;
 }
 
+CsrGraph ApplyVertexPermutation(const CsrGraph& graph,
+                                const std::vector<VertexId>& new_id) {
+  const VertexId n = graph.num_vertices();
+  MHBC_DCHECK(new_id.size() == n);
+#ifndef NDEBUG
+  {
+    std::vector<bool> seen(n, false);
+    for (VertexId target : new_id) {
+      MHBC_DCHECK(target < n && !seen[target]);
+      seen[target] = true;
+    }
+  }
+#endif
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (u >= v) continue;  // each undirected edge once
+      const double w = graph.weighted() ? graph.weights(u)[i] : 1.0;
+      builder.AddWeightedEdge(new_id[u], new_id[v], w);
+    }
+  }
+  StatusOr<CsrGraph> result = builder.Build();
+  MHBC_DCHECK(result.ok());
+  CsrGraph relabeled = std::move(result).value();
+  relabeled.set_name(graph.name());
+  return relabeled;
+}
+
+std::vector<VertexId> DegreeDescendingPermutation(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  for (VertexId v = 0; v < n; ++v) by_degree[v] = v;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  std::vector<VertexId> new_id(n);
+  for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
+  return new_id;
+}
+
 }  // namespace mhbc

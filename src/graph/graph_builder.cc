@@ -70,20 +70,20 @@ StatusOr<CsrGraph> GraphBuilder::Build() {
     ++degree[e.u];
     ++degree[e.v];
   }
-  graph.offsets_.assign(n + 1, 0);
+  graph.offsets_store_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
-    graph.offsets_[v + 1] = graph.offsets_[v] + degree[v];
+    graph.offsets_store_[v + 1] = graph.offsets_store_[v] + degree[v];
   }
-  graph.neighbors_.resize(unique_edges.size() * 2);
-  if (weighted_) graph.weights_.resize(unique_edges.size() * 2);
+  graph.neighbors_store_.resize(unique_edges.size() * 2);
+  if (weighted_) graph.weights_store_.resize(unique_edges.size() * 2);
 
-  std::vector<EdgeId> cursor(graph.offsets_.begin(), graph.offsets_.end() - 1);
+  std::vector<EdgeId> cursor(graph.offsets_store_.begin(), graph.offsets_store_.end() - 1);
   for (const PendingEdge& e : unique_edges) {
-    graph.neighbors_[cursor[e.u]] = e.v;
-    graph.neighbors_[cursor[e.v]] = e.u;
+    graph.neighbors_store_[cursor[e.u]] = e.v;
+    graph.neighbors_store_[cursor[e.v]] = e.u;
     if (weighted_) {
-      graph.weights_[cursor[e.u]] = e.weight;
-      graph.weights_[cursor[e.v]] = e.weight;
+      graph.weights_store_[cursor[e.u]] = e.weight;
+      graph.weights_store_[cursor[e.v]] = e.weight;
     }
     ++cursor[e.u];
     ++cursor[e.v];
@@ -92,24 +92,25 @@ StatusOr<CsrGraph> GraphBuilder::Build() {
   // already ascending for the u-side inserts, but v-side inserts interleave;
   // sort each slice (weights must follow their neighbor).
   for (std::size_t v = 0; v < n; ++v) {
-    const std::size_t begin = graph.offsets_[v];
-    const std::size_t end = graph.offsets_[v + 1];
+    const std::size_t begin = graph.offsets_store_[v];
+    const std::size_t end = graph.offsets_store_[v + 1];
     if (!weighted_) {
-      std::sort(graph.neighbors_.begin() + static_cast<std::ptrdiff_t>(begin),
-                graph.neighbors_.begin() + static_cast<std::ptrdiff_t>(end));
+      std::sort(graph.neighbors_store_.begin() + static_cast<std::ptrdiff_t>(begin),
+                graph.neighbors_store_.begin() + static_cast<std::ptrdiff_t>(end));
       continue;
     }
     std::vector<std::pair<VertexId, double>> slice;
     slice.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      slice.emplace_back(graph.neighbors_[i], graph.weights_[i]);
+      slice.emplace_back(graph.neighbors_store_[i], graph.weights_store_[i]);
     }
     std::sort(slice.begin(), slice.end());
     for (std::size_t i = begin; i < end; ++i) {
-      graph.neighbors_[i] = slice[i - begin].first;
-      graph.weights_[i] = slice[i - begin].second;
+      graph.neighbors_store_[i] = slice[i - begin].first;
+      graph.weights_store_[i] = slice[i - begin].second;
     }
   }
+  graph.BindOwned();
   return graph;
 }
 

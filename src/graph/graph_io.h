@@ -16,6 +16,12 @@
 /// accepts exactly that shape so the real datasets drop in unchanged; the
 /// loader remaps ids to dense [0, n), ignores self-loops, and merges
 /// duplicate/reverse edges.
+///
+/// This is the lowest-level text path. Most callers should go through
+/// the format-sniffing ingestion front-end (graph/ingest.h), which also
+/// reads Matrix Market files and binary snapshots and can cache parsed
+/// text as an mmap-loadable snapshot. docs/formats.md specifies every
+/// accepted format byte by byte.
 
 namespace mhbc {
 
@@ -42,7 +48,11 @@ StatusOr<CsrGraph> LoadSnapEdgeList(const std::string& path,
 std::vector<VertexId> ParseVertexIdList(const std::string& csv);
 
 /// Writes "u v [w]" lines (u < v, dense ids) plus a '#' header. Output
-/// round-trips through LoadSnapEdgeList.
+/// round-trips through LoadSnapEdgeList (note the loader's first-seen id
+/// remap: ids survive the round trip only when already dense in
+/// first-seen order). The weighted-edge-list dialect emitted here is
+/// specified in docs/formats.md; for a binary artifact that preserves
+/// the CSR arrays byte-for-byte, use SaveSnapshot (graph/snapshot.h).
 Status WriteEdgeList(const CsrGraph& graph, const std::string& path);
 
 /// Stream variant of WriteEdgeList.

@@ -1,0 +1,415 @@
+#include "graph/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MHBC_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MHBC_SNAPSHOT_HAS_MMAP 0
+#endif
+
+namespace mhbc {
+
+namespace {
+
+// Byte-level layout (docs/formats.md is the normative spec):
+//
+//   [ 0..7 ]  magic "MHBCSNAP"
+//   [ 8..11]  u32  format version (kSnapshotFormatVersion)
+//   [12..15]  u32  byte-order marker 0x01020304 (rejects foreign endianness)
+//   [16..23]  u64  flags (bit 0: weighted; other bits must be zero)
+//   [24..31]  u64  num_vertices n
+//   [32..39]  u64  adjacency length 2m
+//   [40..47]  u64  name length in bytes
+//   [48..63]  reserved, zero
+//   [64.. ]   name bytes, zero-padded to a multiple of 8
+//             offsets array, (n+1) * u64
+//             adjacency array, 2m * u32, zero-padded to a multiple of 8
+//             weight array, 2m * f64 (present iff weighted)
+//   [last 8]  u64  FNV-1a 64 checksum of every preceding byte
+//
+// Every section starts 8-byte aligned (the header is 64 bytes and each
+// section is padded), so an mmap'ed file can serve the arrays in place.
+
+constexpr char kMagic[8] = {'M', 'H', 'B', 'C', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kByteOrderMarker = 0x01020304u;
+constexpr std::uint64_t kFlagWeighted = 1;
+constexpr std::size_t kHeaderBytes = 64;
+
+constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv1a(std::uint64_t hash, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::size_t PadTo8(std::size_t len) { return (len + 7) & ~std::size_t{7}; }
+
+template <typename T>
+T ReadScalar(const unsigned char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+/// Streams bytes to a file while folding them into the running checksum.
+class ChecksumWriter {
+ public:
+  explicit ChecksumWriter(std::ofstream& out) : out_(out) {}
+
+  void Write(const void* data, std::size_t len) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    hash_ = Fnv1a(hash_, data, len);
+  }
+
+  void Pad(std::size_t len) {
+    static constexpr char kZeros[8] = {};
+    MHBC_DCHECK(len <= sizeof(kZeros));
+    Write(kZeros, len);
+  }
+
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::ofstream& out_;
+  std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+/// Validated section offsets of one snapshot file.
+struct Layout {
+  std::uint32_t version = 0;
+  bool weighted = false;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t adjacency_len = 0;
+  std::uint64_t name_len = 0;
+  std::size_t name_off = 0;
+  std::size_t offsets_off = 0;
+  std::size_t adjacency_off = 0;
+  std::size_t weights_off = 0;  // 0 when unweighted
+  std::size_t checksum_off = 0;
+};
+
+Status ParseLayout(const unsigned char* data, std::uint64_t file_size,
+                   const std::string& path, Layout* layout) {
+  const std::string where = "snapshot '" + path + "': ";
+  if (file_size < kHeaderBytes + sizeof(std::uint64_t)) {
+    return Status::InvalidArgument(where + "file too small (" +
+                                   std::to_string(file_size) +
+                                   " bytes) to hold a snapshot header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(where + "bad magic (not a .mhbc snapshot)");
+  }
+  layout->version = ReadScalar<std::uint32_t>(data + 8);
+  const auto byte_order = ReadScalar<std::uint32_t>(data + 12);
+  if (byte_order != kByteOrderMarker) {
+    return Status::InvalidArgument(
+        where + "byte-order marker mismatch (file written on, or read by, a "
+                "big-endian machine; snapshots are little-endian)");
+  }
+  if (layout->version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        where + "format version " + std::to_string(layout->version) +
+        ", but this build reads version " +
+        std::to_string(kSnapshotFormatVersion) +
+        " (re-convert the source dataset; see docs/formats.md)");
+  }
+  const auto flags = ReadScalar<std::uint64_t>(data + 16);
+  if ((flags & ~kFlagWeighted) != 0) {
+    return Status::InvalidArgument(where + "unknown flag bits set");
+  }
+  layout->weighted = (flags & kFlagWeighted) != 0;
+  layout->num_vertices = ReadScalar<std::uint64_t>(data + 24);
+  layout->adjacency_len = ReadScalar<std::uint64_t>(data + 32);
+  layout->name_len = ReadScalar<std::uint64_t>(data + 40);
+
+  const std::uint64_t n = layout->num_vertices;
+  if (n == 0 || n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    return Status::InvalidArgument(where + "vertex count " + std::to_string(n) +
+                                   " out of range");
+  }
+  if (layout->adjacency_len % 2 != 0) {
+    return Status::InvalidArgument(
+        where + "odd adjacency length (undirected CSR stores 2m entries)");
+  }
+  // Every section fits inside the file, so bound each length field by the
+  // file size up front — this keeps the 'expected' computation below free
+  // of u64 wraparound, which a crafted header could otherwise use to
+  // sneak oversized sections past the size check.
+  if (layout->name_len > file_size || n > file_size / sizeof(EdgeId) ||
+      layout->adjacency_len > file_size / sizeof(VertexId)) {
+    return Status::InvalidArgument(
+        where + "header lengths exceed the file size (corrupt snapshot)");
+  }
+  // Assemble the expected byte budget; every term is checked against the
+  // actual file size, which rejects truncation before any array access.
+  const std::uint64_t name_padded = PadTo8(layout->name_len);
+  const std::uint64_t offsets_bytes = (n + 1) * sizeof(EdgeId);
+  const std::uint64_t adjacency_bytes =
+      PadTo8(layout->adjacency_len * sizeof(VertexId));
+  const std::uint64_t weight_bytes =
+      layout->weighted ? layout->adjacency_len * sizeof(double) : 0;
+  const std::uint64_t expected = kHeaderBytes + name_padded + offsets_bytes +
+                                 adjacency_bytes + weight_bytes +
+                                 sizeof(std::uint64_t);
+  if (expected != file_size) {
+    return Status::InvalidArgument(
+        where + "size mismatch: header describes " + std::to_string(expected) +
+        " bytes but the file has " + std::to_string(file_size) +
+        " (truncated or corrupt)");
+  }
+  layout->name_off = kHeaderBytes;
+  layout->offsets_off = kHeaderBytes + static_cast<std::size_t>(name_padded);
+  layout->adjacency_off =
+      layout->offsets_off + static_cast<std::size_t>(offsets_bytes);
+  layout->weights_off =
+      layout->weighted
+          ? layout->adjacency_off + static_cast<std::size_t>(adjacency_bytes)
+          : 0;
+  layout->checksum_off = static_cast<std::size_t>(file_size) - sizeof(std::uint64_t);
+
+  // Structural spot check: the offsets array must span exactly the
+  // adjacency array (full invariants are the writer's job; the checksum
+  // covers corruption).
+  const auto first_offset =
+      ReadScalar<EdgeId>(data + layout->offsets_off);
+  const auto last_offset = ReadScalar<EdgeId>(
+      data + layout->offsets_off + static_cast<std::size_t>(n) * sizeof(EdgeId));
+  if (first_offset != 0 || last_offset != layout->adjacency_len) {
+    return Status::InvalidArgument(where +
+                                   "offset array inconsistent with adjacency "
+                                   "length (corrupt snapshot)");
+  }
+  return Status::Ok();
+}
+
+Status VerifyChecksum(const unsigned char* data, const Layout& layout,
+                      const std::string& path) {
+  const std::uint64_t computed =
+      Fnv1a(kFnvOffsetBasis, data, layout.checksum_off);
+  const auto stored = ReadScalar<std::uint64_t>(data + layout.checksum_off);
+  if (computed != stored) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "': checksum mismatch (corrupt file)");
+  }
+  return Status::Ok();
+}
+
+CsrGraph ViewFromLayout(const unsigned char* data, const Layout& layout) {
+  const std::size_t n = static_cast<std::size_t>(layout.num_vertices);
+  const std::size_t adj = static_cast<std::size_t>(layout.adjacency_len);
+  std::span<const EdgeId> offsets{
+      reinterpret_cast<const EdgeId*>(data + layout.offsets_off), n + 1};
+  std::span<const VertexId> neighbors{
+      reinterpret_cast<const VertexId*>(data + layout.adjacency_off), adj};
+  std::span<const double> weights;
+  if (layout.weighted) {
+    weights = {reinterpret_cast<const double*>(data + layout.weights_off), adj};
+  }
+  std::string name(reinterpret_cast<const char*>(data + layout.name_off),
+                   static_cast<std::size_t>(layout.name_len));
+  return CsrGraph::WrapExternal(offsets, neighbors, weights, std::move(name));
+}
+
+StatusOr<std::vector<unsigned char>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::vector<unsigned char> buffer(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(buffer.data()), size)) {
+    return Status::IoError("short read on '" + path + "'");
+  }
+  return buffer;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const CsrGraph& graph, const std::string& path) {
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("cannot snapshot an empty graph");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  ChecksumWriter writer(out);
+
+  const std::string& name = graph.name();
+  const std::uint64_t version = kSnapshotFormatVersion;
+  const std::uint64_t flags = graph.weighted() ? kFlagWeighted : 0;
+  const std::uint64_t n = graph.num_vertices();
+  const auto adjacency = graph.raw_adjacency();
+  const std::uint64_t adjacency_len = adjacency.size();
+  const std::uint64_t name_len = name.size();
+
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  const auto v32 = static_cast<std::uint32_t>(version);
+  std::memcpy(header + 8, &v32, sizeof(v32));
+  std::memcpy(header + 12, &kByteOrderMarker, sizeof(kByteOrderMarker));
+  std::memcpy(header + 16, &flags, sizeof(flags));
+  std::memcpy(header + 24, &n, sizeof(n));
+  std::memcpy(header + 32, &adjacency_len, sizeof(adjacency_len));
+  std::memcpy(header + 40, &name_len, sizeof(name_len));
+  writer.Write(header, sizeof(header));
+
+  writer.Write(name.data(), name.size());
+  writer.Pad(PadTo8(name.size()) - name.size());
+
+  const auto offsets = graph.raw_offsets();
+  writer.Write(offsets.data(), offsets.size_bytes());
+  writer.Write(adjacency.data(), adjacency.size_bytes());
+  writer.Pad(PadTo8(adjacency.size_bytes()) - adjacency.size_bytes());
+  if (graph.weighted()) {
+    const auto weights = graph.raw_weights();
+    writer.Write(weights.data(), weights.size_bytes());
+  }
+
+  const std::uint64_t checksum = writer.hash();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<CsrGraph> LoadSnapshotBuffered(const std::string& path,
+                                        const SnapshotOptions& options) {
+  auto buffer = ReadWholeFile(path);
+  if (!buffer.ok()) return buffer.status();
+  const unsigned char* data = buffer.value().data();
+  Layout layout;
+  MHBC_RETURN_IF_ERROR(ParseLayout(data, buffer.value().size(), path, &layout));
+  if (options.verify_checksum) {
+    MHBC_RETURN_IF_ERROR(VerifyChecksum(data, layout, path));
+  }
+  const std::size_t n = static_cast<std::size_t>(layout.num_vertices);
+  const std::size_t adj = static_cast<std::size_t>(layout.adjacency_len);
+  std::vector<EdgeId> offsets(n + 1);
+  std::memcpy(offsets.data(), data + layout.offsets_off,
+              offsets.size() * sizeof(EdgeId));
+  std::vector<VertexId> neighbors(adj);
+  std::memcpy(neighbors.data(), data + layout.adjacency_off,
+              neighbors.size() * sizeof(VertexId));
+  std::vector<double> weights;
+  if (layout.weighted) {
+    weights.resize(adj);
+    std::memcpy(weights.data(), data + layout.weights_off,
+                weights.size() * sizeof(double));
+  }
+  std::string name(reinterpret_cast<const char*>(data + layout.name_off),
+                   static_cast<std::size_t>(layout.name_len));
+  return CsrGraph::AdoptVerbatim(std::move(offsets), std::move(neighbors),
+                                 std::move(weights), std::move(name));
+}
+
+MappedGraph::~MappedGraph() {
+#if MHBC_SNAPSHOT_HAS_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
+}
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : graph_(std::move(other.graph_)),
+      map_base_(other.map_base_),
+      map_len_(other.map_len_) {
+  other.map_base_ = nullptr;
+  other.map_len_ = 0;
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this == &other) return *this;
+#if MHBC_SNAPSHOT_HAS_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
+  graph_ = std::move(other.graph_);
+  map_base_ = other.map_base_;
+  map_len_ = other.map_len_;
+  other.map_base_ = nullptr;
+  other.map_len_ = 0;
+  return *this;
+}
+
+StatusOr<MappedGraph> LoadSnapshotMapped(const std::string& path,
+                                         const SnapshotOptions& options) {
+#if MHBC_SNAPSHOT_HAS_MMAP
+  if (!options.force_buffered) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError("cannot open '" + path + "' for reading");
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::IoError("cannot stat '" + path + "'");
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (base != MAP_FAILED) {
+      const auto* data = static_cast<const unsigned char*>(base);
+      Layout layout;
+      Status status = ParseLayout(data, size, path, &layout);
+      if (status.ok() && options.verify_checksum) {
+        status = VerifyChecksum(data, layout, path);
+      }
+      if (!status.ok()) {
+        ::munmap(base, size);
+        return status;
+      }
+      MappedGraph mapped;
+      mapped.map_base_ = base;
+      mapped.map_len_ = size;
+      mapped.graph_ = ViewFromLayout(data, layout);
+      return mapped;
+    }
+    // mmap refused (unusual filesystem, resource limit): fall through to
+    // the buffered loader, which yields a bit-identical owning graph.
+  }
+#endif
+  auto buffered = LoadSnapshotBuffered(path, options);
+  if (!buffered.ok()) return buffered.status();
+  MappedGraph mapped;
+  mapped.graph_ = std::move(buffered).value();
+  return mapped;
+}
+
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  auto buffer = ReadWholeFile(path);
+  if (!buffer.ok()) return buffer.status();
+  const unsigned char* data = buffer.value().data();
+  Layout layout;
+  MHBC_RETURN_IF_ERROR(ParseLayout(data, buffer.value().size(), path, &layout));
+  SnapshotInfo info;
+  info.version = layout.version;
+  info.weighted = layout.weighted;
+  info.num_vertices = layout.num_vertices;
+  info.num_edges = layout.adjacency_len / 2;
+  info.name.assign(reinterpret_cast<const char*>(data + layout.name_off),
+                   static_cast<std::size_t>(layout.name_len));
+  info.file_bytes = buffer.value().size();
+  info.stored_checksum = ReadScalar<std::uint64_t>(data + layout.checksum_off);
+  info.checksum_ok =
+      Fnv1a(kFnvOffsetBasis, data, layout.checksum_off) == info.stored_checksum;
+  return info;
+}
+
+}  // namespace mhbc

@@ -1,0 +1,127 @@
+#ifndef MHBC_GRAPH_SNAPSHOT_H_
+#define MHBC_GRAPH_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+/// \file
+/// Versioned binary CSR snapshots (`.mhbc`) with zero-copy mmap loading.
+///
+/// Text edge lists pay parse + id-remap + CSR-build cost on every load; a
+/// snapshot stores the finished CSR arrays verbatim so a graph is parsed
+/// once and then mapped straight into memory forever after. The byte-level
+/// layout, versioning, and compatibility rules are specified in
+/// docs/formats.md; in short: a fixed 64-byte little-endian header (magic,
+/// format version, byte-order marker, flags, counts), the graph name, the
+/// raw offset / adjacency / weight arrays each 8-byte aligned, and a
+/// trailing FNV-1a 64 checksum over everything before it.
+///
+/// Three loaders, one format:
+///  - LoadSnapshotMapped: `mmap`s the file and serves a read-only CsrGraph
+///    *view* over the mapping (CsrGraph::WrapExternal) — no array copies.
+///    Falls back to the buffered loader on platforms without mmap (or on
+///    SnapshotOptions::force_buffered).
+///  - LoadSnapshotBuffered: reads the arrays into an owning CsrGraph.
+///  - InspectSnapshot: header + checksum metadata without building a graph.
+
+namespace mhbc {
+
+/// Current snapshot format version. Readers reject other versions with a
+/// NotFound-style InvalidArgument naming both versions; see docs/formats.md
+/// for the compatibility policy (the format is versioned, not evolved in
+/// place).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Conventional file extension for snapshot files.
+inline constexpr const char* kSnapshotExtension = ".mhbc";
+
+/// Loader knobs for LoadSnapshotMapped / LoadSnapshotBuffered.
+struct SnapshotOptions {
+  /// Recompute the trailing FNV-1a checksum on load and reject mismatches.
+  /// Costs one sequential read of the file (which also pre-faults the
+  /// mapping); disable only for trusted files on hot restart paths.
+  bool verify_checksum = true;
+  /// Use the buffered loader even where mmap is available (LoadSnapshotMapped
+  /// then owns copies; MappedGraph::zero_copy() reports false).
+  bool force_buffered = false;
+};
+
+/// Parsed snapshot metadata (InspectSnapshot).
+struct SnapshotInfo {
+  /// Format version stored in the header.
+  std::uint32_t version = 0;
+  /// True when the snapshot carries an edge-weight array.
+  bool weighted = false;
+  /// Vertex count n.
+  std::uint64_t num_vertices = 0;
+  /// Undirected edge count m (the adjacency array holds 2m entries).
+  std::uint64_t num_edges = 0;
+  /// Graph name stored in the snapshot (source path or dataset key).
+  std::string name;
+  /// Total file size in bytes.
+  std::uint64_t file_bytes = 0;
+  /// Trailing checksum as stored in the file.
+  std::uint64_t stored_checksum = 0;
+  /// True when the stored checksum matches the recomputed one.
+  bool checksum_ok = false;
+};
+
+/// A loaded snapshot: the mapping (or buffered copy) plus the CsrGraph
+/// serving it. Movable, not copyable — the contained graph view points
+/// into the mapping, so the MappedGraph must outlive every use of graph()
+/// (and every copy made of it; see CsrGraph::WrapExternal).
+class MappedGraph {
+ public:
+  MappedGraph() = default;
+  ~MappedGraph();
+
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+
+  /// The graph. A zero-copy view into the mapping when zero_copy(), an
+  /// owning graph after the buffered fallback.
+  const CsrGraph& graph() const { return graph_; }
+
+  /// True when graph() reads the mmap'ed file directly (no array copies).
+  bool zero_copy() const { return map_base_ != nullptr; }
+
+  /// Bytes mapped (0 after the buffered fallback).
+  std::size_t mapped_bytes() const { return map_len_; }
+
+ private:
+  friend StatusOr<MappedGraph> LoadSnapshotMapped(const std::string& path,
+                                                  const SnapshotOptions& options);
+
+  CsrGraph graph_;
+  void* map_base_ = nullptr;
+  std::size_t map_len_ = 0;
+};
+
+/// Writes `graph` (arrays, weight flag, name) as a version-
+/// kSnapshotFormatVersion snapshot at `path`. Overwrites existing files.
+Status SaveSnapshot(const CsrGraph& graph, const std::string& path);
+
+/// Loads a snapshot by mmap'ing it and wrapping the arrays zero-copy;
+/// falls back to LoadSnapshotBuffered where mmap is unavailable. Rejects
+/// truncated files, foreign magic/byte order, version mismatches, and
+/// (unless disabled) checksum failures, all as InvalidArgument/IoError.
+StatusOr<MappedGraph> LoadSnapshotMapped(
+    const std::string& path, const SnapshotOptions& options = SnapshotOptions());
+
+/// Loads a snapshot into an owning CsrGraph (arrays copied out of the
+/// file). Same validation as LoadSnapshotMapped; bit-identical result.
+StatusOr<CsrGraph> LoadSnapshotBuffered(
+    const std::string& path, const SnapshotOptions& options = SnapshotOptions());
+
+/// Reads header + checksum metadata without materializing a graph.
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+}  // namespace mhbc
+
+#endif  // MHBC_GRAPH_SNAPSHOT_H_

@@ -1,0 +1,276 @@
+#include "graph/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "centrality/engine.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+namespace mhbc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-test scratch file under the system temp dir, removed on teardown.
+class SnapshotTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& leaf) {
+    const fs::path dir = fs::temp_directory_path() / "mhbc_snapshot_test";
+    fs::create_directories(dir);
+    const std::string path = (dir / leaf).string();
+    created_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : created_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> created_;
+};
+
+/// Structural equality over the public accessors: vertex/edge counts,
+/// weight flag, and every per-vertex neighbor/weight slice.
+void ExpectGraphsIdentical(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.weighted(), b.weighted());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]) << "vertex " << v << " slot " << i;
+    }
+    if (a.weighted()) {
+      const auto wa = a.weights(v);
+      const auto wb = b.weights(v);
+      for (std::size_t i = 0; i < wa.size(); ++i) {
+        EXPECT_EQ(wa[i], wb[i]) << "vertex " << v << " slot " << i;
+      }
+    }
+  }
+}
+
+CsrGraph WeightedTriangleChain() {
+  GraphBuilder builder(5);
+  builder.AddWeightedEdge(0, 1, 0.5);
+  builder.AddWeightedEdge(1, 2, 2.25);
+  builder.AddWeightedEdge(0, 2, 1.0);
+  builder.AddWeightedEdge(2, 3, 3.5);
+  builder.AddWeightedEdge(3, 4, 0.125);
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok());
+  CsrGraph graph = std::move(built).value();
+  graph.set_name("weighted-chain");
+  return graph;
+}
+
+TEST_F(SnapshotTest, RoundTripsUnweightedGraph) {
+  const CsrGraph original = MakeBarabasiAlbert(200, 3, 0x51AB);
+  const std::string path = Path("unweighted.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+
+  auto buffered = LoadSnapshotBuffered(path);
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  ExpectGraphsIdentical(original, buffered.value());
+  EXPECT_EQ(buffered.value().name(), original.name());
+  EXPECT_FALSE(buffered.value().is_external_view());
+
+  auto mapped = LoadSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ExpectGraphsIdentical(original, mapped.value().graph());
+  EXPECT_EQ(mapped.value().graph().name(), original.name());
+}
+
+TEST_F(SnapshotTest, RoundTripsWeightedGraph) {
+  const CsrGraph original = WeightedTriangleChain();
+  const std::string path = Path("weighted.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto mapped = LoadSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().graph().weighted());
+  ExpectGraphsIdentical(original, mapped.value().graph());
+  EXPECT_EQ(mapped.value().graph().EdgeWeight(3, 4), 0.125);
+}
+
+TEST_F(SnapshotTest, MappedLoadIsZeroCopyAndBufferedFallbackMatches) {
+  const CsrGraph original = MakeConnectedCaveman(6, 10);
+  const std::string path = Path("parity.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+
+  auto mapped = LoadSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped.value().zero_copy());
+  EXPECT_GT(mapped.value().mapped_bytes(), 0u);
+  EXPECT_TRUE(mapped.value().graph().is_external_view());
+
+  SnapshotOptions buffered_options;
+  buffered_options.force_buffered = true;
+  auto buffered = LoadSnapshotMapped(path, buffered_options);
+  ASSERT_TRUE(buffered.ok());
+  EXPECT_FALSE(buffered.value().zero_copy());
+  EXPECT_FALSE(buffered.value().graph().is_external_view());
+  ExpectGraphsIdentical(mapped.value().graph(), buffered.value().graph());
+}
+
+TEST_F(SnapshotTest, CopyOfMappedViewStaysValidWhileMappingLives) {
+  const CsrGraph original = MakeGrid(8, 8);
+  const std::string path = Path("viewcopy.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto mapped = LoadSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok());
+  const CsrGraph copy = mapped.value().graph();  // copy of a view is a view
+  EXPECT_TRUE(copy.is_external_view());
+  ExpectGraphsIdentical(original, copy);
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  const CsrGraph original = MakeGrid(10, 10);
+  const std::string path = Path("truncated.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  const auto full = fs::file_size(path);
+  fs::resize_file(path, full / 2);
+  auto loaded = LoadSnapshotMapped(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsCorruptPayloadByChecksum) {
+  const CsrGraph original = MakeGrid(10, 10);
+  const std::string path = Path("corrupt.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  // Flip one byte in the middle of the arrays (past the 64-byte header).
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(static_cast<std::streamoff>(fs::file_size(path)) / 2);
+  file.put('\x7f');
+  file.close();
+  auto loaded = LoadSnapshotMapped(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+
+  // The corruption must also be visible to InspectSnapshot...
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().checksum_ok);
+
+  // ...and skippable for callers that opt out of verification.
+  SnapshotOptions trusting;
+  trusting.verify_checksum = false;
+  EXPECT_TRUE(LoadSnapshotMapped(path, trusting).ok());
+}
+
+TEST_F(SnapshotTest, RejectsVersionMismatch) {
+  const CsrGraph original = MakeGrid(6, 6);
+  const std::string path = Path("version.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  // Byte 8 holds the low byte of the little-endian format version.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(8);
+  file.put(static_cast<char>(kSnapshotFormatVersion + 1));
+  file.close();
+  auto loaded = LoadSnapshotMapped(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsOverflowingHeaderLengths) {
+  const CsrGraph original = MakeGrid(6, 6);
+  const std::string path = Path("overflow.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  // Patch the name-length field (bytes 40..47) to a value chosen to wrap
+  // the reader's u64 size arithmetic; every loader must reject it
+  // cleanly instead of building a 2^64-byte name.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  const std::uint64_t huge = ~std::uint64_t{0} - 8;
+  file.seekp(40);
+  file.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  file.close();
+  auto mapped = LoadSnapshotMapped(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kInvalidArgument);
+  auto info = InspectSnapshot(path);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RejectsForeignFile) {
+  const std::string path = Path("foreign.mhbc");
+  std::ofstream(path) << "# definitely a text edge list\n0 1\n1 2\n";
+  auto loaded = LoadSnapshotMapped(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RejectsEmptyGraphAndMissingFile) {
+  EXPECT_FALSE(SaveSnapshot(CsrGraph(), Path("empty.mhbc")).ok());
+  auto missing = LoadSnapshotMapped(Path("does-not-exist.mhbc"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SnapshotTest, InspectReportsHeaderFields) {
+  const CsrGraph original = WeightedTriangleChain();
+  const std::string path = Path("inspect.mhbc");
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().version, kSnapshotFormatVersion);
+  EXPECT_TRUE(info.value().weighted);
+  EXPECT_EQ(info.value().num_vertices, 5u);
+  EXPECT_EQ(info.value().num_edges, 5u);
+  EXPECT_EQ(info.value().name, "weighted-chain");
+  EXPECT_TRUE(info.value().checksum_ok);
+  EXPECT_EQ(info.value().file_bytes, fs::file_size(path));
+}
+
+// The tentpole guarantee: a graph loaded from its snapshot produces
+// bit-identical engine statistics to the same graph loaded from text.
+TEST_F(SnapshotTest, SnapshotAndTextLoadGiveBitIdenticalEstimates) {
+  const CsrGraph original = MakeBarabasiAlbert(400, 3, 0xBEE5);
+  const std::string text_path = Path("roundtrip.txt");
+  const std::string snap_path = Path("roundtrip.mhbc");
+  ASSERT_TRUE(WriteEdgeList(original, text_path).ok());
+
+  auto from_text = LoadSnapEdgeList(text_path, {});
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(SaveSnapshot(from_text.value(), snap_path).ok());
+  auto mapped = LoadSnapshotMapped(snap_path);
+  ASSERT_TRUE(mapped.ok());
+  ExpectGraphsIdentical(from_text.value(), mapped.value().graph());
+
+  EstimateRequest request;
+  request.kind = EstimatorKind::kMetropolisHastings;
+  request.samples = 500;
+  request.seed = 0x5EED;
+  BetweennessEngine text_engine(from_text.value());
+  BetweennessEngine snap_engine(mapped.value().graph());
+  for (VertexId r : {VertexId{0}, VertexId{7}, VertexId{123}}) {
+    const auto a = text_engine.Estimate(r, request);
+    const auto b = snap_engine.Estimate(r, request);
+    ASSERT_TRUE(a.ok() && b.ok());
+    // Statistical fields must match bit-for-bit (work accounting such as
+    // sp_passes/cache_hit/seconds is outside the contract — engine.h).
+    EXPECT_EQ(a.value().value, b.value().value);
+    EXPECT_EQ(a.value().std_error, b.value().std_error);
+    EXPECT_EQ(a.value().ci_half_width, b.value().ci_half_width);
+    EXPECT_EQ(a.value().ess, b.value().ess);
+    EXPECT_EQ(a.value().acceptance_rate, b.value().acceptance_rate);
+    EXPECT_EQ(a.value().samples_used, b.value().samples_used);
+    EXPECT_EQ(a.value().converged, b.value().converged);
+  }
+}
+
+}  // namespace
+}  // namespace mhbc
