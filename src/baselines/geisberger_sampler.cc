@@ -2,8 +2,9 @@
 
 namespace mhbc {
 
-GeisbergerSampler::GeisbergerSampler(const CsrGraph& graph, std::uint64_t seed)
-    : graph_(&graph), bfs_(graph), rng_(seed) {
+GeisbergerSampler::GeisbergerSampler(const CsrGraph& graph,
+                                     std::uint64_t seed, SpdOptions spd)
+    : graph_(&graph), bfs_(graph, spd), rng_(seed) {
   MHBC_DCHECK(!graph.weighted());
   MHBC_DCHECK(graph.num_vertices() >= 2);
   aux_.assign(graph.num_vertices(), 0.0);
@@ -20,20 +21,17 @@ const std::vector<double>& GeisbergerSampler::ScaledDependencies(VertexId s) {
   }
   touched_.assign(dag.order.begin(), dag.order.end());
 
-  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
-    const VertexId w = *it;
-    if (w == s) continue;
+  ForEachDeepestFirst(dag, [this, &dag, s](VertexId w) {
+    if (w == s) return;
     const std::uint32_t dw = dag.dist[w];
     // Contribution of target w itself (1/d(s,w)) plus accumulated flows.
     const double coeff = (1.0 / static_cast<double>(dw) + aux_[w]) /
                          static_cast<double>(dag.sigma[w]);
-    for (VertexId v : graph_->neighbors(w)) {
-      if (dag.dist[v] + 1 == dw) {
-        aux_[v] += static_cast<double>(dag.sigma[v]) * coeff;
-      }
-    }
+    ForEachParent(dag, *graph_, w, [this, &dag, coeff](VertexId v) {
+      aux_[v] += static_cast<double>(dag.sigma[v]) * coeff;
+    });
     scaled_[w] = static_cast<double>(dw) * aux_[w];
-  }
+  });
   scaled_[s] = 0.0;
   return scaled_;
 }

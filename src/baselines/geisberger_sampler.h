@@ -24,7 +24,11 @@ namespace mhbc {
 /// Linear-scaling betweenness estimator for a single vertex.
 class GeisbergerSampler {
  public:
-  GeisbergerSampler(const CsrGraph& graph, std::uint64_t seed);
+  /// `spd` configures the BFS kernel; estimates are bit-identical across
+  /// kernels and α/β settings (the scaled sweep runs in the canonical
+  /// deepest-first order either way).
+  explicit GeisbergerSampler(const CsrGraph& graph, std::uint64_t seed,
+                             SpdOptions spd = SpdOptions());
 
   /// Paper-normalized estimate of BC(r) from `num_samples` uniform sources.
   /// Per sample: one BFS pass + one linear-scaled accumulation (O(|E|)).

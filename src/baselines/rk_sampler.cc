@@ -4,13 +4,14 @@
 
 namespace mhbc {
 
-RkSampler::RkSampler(const CsrGraph& graph, std::uint64_t seed)
+RkSampler::RkSampler(const CsrGraph& graph, std::uint64_t seed,
+                     SpdOptions spd)
     : graph_(&graph), rng_(seed) {
   MHBC_DCHECK(graph.num_vertices() >= 2);
   if (graph.weighted()) {
     dijkstra_ = std::make_unique<DijkstraSpd>(graph);
   } else {
-    bfs_ = std::make_unique<BfsSpd>(graph);
+    bfs_ = std::make_unique<BfsSpd>(graph, spd);
   }
 }
 
@@ -21,49 +22,41 @@ void RkSampler::SampleOnePath(std::vector<double>* credit) {
   while (t == s) t = rng_.NextVertex(n);
   ++num_passes_;
 
+  const ShortestPathDag* dag;
   if (dijkstra_ != nullptr) {
     dijkstra_->Run(s);
-    const ShortestPathDag& dag = dijkstra_->dag();
-    if (dag.wdist[t] < 0.0) return;  // zero-credit sample
-    VertexId w = t;
-    while (w != s) {
-      const auto preds = dijkstra_->predecessors(w);
-      MHBC_DCHECK(!preds.empty());
-      const double total = static_cast<double>(dag.sigma[w]);
-      double target = rng_.NextDouble() * total;
-      VertexId chosen = preds.back();
-      for (VertexId z : preds) {
-        target -= static_cast<double>(dag.sigma[z]);
-        if (target < 0.0) {
-          chosen = z;
-          break;
-        }
-      }
-      w = chosen;
-      if (w != s) (*credit)[w] += 1.0;
-    }
-    return;
+    dag = &dijkstra_->dag();
+    if (dag->wdist[t] < 0.0) return;  // zero-credit sample
+  } else {
+    bfs_->Run(s);
+    dag = &bfs_->dag();
+    if (dag->dist[t] == kUnreachedDistance) return;  // zero-credit sample
   }
-
-  bfs_->Run(s);
-  const ShortestPathDag& dag = bfs_->dag();
-  if (dag.dist[t] == kUnreachedDistance) return;  // zero-credit sample
 
   // Backtrack from t, choosing predecessor z with probability
   // sigma_sz / sigma_sw, which selects each shortest s-t path uniformly.
+  // ForEachParent walks recorded SPD edges when the pass stored them and
+  // re-derives parents from dist otherwise; either way the enumeration is
+  // the same sequence, so the chosen path — and the RNG stream — is
+  // bit-identical across kernels.
   VertexId w = t;
   while (w != s) {
-    const std::uint32_t dw = dag.dist[w];
-    const double total = static_cast<double>(dag.sigma[w]);
+    parent_scratch_.clear();
+    ForEachParent(*dag, *graph_, w,
+                  [this](VertexId z) { parent_scratch_.push_back(z); });
+    MHBC_DCHECK(!parent_scratch_.empty());
+    const double total = static_cast<double>(dag->sigma[w]);
     double target = rng_.NextDouble() * total;
-    VertexId chosen = kInvalidVertex;
-    for (VertexId z : graph_->neighbors(w)) {
-      if (dag.dist[z] + 1 != dw) continue;  // not a predecessor
-      target -= static_cast<double>(dag.sigma[z]);
-      chosen = z;
-      if (target < 0.0) break;
+    // The fp tail (target still >= 0 after every parent) falls back to the
+    // last parent.
+    VertexId chosen = parent_scratch_.back();
+    for (VertexId z : parent_scratch_) {
+      target -= static_cast<double>(dag->sigma[z]);
+      if (target < 0.0) {
+        chosen = z;
+        break;
+      }
     }
-    MHBC_DCHECK(chosen != kInvalidVertex);
     w = chosen;
     if (w != s) (*credit)[w] += 1.0;
   }

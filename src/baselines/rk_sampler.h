@@ -25,7 +25,12 @@ namespace mhbc {
 /// Shortest-path sampling estimator.
 class RkSampler {
  public:
-  RkSampler(const CsrGraph& graph, std::uint64_t seed);
+  /// `spd` configures the unweighted pass kernel (ignored for weighted
+  /// graphs). The sampled paths — and therefore the estimates — are
+  /// bit-identical across kernels and α/β settings: the backtrack walks
+  /// parents in the same order the classic neighbor scan considers them.
+  explicit RkSampler(const CsrGraph& graph, std::uint64_t seed,
+                     SpdOptions spd = SpdOptions());
 
   /// Paper-normalized estimate of BC(r) from `num_samples` sampled paths.
   /// Per sample: one shortest-path pass + one backtrack.
@@ -60,6 +65,8 @@ class RkSampler {
   std::unique_ptr<BfsSpd> bfs_;
   std::unique_ptr<DijkstraSpd> dijkstra_;
   Rng rng_;
+  /// Parents of the backtrack's current vertex (reused across steps).
+  std::vector<VertexId> parent_scratch_;
   std::uint64_t num_passes_ = 0;
 };
 

@@ -120,7 +120,7 @@ BetweennessEngine::~BetweennessEngine() = default;
 
 DependencyOracle* BetweennessEngine::oracle() {
   if (!oracle_) {
-    oracle_ = std::make_unique<DependencyOracle>(*graph_);
+    oracle_ = std::make_unique<DependencyOracle>(*graph_, options_.spd);
     // Entry capacity from the byte budget: one memoized vector costs
     // n doubles; more than n entries can never be used.
     const std::size_t bytes_per_entry =
@@ -163,13 +163,16 @@ DistanceProportionalSampler* BetweennessEngine::distance_sampler() {
 }
 
 RkSampler* BetweennessEngine::rk_sampler() {
-  if (!rk_) rk_ = std::make_unique<RkSampler>(*graph_, /*seed=*/0);
+  if (!rk_) {
+    rk_ = std::make_unique<RkSampler>(*graph_, /*seed=*/0, options_.spd);
+  }
   return rk_.get();
 }
 
 GeisbergerSampler* BetweennessEngine::geisberger_sampler() {
   if (!geisberger_) {
-    geisberger_ = std::make_unique<GeisbergerSampler>(*graph_, /*seed=*/0);
+    geisberger_ = std::make_unique<GeisbergerSampler>(*graph_, /*seed=*/0,
+                                                      options_.spd);
   }
   return geisberger_.get();
 }
@@ -241,8 +244,8 @@ std::vector<EstimateReport> BetweennessEngine::ServeSharded(
 
 const std::vector<double>& BetweennessEngine::exact_scores() {
   if (!exact_ready_) {
-    exact_scores_ =
-        BrandesBetweenness(*graph_, Normalization::kPaper, resolved_threads());
+    exact_scores_ = BrandesBetweenness(*graph_, Normalization::kPaper,
+                                       resolved_threads(), options_.spd);
     extra_passes_ += graph_->num_vertices();
     exact_ready_ = true;
   }
@@ -272,17 +275,29 @@ const BetweennessEngine::RkCredit& BetweennessEngine::EnsureRkCredit(
       1, std::min(options_.report_batches, samples));
   const std::uint64_t base = samples / batches;
   const std::uint64_t extra = samples % batches;
-  // Each batch runs on its own sampler seeded purely from (seed, batch
+  // Each batch runs a sampler stream seeded purely from (seed, batch
   // index) — the batch structure and seeds never depend on the thread
   // count, and the weighted merge below folds in batch order, so the
-  // credit vector is bit-identical at any parallelism level.
+  // credit vector is bit-identical at any parallelism level. Samplers are
+  // per worker and Reset to each batch seed (the documented reuse
+  // contract: Reset reproduces a freshly-constructed sampler's stream),
+  // so the per-sampler pass scratch is paid once per worker, not once per
+  // batch.
+  std::vector<std::unique_ptr<RkSampler>> worker_samplers(
+      pool()->num_threads());
   const std::vector<std::vector<double>> batch_credit =
       ParallelMap<std::vector<double>>(
           pool(), static_cast<std::size_t>(batches),
-          [this, seed, base, extra](unsigned, std::size_t b) {
+          [this, seed, base, extra, &worker_samplers](unsigned worker,
+                                                      std::size_t b) {
             std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (b + 1);
-            RkSampler sampler(*graph_, SplitMix64(&state));
-            return sampler.EstimateAll(base + (b < extra ? 1 : 0));
+            std::unique_ptr<RkSampler>& sampler = worker_samplers[worker];
+            if (sampler == nullptr) {
+              sampler = std::make_unique<RkSampler>(*graph_, /*seed=*/0,
+                                                    options_.spd);
+            }
+            sampler->Reset(SplitMix64(&state));
+            return sampler->EstimateAll(base + (b < extra ? 1 : 0));
           });
   auto credit = std::make_unique<RkCredit>();
   credit->samples = samples;

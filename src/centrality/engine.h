@@ -12,6 +12,7 @@
 #include "core/mh_betweenness.h"
 #include "exact/dependency_oracle.h"
 #include "graph/csr_graph.h"
+#include "sp/spd.h"
 #include "util/status.h"
 
 /// \file
@@ -44,6 +45,12 @@
 /// reproduces the same value bit-for-bit no matter how many queries ran in
 /// between (samplers are Reset to the request seed per query, and memo
 /// hits return bit-identical vectors), only the work accounting differs.
+/// The SPD kernel knob (EngineOptions::spd) is deliberately *outside* the
+/// determinism key: dependency vectors — and therefore every statistical
+/// report field — are bit-identical across SpdKernel choices and α/β
+/// settings, because both BFS kernels emit the canonical per-level
+/// ascending order and the backward sweep is pinned to it (sp/spd.h).
+/// Kernel selection changes how fast a pass runs, never what it returns.
 ///
 /// Parallelism and the thread contract. Set EngineOptions::num_threads to
 /// parallelize *inside* the engine: the exact-score build runs the
@@ -168,6 +175,11 @@ struct EngineOptions {
   /// Statistical report fields are bit-identical at every setting — see
   /// the file comment for the exact contract.
   unsigned num_threads = 1;
+  /// Unweighted shortest-path kernel selection + direction-switch tuning,
+  /// applied to every pass the engine (and its shards, samplers, and
+  /// exact builds) runs. Off the determinism key: all settings produce
+  /// bit-identical reports — see the file comment.
+  SpdOptions spd;
 };
 
 /// Registry metadata for one estimator. The registry is the single

@@ -34,7 +34,8 @@ namespace {
 /// order and hands each dependency vector to the callback.
 template <typename PerSource>
 void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
-                                      VertexId end, PerSource&& per_source) {
+                                      VertexId end, SpdOptions spd,
+                                      PerSource&& per_source) {
   DependencyAccumulator accumulator(graph);
   if (graph.weighted()) {
     DijkstraSpd engine(graph);
@@ -43,7 +44,7 @@ void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
       per_source(accumulator.Accumulate(engine));
     }
   } else {
-    BfsSpd engine(graph);
+    BfsSpd engine(graph, spd);
     for (VertexId s = begin; s < end; ++s) {
       engine.Run(s);
       per_source(accumulator.Accumulate(engine));
@@ -53,8 +54,9 @@ void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
 
 /// All sources, in order (the sequential driver).
 template <typename PerSource>
-void ForEachSourceDependencies(const CsrGraph& graph, PerSource&& per_source) {
-  ForEachSourceDependenciesInRange(graph, 0, graph.num_vertices(),
+void ForEachSourceDependencies(const CsrGraph& graph, SpdOptions spd,
+                               PerSource&& per_source) {
+  ForEachSourceDependenciesInRange(graph, 0, graph.num_vertices(), spd,
                                    std::forward<PerSource>(per_source));
 }
 
@@ -68,19 +70,20 @@ constexpr std::size_t kBrandesSourceShards = 32;
 }  // namespace
 
 std::vector<double> ExactBetweenness(const CsrGraph& graph,
-                                     Normalization norm) {
+                                     Normalization norm, SpdOptions spd) {
   const VertexId n = graph.num_vertices();
   std::vector<double> scores(n, 0.0);
-  ForEachSourceDependencies(graph, [&scores, n](const std::vector<double>& delta) {
-    for (VertexId v = 0; v < n; ++v) scores[v] += delta[v];
-  });
+  ForEachSourceDependenciesInRange(
+      graph, 0, n, spd, [&scores, n](const std::vector<double>& delta) {
+        for (VertexId v = 0; v < n; ++v) scores[v] += delta[v];
+      });
   NormalizeScores(&scores, norm, n);
   return scores;
 }
 
 std::vector<double> BrandesBetweenness(const CsrGraph& graph,
                                        Normalization norm,
-                                       unsigned num_threads) {
+                                       unsigned num_threads, SpdOptions spd) {
   const VertexId n = graph.num_vertices();
   std::vector<double> scores(n, 0.0);
   if (n == 0) return scores;
@@ -94,14 +97,15 @@ std::vector<double> BrandesBetweenness(const CsrGraph& graph,
   // which shard or how many workers there were.
   ParallelOrderedReduce<std::vector<double>>(
       &pool, shards,
-      [&graph, n, shards](unsigned, std::size_t shard) {
+      [&graph, n, shards, spd](unsigned, std::size_t shard) {
         const auto begin = static_cast<VertexId>(
             static_cast<std::size_t>(n) * shard / shards);
         const auto end = static_cast<VertexId>(
             static_cast<std::size_t>(n) * (shard + 1) / shards);
         std::vector<double> partial(n, 0.0);
         ForEachSourceDependenciesInRange(
-            graph, begin, end, [&partial, n](const std::vector<double>& delta) {
+            graph, begin, end, spd,
+            [&partial, n](const std::vector<double>& delta) {
               for (VertexId v = 0; v < n; ++v) partial[v] += delta[v];
             });
         return partial;
@@ -116,21 +120,23 @@ std::vector<double> BrandesBetweenness(const CsrGraph& graph,
 }
 
 double ExactBetweennessSingle(const CsrGraph& graph, VertexId r,
-                              Normalization norm) {
+                              Normalization norm, SpdOptions spd) {
   MHBC_DCHECK(r < graph.num_vertices());
   double raw = 0.0;
   ForEachSourceDependencies(
-      graph, [&raw, r](const std::vector<double>& delta) { raw += delta[r]; });
+      graph, spd,
+      [&raw, r](const std::vector<double>& delta) { raw += delta[r]; });
   std::vector<double> one{raw};
   NormalizeScores(&one, norm, graph.num_vertices());
   return one[0];
 }
 
-std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r) {
+std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r,
+                                      SpdOptions spd) {
   MHBC_DCHECK(r < graph.num_vertices());
   std::vector<double> profile(graph.num_vertices(), 0.0);
   VertexId source = 0;
-  ForEachSourceDependencies(graph,
+  ForEachSourceDependencies(graph, spd,
                             [&profile, &source, r](const std::vector<double>& delta) {
                               profile[source] = delta[r];
                               ++source;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "sp/spd.h"
 
 /// \file
 /// Exact betweenness centrality (Brandes 2001), the ground truth every
@@ -35,8 +36,11 @@ void NormalizeScores(std::vector<double>* scores, Normalization norm,
 /// Exact betweenness of all vertices. O(nm) unweighted, O(nm + n^2 log n)
 /// weighted. Works on disconnected graphs (unreachable pairs contribute 0).
 /// Single-threaded; see BrandesBetweenness for the source-parallel form.
+/// `spd` selects the unweighted SPD kernel (ignored for weighted graphs);
+/// scores are bit-identical across kernels and α/β settings.
 std::vector<double> ExactBetweenness(const CsrGraph& graph,
-                                     Normalization norm = Normalization::kPaper);
+                                     Normalization norm = Normalization::kPaper,
+                                     SpdOptions spd = SpdOptions());
 
 /// Source-parallel exact betweenness: the n single-source passes are
 /// independent, so they are split into a *fixed* number of contiguous
@@ -49,21 +53,23 @@ std::vector<double> ExactBetweenness(const CsrGraph& graph,
 /// ulp); both are exact Brandes.
 std::vector<double> BrandesBetweenness(
     const CsrGraph& graph, Normalization norm = Normalization::kPaper,
-    unsigned num_threads = 0);
+    unsigned num_threads = 0, SpdOptions spd = SpdOptions());
 
 /// Exact betweenness of a single vertex r (same asymptotic cost as the full
 /// computation — the point the paper's samplers attack — but with O(n)
 /// memory for results instead of O(n)... provided for API symmetry and for
 /// ground truth in the harnesses).
 double ExactBetweennessSingle(const CsrGraph& graph, VertexId r,
-                              Normalization norm = Normalization::kPaper);
+                              Normalization norm = Normalization::kPaper,
+                              SpdOptions spd = SpdOptions());
 
 /// Exact dependency profile for a fixed target r: the vector
 /// [delta_{v.}(r)] over all sources v. This is the unnormalized target
 /// distribution of the paper's MH sampler (Eq. 5); its sum is the raw
 /// betweenness of r. O(nm). Used by the optimal baseline sampler [13] and
 /// by the theory module to compute mu(r) exactly.
-std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r);
+std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r,
+                                      SpdOptions spd = SpdOptions());
 
 }  // namespace mhbc
 

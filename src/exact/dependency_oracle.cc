@@ -2,12 +2,12 @@
 
 namespace mhbc {
 
-DependencyOracle::DependencyOracle(const CsrGraph& graph)
+DependencyOracle::DependencyOracle(const CsrGraph& graph, SpdOptions spd)
     : graph_(&graph), accumulator_(graph) {
   if (graph.weighted()) {
     dijkstra_ = std::make_unique<DijkstraSpd>(graph);
   } else {
-    bfs_ = std::make_unique<BfsSpd>(graph);
+    bfs_ = std::make_unique<BfsSpd>(graph, spd);
   }
 }
 

@@ -35,8 +35,11 @@ namespace mhbc {
 class DependencyOracle {
  public:
   /// The graph must outlive the oracle. Weighted graphs automatically use
-  /// the Dijkstra engine.
-  explicit DependencyOracle(const CsrGraph& graph);
+  /// the Dijkstra engine; unweighted graphs use the BFS engine configured
+  /// by `spd` (kernel choice and α/β change only the work per pass — the
+  /// dependency vectors are bit-identical across all settings, see
+  /// sp/bfs_spd.h).
+  explicit DependencyOracle(const CsrGraph& graph, SpdOptions spd = SpdOptions());
 
   /// Runs one pass from `source` and returns delta_{source.}(target).
   double Dependency(VertexId source, VertexId target);

@@ -1,45 +1,214 @@
 #include "sp/bfs_spd.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace mhbc {
 
-BfsSpd::BfsSpd(const CsrGraph& graph) : graph_(&graph) {
+BfsSpd::BfsSpd(const CsrGraph& graph, SpdOptions options)
+    : graph_(&graph), options_(options) {
   const VertexId n = graph.num_vertices();
   dag_.dist.assign(n, kUnreachedDistance);
   dag_.sigma.assign(n, 0);
   dag_.order.reserve(n);
   dag_.weighted = false;
-  queue_.reserve(n);
+  frontier_.reserve(n);
+  next_.reserve(n);
 }
 
 void BfsSpd::Run(VertexId source) {
   MHBC_DCHECK(source < graph_->num_vertices());
   // Reset only what the previous pass touched.
+  const bool reset_bitmap = !visited_.empty();
+  const bool reset_preds = dag_.has_predecessors;
   for (VertexId v : dag_.order) {
     dag_.dist[v] = kUnreachedDistance;
     dag_.sigma[v] = 0;
+    if (reset_bitmap) ClearVisited(v);
+    if (reset_preds) dag_.pred_count[v] = 0;
   }
   dag_.order.clear();
+  dag_.level_offsets.clear();
+  dag_.has_predecessors = false;
   dag_.source = source;
+  last_stats_ = Stats();
 
-  queue_.clear();
-  queue_.push_back(source);
+  // Degenerate graphs take the classic path unconditionally: with no edges
+  // (or a single vertex) there is no direction to optimize, and the hybrid
+  // scratch must stay untouched (it is lazily allocated by the first real
+  // hybrid pass).
+  const bool degenerate =
+      graph_->num_vertices() <= 1 || graph_->num_edges() == 0;
+  if (options_.kernel == SpdKernel::kClassic || degenerate) {
+    RunClassic(source);
+  } else {
+    RunHybrid(source);
+  }
+
+  total_stats_.edges_examined += last_stats_.edges_examined;
+  total_stats_.top_down_levels += last_stats_.top_down_levels;
+  total_stats_.bottom_up_levels += last_stats_.bottom_up_levels;
+  total_stats_.direction_switches += last_stats_.direction_switches;
+}
+
+void BfsSpd::RunClassic(VertexId source) {
   dag_.dist[source] = 0;
   dag_.sigma[source] = 1;
-  std::size_t head = 0;
-  while (head < queue_.size()) {
-    const VertexId u = queue_[head++];
-    dag_.order.push_back(u);
-    const std::uint32_t du = dag_.dist[u];
-    for (VertexId v : graph_->neighbors(u)) {
-      if (dag_.dist[v] == kUnreachedDistance) {
-        dag_.dist[v] = du + 1;
-        queue_.push_back(v);
-      }
-      if (dag_.dist[v] == du + 1) {
-        dag_.sigma[v] += dag_.sigma[u];
+  frontier_.clear();
+  frontier_.push_back(source);
+  std::uint32_t depth = 0;
+  while (!frontier_.empty()) {
+    dag_.level_offsets.push_back(dag_.order.size());
+    dag_.order.insert(dag_.order.end(), frontier_.begin(), frontier_.end());
+    next_.clear();
+    std::uint64_t frontier_edges = 0;
+    for (VertexId u : frontier_) {
+      frontier_edges += graph_->degree(u);
+      const SigmaCount su = dag_.sigma[u];
+      for (VertexId v : graph_->neighbors(u)) {
+        if (dag_.dist[v] == kUnreachedDistance) {
+          dag_.dist[v] = depth + 1;
+          next_.push_back(v);
+        }
+        if (dag_.dist[v] == depth + 1) dag_.sigma[v] += su;
       }
     }
+    // Canonicalize the next level: ascending vertex id, so the stored
+    // order (and the frontier the next iteration expands, which fixes the
+    // sigma fold) is independent of discovery order.
+    std::sort(next_.begin(), next_.end());
+    last_stats_.edges_examined += frontier_edges;
+    ++last_stats_.top_down_levels;
+    frontier_.swap(next_);
+    ++depth;
   }
+  dag_.level_offsets.push_back(dag_.order.size());
+}
+
+void BfsSpd::RunHybrid(VertexId source) {
+  const VertexId n = graph_->num_vertices();
+  if (visited_.empty()) {
+    visited_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+    dag_.pred_begin = graph_->raw_offsets().data();
+    dag_.pred_count.assign(n, 0);
+    dag_.pred_storage.assign(graph_->raw_adjacency().size(), kInvalidVertex);
+  }
+  // Bits past n in the last bitmap word never correspond to vertices; mask
+  // them out of every bottom-up word scan.
+  const std::uint64_t tail_mask =
+      (n & 63) ? ((std::uint64_t{1} << (n & 63)) - 1) : ~std::uint64_t{0};
+
+  dag_.dist[source] = 0;
+  dag_.sigma[source] = 1;
+  SetVisited(source);
+  frontier_.clear();
+  frontier_.push_back(source);
+  // Beamer's two aggregates: edges a top-down step would examine (degree
+  // sum of the frontier) vs edges a bottom-up step would examine (degree
+  // sum of unvisited vertices). Both are maintained incrementally.
+  std::uint64_t frontier_edges = graph_->degree(source);
+  std::uint64_t unexplored_edges =
+      2 * graph_->num_edges() - graph_->degree(source);
+  std::size_t prev_frontier_size = 0;
+  bool bottom_up = false;
+  std::uint32_t depth = 0;
+
+  while (!frontier_.empty()) {
+    dag_.level_offsets.push_back(dag_.order.size());
+    dag_.order.insert(dag_.order.end(), frontier_.begin(), frontier_.end());
+
+    // Per-level direction choice (Beamer's edge-count test). Expanding
+    // this frontier top-down examines m_f edges (the frontier's degree
+    // sum); bottom-up examines m_u (the unvisited vertices' degree sum)
+    // but at a per-edge cost alpha times cheaper — the bottom-up loop is a
+    // sequential ascending scan with no discovery bookkeeping and no
+    // frontier sort. So bottom-up is the profitable direction for a level
+    // exactly when m_f * alpha > m_u; the exit test is the negation, and
+    // entry is additionally gated on a growing frontier (a shrinking one
+    // is draining a tail top-down handles better — without this gate,
+    // plateaued frontiers on high-diameter graphs flap directions for zero
+    // savings). Beamer's n/beta tail rule is kept as a secondary exit.
+    const bool growing = frontier_.size() >= prev_frontier_size;
+    const bool profitable =
+        options_.alpha > 0.0 &&
+        static_cast<double>(frontier_edges) * options_.alpha >
+            static_cast<double>(unexplored_edges);
+    const bool was_bottom_up = bottom_up;
+    if (!bottom_up) {
+      bottom_up = growing && profitable;
+    } else if (!profitable ||
+               (!growing && options_.beta > 0.0 &&
+                static_cast<double>(frontier_.size()) * options_.beta <
+                    static_cast<double>(n))) {
+      bottom_up = false;
+    }
+    if (bottom_up != was_bottom_up) ++last_stats_.direction_switches;
+    prev_frontier_size = frontier_.size();
+
+    next_.clear();
+    std::uint64_t next_edges = 0;
+    if (bottom_up) {
+      ++last_stats_.bottom_up_levels;
+      last_stats_.edges_examined += unexplored_edges;
+      // Scan unvisited vertices in ascending id (so the next level needs
+      // no sort) and gather all parents at the current depth; no early
+      // exit — exact sigma needs every parent.
+      for (std::size_t word = 0; word < visited_.size(); ++word) {
+        std::uint64_t unvisited = ~visited_[word];
+        if (word + 1 == visited_.size()) unvisited &= tail_mask;
+        while (unvisited != 0) {
+          const VertexId v = static_cast<VertexId>(
+              (word << 6) + std::countr_zero(unvisited));
+          unvisited &= unvisited - 1;
+          SigmaCount sv = 0;
+          std::uint32_t parents = 0;
+          const std::size_t base = dag_.pred_begin[v];
+          for (VertexId u : graph_->neighbors(v)) {
+            if (dag_.dist[u] == depth) {
+              sv += dag_.sigma[u];
+              dag_.pred_storage[base + parents++] = u;
+            }
+          }
+          if (parents != 0) {
+            dag_.dist[v] = depth + 1;
+            dag_.sigma[v] = sv;
+            dag_.pred_count[v] = parents;
+            SetVisited(v);
+            next_.push_back(v);
+            next_edges += graph_->degree(v);
+          }
+        }
+      }
+    } else {
+      ++last_stats_.top_down_levels;
+      last_stats_.edges_examined += frontier_edges;
+      for (VertexId u : frontier_) {
+        const SigmaCount su = dag_.sigma[u];
+        for (VertexId v : graph_->neighbors(u)) {
+          if (dag_.dist[v] == kUnreachedDistance) {
+            dag_.dist[v] = depth + 1;
+            SetVisited(v);
+            next_.push_back(v);
+            next_edges += graph_->degree(v);
+          }
+          if (dag_.dist[v] == depth + 1) {
+            // The frontier is sorted, so parents append in ascending id —
+            // the same sequence a bottom-up neighbor scan records — and
+            // sigma folds in the same order.
+            dag_.sigma[v] += su;
+            dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]++] = u;
+          }
+        }
+      }
+      std::sort(next_.begin(), next_.end());
+    }
+    unexplored_edges -= next_edges;
+    frontier_edges = next_edges;
+    frontier_.swap(next_);
+    ++depth;
+  }
+  dag_.level_offsets.push_back(dag_.order.size());
+  dag_.has_predecessors = true;
 }
 
 }  // namespace mhbc

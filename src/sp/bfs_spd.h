@@ -1,38 +1,104 @@
 #ifndef MHBC_SP_BFS_SPD_H_
 #define MHBC_SP_BFS_SPD_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr_graph.h"
 #include "sp/spd.h"
 
 /// \file
-/// Unweighted shortest-path-DAG construction by BFS.
+/// Unweighted shortest-path-DAG construction by level-synchronous BFS.
+///
+/// Two kernels behind one engine (selected via SpdOptions::kernel):
+///
+///   kClassic — top-down expansion on every level.
+///   kHybrid  — direction-optimizing traversal (Beamer, "Direction-
+///              Optimizing Breadth-First Search"): per level, expand the
+///              frontier top-down or scan unvisited vertices bottom-up
+///              against a visited bitmap, whichever examines fewer edges
+///              (the α/β heuristics in SpdOptions). Sigma counting stays
+///              exact in both directions: a bottom-up step sums sigma over
+///              a vertex's neighbors at the previous depth — the same
+///              ascending-parent fold a top-down step performs against the
+///              sorted frontier — so dist, sigma, and the canonical order
+///              are bit-identical across kernels and α/β settings.
+///
+/// Both kernels emit the canonical DAG order (ascending vertex id within
+/// each level, level slices recorded in ShortestPathDag::level_offsets).
+/// The hybrid kernel additionally records explicit predecessor lists while
+/// it traverses — it inspects every parent edge anyway — which is what lets
+/// the fused backward sweep (sp/dependency.h) walk SPD edges only instead
+/// of re-deriving parents by full neighbor rescans.
 
 namespace mhbc {
 
 /// Reusable BFS engine for one graph.
 ///
 /// Run(source) costs O(|E|) with no allocation after the first call: state
-/// is reset lazily via the previous pass' settle order. The engine is
+/// is reset lazily via the previous pass' order. The engine is
 /// single-threaded and not reentrant; samplers own one instance each.
 class BfsSpd {
  public:
-  /// The graph must outlive the engine.
-  explicit BfsSpd(const CsrGraph& graph);
+  /// Work counters of one pass (and totals across passes). "Edges
+  /// examined" counts neighbor-list entries inspected: a top-down level
+  /// examines the frontier's degree sum, a bottom-up level the degree sum
+  /// of still-unvisited vertices.
+  struct Stats {
+    std::uint64_t edges_examined = 0;
+    std::uint32_t top_down_levels = 0;
+    std::uint32_t bottom_up_levels = 0;
+    std::uint32_t direction_switches = 0;
+  };
 
-  /// Computes dist/sigma/order from `source`.
+  /// The graph must outlive the engine.
+  explicit BfsSpd(const CsrGraph& graph, SpdOptions options = SpdOptions());
+
+  /// Computes dist/sigma/order (+ level offsets, + predecessors for the
+  /// hybrid kernel) from `source`.
   void Run(VertexId source);
 
   /// Result of the last Run. Valid until the next Run.
   const ShortestPathDag& dag() const { return dag_; }
 
   const CsrGraph& graph() const { return *graph_; }
+  const SpdOptions& options() const { return options_; }
+
+  /// Counters of the last Run / summed over all Runs.
+  const Stats& last_stats() const { return last_stats_; }
+  const Stats& total_stats() const { return total_stats_; }
+
+  /// True once the hybrid scratch (visited bitmap + predecessor storage)
+  /// has been allocated. The classic kernel never allocates it, and the
+  /// hybrid kernel falls back to the classic path — without touching the
+  /// scratch — on degenerate graphs (no edges or a single vertex), where
+  /// direction optimization has nothing to optimize.
+  bool hybrid_scratch_allocated() const { return !visited_.empty(); }
 
  private:
+  /// Top-down-only level loop (also the degenerate-graph fallback).
+  void RunClassic(VertexId source);
+  /// Direction-optimizing level loop.
+  void RunHybrid(VertexId source);
+
+  void SetVisited(VertexId v) {
+    visited_[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+  void ClearVisited(VertexId v) {
+    visited_[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  }
+
   const CsrGraph* graph_;
+  SpdOptions options_;
   ShortestPathDag dag_;
-  std::vector<VertexId> queue_;
+  /// Frontier scratch: current level / next level under construction.
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> next_;
+  /// Visited bitmap (one bit per vertex); lazily allocated by the first
+  /// hybrid pass, empty otherwise.
+  std::vector<std::uint64_t> visited_;
+  Stats last_stats_;
+  Stats total_stats_;
 };
 
 }  // namespace mhbc

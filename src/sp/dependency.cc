@@ -8,44 +8,31 @@ DependencyAccumulator::DependencyAccumulator(const CsrGraph& graph) {
 }
 
 const std::vector<double>& DependencyAccumulator::Accumulate(
-    const BfsSpd& bfs) {
-  const ShortestPathDag& dag = bfs.dag();
-  const CsrGraph& graph = bfs.graph();
+    const ShortestPathDag& dag, const CsrGraph& graph) {
   for (VertexId v : touched_) delta_[v] = 0.0;
   touched_.assign(dag.order.begin(), dag.order.end());
 
-  // Reverse settle order: every successor w of v in the SPD satisfies
-  // dist[w] == dist[v] + 1 and is adjacent to v.
-  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
-    const VertexId w = *it;
-    const std::uint32_t dw = dag.dist[w];
+  // ForEachParent walks the recorded SPD edges when the pass stored them
+  // (the fused path — no non-DAG edge is touched) and re-derives parents
+  // from dist otherwise (classic BFS passes).
+  ForEachDeepestFirst(dag, [this, &dag, &graph](VertexId w) {
     const double coeff = (1.0 + delta_[w]) / static_cast<double>(dag.sigma[w]);
-    for (VertexId v : graph.neighbors(w)) {
-      if (dag.dist[v] + 1 == dw) {
-        // v is a parent of w in the SPD (paper's P_s(w)).
-        delta_[v] += static_cast<double>(dag.sigma[v]) * coeff;
-      }
-    }
-  }
+    ForEachParent(dag, graph, w, [this, &dag, coeff](VertexId v) {
+      delta_[v] += static_cast<double>(dag.sigma[v]) * coeff;
+    });
+  });
   delta_[dag.source] = 0.0;  // dependency of s on itself is undefined/0
   return delta_;
 }
 
 const std::vector<double>& DependencyAccumulator::Accumulate(
-    const DijkstraSpd& dijkstra) {
-  const ShortestPathDag& dag = dijkstra.dag();
-  for (VertexId v : touched_) delta_[v] = 0.0;
-  touched_.assign(dag.order.begin(), dag.order.end());
+    const BfsSpd& bfs) {
+  return Accumulate(bfs.dag(), bfs.graph());
+}
 
-  for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
-    const VertexId w = *it;
-    const double coeff = (1.0 + delta_[w]) / static_cast<double>(dag.sigma[w]);
-    for (VertexId v : dijkstra.predecessors(w)) {
-      delta_[v] += static_cast<double>(dag.sigma[v]) * coeff;
-    }
-  }
-  delta_[dag.source] = 0.0;
-  return delta_;
+const std::vector<double>& DependencyAccumulator::Accumulate(
+    const DijkstraSpd& dijkstra) {
+  return Accumulate(dijkstra.dag(), dijkstra.graph());
 }
 
 std::vector<double> PairDependencies(const CsrGraph& graph, VertexId s,

@@ -15,7 +15,16 @@
 ///   delta_{s.}(v) = sum over SPD-successors w of v of
 ///                   sigma_sv / sigma_sw * (1 + delta_{s.}(w)).
 /// One accumulation costs O(|E|) after a BFS pass, O(|E|) after a Dijkstra
-/// pass (predecessor lists are precomputed there).
+/// pass — and only O(|SPD edges|) when the pass recorded explicit
+/// predecessor lists (the Dijkstra engine and the hybrid BFS kernel do),
+/// because the backward sweep then walks the recorded parents instead of
+/// re-deriving them by full neighbor rescans.
+///
+/// The sweep order is fixed by ForEachDeepestFirst (sp/spd.h): levels
+/// deepest-first, ascending vertex id within a level. That order is a
+/// property of the DAG alone — not of the traversal direction that built
+/// it — which is what makes dependency vectors bit-identical across SPD
+/// kernels and α/β settings.
 
 namespace mhbc {
 
@@ -24,11 +33,16 @@ class DependencyAccumulator {
  public:
   explicit DependencyAccumulator(const CsrGraph& graph);
 
-  /// Accumulates dependencies of `bfs.dag().source` on all vertices.
-  /// Result valid until the next Accumulate call.
-  const std::vector<double>& Accumulate(const BfsSpd& bfs);
+  /// Accumulates dependencies of `dag.source` on all vertices — the single
+  /// backward-sweep implementation every pass flavor (classic BFS, hybrid
+  /// BFS, Dijkstra) funnels through. `graph` must be the graph the pass
+  /// ran on; it is consulted only when the DAG carries no predecessor
+  /// lists. Result valid until the next Accumulate call.
+  const std::vector<double>& Accumulate(const ShortestPathDag& dag,
+                                        const CsrGraph& graph);
 
-  /// Weighted variant using the explicit SPD predecessor lists.
+  /// Convenience overloads for the two engines.
+  const std::vector<double>& Accumulate(const BfsSpd& bfs);
   const std::vector<double>& Accumulate(const DijkstraSpd& dijkstra);
 
   /// Dependency of the last pass' source on v (0 for unreached vertices and

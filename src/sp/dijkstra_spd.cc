@@ -13,14 +13,12 @@ DijkstraSpd::DijkstraSpd(const CsrGraph& graph, double tie_epsilon)
   dag_.sigma.assign(n, 0);
   dag_.order.reserve(n);
   dag_.weighted = true;
-  pred_begin_.assign(n, 0);
-  pred_count_.assign(n, 0);
-  std::size_t offset = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    pred_begin_[v] = offset;
-    offset += graph.degree(v);
-  }
-  pred_storage_.assign(offset, kInvalidVertex);
+  // Parent-list capacity is degree, so the graph's CSR offsets ARE the
+  // begin offsets — reference them instead of rebuilding the array.
+  dag_.pred_begin = graph.raw_offsets().data();
+  dag_.pred_count.assign(n, 0);
+  dag_.pred_storage.assign(graph.raw_adjacency().size(), kInvalidVertex);
+  dag_.has_predecessors = true;
   settled_.assign(n, 0);
 }
 
@@ -35,7 +33,7 @@ void DijkstraSpd::Run(VertexId source) {
   for (VertexId v : dag_.order) {
     dag_.wdist[v] = -1.0;
     dag_.sigma[v] = 0;
-    pred_count_[v] = 0;
+    dag_.pred_count[v] = 0;
     settled_[v] = 0;
   }
   dag_.order.clear();
@@ -67,16 +65,16 @@ void DijkstraSpd::Run(VertexId source) {
         // Strict improvement: reset predecessor set.
         dag_.wdist[v] = candidate;
         dag_.sigma[v] = dag_.sigma[u];
-        pred_count_[v] = 1;
-        pred_storage_[pred_begin_[v]] = u;
+        dag_.pred_count[v] = 1;
+        dag_.pred_storage[dag_.pred_begin[v]] = u;
         heap.emplace(candidate, v);
       } else if (Equal(candidate, current)) {
         // Tie: u is an additional predecessor (each neighbor appears once
         // per pass, so no duplicate check is needed).
         dag_.sigma[v] += dag_.sigma[u];
-        MHBC_DCHECK(pred_count_[v] < graph_->degree(v));
-        pred_storage_[pred_begin_[v] + pred_count_[v]] = u;
-        ++pred_count_[v];
+        MHBC_DCHECK(dag_.pred_count[v] < graph_->degree(v));
+        dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]] = u;
+        ++dag_.pred_count[v];
       }
     }
   }

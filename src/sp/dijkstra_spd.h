@@ -18,8 +18,10 @@ namespace mhbc {
 /// Reusable Dijkstra engine for one positively-weighted graph.
 ///
 /// Unlike BFS, shortest-path ties under floating-point addition cannot be
-/// re-derived from distances alone, so the engine also records explicit
-/// predecessor lists (the SPD edges) in flat CSR-like storage.
+/// re-derived from distances alone, so the engine always records explicit
+/// predecessor lists (the SPD edges) into the shared
+/// ShortestPathDag::pred_* storage (CSR-capacity layout keyed by degree,
+/// so no per-pass allocation is needed).
 class DijkstraSpd {
  public:
   /// The graph must be weighted with positive weights and outlive the
@@ -34,11 +36,10 @@ class DijkstraSpd {
   /// `dag().dist` is not populated.
   const ShortestPathDag& dag() const { return dag_; }
 
-  /// Predecessors of v in the SPD of the last Run.
+  /// Predecessors of v in the SPD of the last Run (dag().predecessors).
   std::span<const VertexId> predecessors(VertexId v) const {
     MHBC_DCHECK(v < graph_->num_vertices());
-    return {pred_storage_.data() + pred_begin_[v],
-            pred_storage_.data() + pred_begin_[v] + pred_count_[v]};
+    return dag_.predecessors(v);
   }
 
   const CsrGraph& graph() const { return *graph_; }
@@ -49,13 +50,6 @@ class DijkstraSpd {
   const CsrGraph* graph_;
   double tie_epsilon_;
   ShortestPathDag dag_;
-  // Flat predecessor storage: vertex v's predecessors occupy
-  // pred_storage_[pred_begin_[v] .. pred_begin_[v]+pred_count_[v]).
-  // pred_begin_ is the CSR offset of v's incoming-edge capacity (degree),
-  // so no per-pass allocation is needed.
-  std::vector<std::size_t> pred_begin_;
-  std::vector<std::uint32_t> pred_count_;
-  std::vector<VertexId> pred_storage_;
   std::vector<char> settled_;
 };
 

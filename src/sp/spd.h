@@ -1,6 +1,7 @@
 #ifndef MHBC_SP_SPD_H_
 #define MHBC_SP_SPD_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -16,6 +17,43 @@
 
 namespace mhbc {
 
+/// Which traversal the unweighted SPD engine (BfsSpd) runs.
+enum class SpdKernel {
+  /// Level-synchronous top-down expansion on every level — the reference
+  /// kernel; examines every edge of the reached component twice per pass.
+  kClassic,
+  /// Direction-optimizing (Beamer-style) traversal: per level, switches
+  /// between top-down edge expansion and bottom-up parent scanning using
+  /// the edge-count heuristics below. Exact sigma counting in both
+  /// directions; on low-diameter graphs the peak levels run bottom-up and
+  /// the pass examines a fraction of the edges. The default.
+  kHybrid,
+};
+
+/// Tuning knobs for the unweighted SPD engine. Kernel choice and the α/β
+/// thresholds change only the work a pass does — dist, sigma, the canonical
+/// order, and every dependency vector downstream are bit-identical across
+/// all settings (see BfsSpd for why).
+struct SpdOptions {
+  SpdKernel kernel = SpdKernel::kHybrid;
+  /// Per-level direction test (Beamer's CTB, recalibrated): a level runs
+  /// bottom-up when m_f * alpha > m_u, where m_f is the degree sum of the
+  /// current frontier (edges a top-down step examines) and m_u the degree
+  /// sum of still-unvisited vertices (edges a bottom-up step examines).
+  /// alpha is the measured per-edge discount of the bottom-up loop — a
+  /// sequential ascending scan with no discovery bookkeeping and no
+  /// frontier sort — so the test reads "bottom-up is the cheaper way to
+  /// build this level". Exact sigma counting cannot early-exit the parent
+  /// scan (Beamer's reachability-only BFS can, hence his much larger
+  /// alpha = 14); the default here is the bench_e20 sweep optimum across
+  /// the registry graphs. alpha <= 0 disables bottom-up entirely.
+  double alpha = 3.0;
+  /// Secondary bottom-up exit (Beamer's CBT): also return to top-down once
+  /// the frontier is shrinking and has fewer than n / beta vertices.
+  /// beta <= 0 disables this exit (the profit-test exit still applies).
+  double beta = 24.0;
+};
+
 /// Result arrays of one single-source pass. Arrays are indexed by vertex id
 /// and sized to the graph; entries for unreached vertices hold
 /// kUnreachedDistance / 0 sigma.
@@ -28,7 +66,31 @@ struct ShortestPathDag {
   std::vector<SigmaCount> sigma;
   /// Vertices in settle order (non-decreasing distance), source first.
   /// Doubles as the touched-list used to reset state in O(|reached|).
+  /// Unweighted passes store the *canonical* order — ascending vertex id
+  /// within each level, independent of traversal direction — so the
+  /// backward dependency sweep regroups identically for every kernel.
   std::vector<VertexId> order;
+  /// Per-level slices of `order` for unweighted passes:
+  /// order[level_offsets[l] .. level_offsets[l+1]) holds the vertices at
+  /// hop distance l. These are the pass' frontiers, retained so the
+  /// backward sweep walks levels deepest-first without re-deriving the
+  /// level structure. Empty for weighted (Dijkstra) passes.
+  std::vector<std::size_t> level_offsets;
+  /// Explicit SPD predecessor (parent) lists in CSR-capacity layout:
+  /// vertex v's parents occupy
+  /// pred_storage[pred_begin[v] .. pred_begin[v] + pred_count[v]).
+  /// pred_begin points at the graph's own CSR offsets (a parent list can
+  /// never outgrow the degree), so it stays valid exactly as long as the
+  /// graph the engine is bound to — no per-engine copy. Filled by the
+  /// Dijkstra engine (parents in settle order) and by the hybrid BFS
+  /// kernel (parents in ascending id — the same sequence a sorted
+  /// neighbor scan yields, which is what keeps the accumulation
+  /// regrouping kernel-independent). Classic BFS passes leave
+  /// has_predecessors false; parents are then re-derived from dist.
+  const EdgeId* pred_begin = nullptr;
+  std::vector<std::uint32_t> pred_count;
+  std::vector<VertexId> pred_storage;
+  bool has_predecessors = false;
   /// The source of the pass.
   VertexId source = kInvalidVertex;
   /// True if the pass used edge weights.
@@ -36,7 +98,62 @@ struct ShortestPathDag {
 
   /// Number of vertices reached (including the source).
   std::size_t num_reached() const { return order.size(); }
+
+  /// Number of BFS levels (0 when level offsets are absent).
+  std::size_t num_levels() const {
+    return level_offsets.empty() ? 0 : level_offsets.size() - 1;
+  }
+
+  /// Parents of v in the SPD; valid only when has_predecessors.
+  std::span<const VertexId> predecessors(VertexId v) const {
+    MHBC_DCHECK(v < pred_count.size());
+    return {pred_storage.data() + pred_begin[v],
+            pred_storage.data() + pred_begin[v] + pred_count[v]};
+  }
 };
+
+/// Visits every reached vertex in the fixed backward-sweep order the
+/// dependency accumulators use: levels deepest-first, ascending vertex id
+/// within a level when the DAG carries level offsets (BFS kernels), falling
+/// back to reverse settle order (Dijkstra). This single definition is what
+/// pins the floating-point regrouping of every backward sweep in the
+/// library, so it must not fork per caller.
+template <typename Visit>
+void ForEachDeepestFirst(const ShortestPathDag& dag, Visit&& visit) {
+  if (!dag.level_offsets.empty()) {
+    for (std::size_t level = dag.num_levels(); level-- > 0;) {
+      const std::size_t end = dag.level_offsets[level + 1];
+      for (std::size_t i = dag.level_offsets[level]; i < end; ++i) {
+        visit(dag.order[i]);
+      }
+    }
+  } else {
+    for (auto it = dag.order.rbegin(); it != dag.order.rend(); ++it) {
+      visit(*it);
+    }
+  }
+}
+
+/// Visits every SPD parent of `w`: the recorded predecessor list when the
+/// pass stored one, else the neighbors one hop closer to the source
+/// (unweighted re-derivation from dist). For unweighted passes the
+/// enumeration order is ascending parent id either way — recorded lists
+/// repeat the sorted neighbor scan — so backward sweeps regroup
+/// identically whichever path runs. Like ForEachDeepestFirst, this is the
+/// single definition of parent enumeration; sweeps must not fork their
+/// own.
+template <typename Visit>
+void ForEachParent(const ShortestPathDag& dag, const CsrGraph& graph,
+                   VertexId w, Visit&& visit) {
+  if (dag.has_predecessors) {
+    for (VertexId v : dag.predecessors(w)) visit(v);
+  } else {
+    const std::uint32_t dw = dag.dist[w];
+    for (VertexId v : graph.neighbors(w)) {
+      if (dag.dist[v] + 1 == dw) visit(v);
+    }
+  }
+}
 
 }  // namespace mhbc
 

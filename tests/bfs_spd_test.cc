@@ -91,6 +91,37 @@ TEST(BfsSpdTest, ReuseAcrossSourcesResetsState) {
   }
 }
 
+TEST(BfsSpdTest, LevelOffsetsSliceOrderByDistance) {
+  const CsrGraph g = MakeBarabasiAlbert(150, 3, 77);
+  BfsSpd bfs(g);
+  bfs.Run(10);
+  const auto& dag = bfs.dag();
+  ASSERT_FALSE(dag.level_offsets.empty());
+  ASSERT_EQ(dag.level_offsets.front(), 0u);
+  ASSERT_EQ(dag.level_offsets.back(), dag.order.size());
+  for (std::size_t l = 0; l < dag.num_levels(); ++l) {
+    ASSERT_LT(dag.level_offsets[l], dag.level_offsets[l + 1]);
+    for (std::size_t i = dag.level_offsets[l]; i < dag.level_offsets[l + 1];
+         ++i) {
+      EXPECT_EQ(dag.dist[dag.order[i]], l);
+    }
+  }
+}
+
+TEST(BfsSpdTest, OrderIsCanonicalWithinLevels) {
+  // Ascending vertex id inside each level — the order the dependency
+  // sweep's regrouping contract is pinned to.
+  const CsrGraph g = MakeErdosRenyiGnm(120, 400, 9);
+  BfsSpd bfs(g);
+  bfs.Run(3);
+  const auto& dag = bfs.dag();
+  for (std::size_t i = 1; i < dag.order.size(); ++i) {
+    if (dag.dist[dag.order[i - 1]] == dag.dist[dag.order[i]]) {
+      EXPECT_LT(dag.order[i - 1], dag.order[i]);
+    }
+  }
+}
+
 TEST(BfsSpdTest, SigmaTotalsMatchIndependentBfs) {
   // sigma additivity: for every v != s, sigma[v] equals the sum of sigma
   // over its SPD parents.

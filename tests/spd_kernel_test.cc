@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exact/brandes.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "sp/bfs_spd.h"
+#include "sp/dependency.h"
+
+// Property and determinism tests for the direction-optimizing SPD kernel:
+// the hybrid kernel must be observationally identical to the classic
+// top-down kernel — bit-identical dist/sigma, the same canonical order and
+// level structure, and bit-identical dependency vectors at every α/β
+// setting — on every graph family the generators produce.
+
+namespace mhbc {
+namespace {
+
+SpdOptions Hybrid(double alpha = 3.0, double beta = 24.0) {
+  SpdOptions options;
+  options.kernel = SpdKernel::kHybrid;
+  options.alpha = alpha;
+  options.beta = beta;
+  return options;
+}
+
+SpdOptions Classic() {
+  SpdOptions options;
+  options.kernel = SpdKernel::kClassic;
+  return options;
+}
+
+/// The random-generator zoo the property tests sweep; low- and
+/// high-diameter families, hubs, communities, and a disconnected case.
+std::vector<CsrGraph> PropertyGraphs() {
+  std::vector<CsrGraph> graphs;
+  graphs.push_back(MakeBarabasiAlbert(400, 3, 0xE20));
+  graphs.push_back(MakeErdosRenyiGnm(300, 900, 0xE20));
+  graphs.push_back(MakeErdosRenyiGnp(250, 0.008, 0xE20));  // disconnected-ish
+  graphs.push_back(MakeWattsStrogatz(300, 6, 0.1, 0xE20));
+  graphs.push_back(MakeConnectedCaveman(8, 12));
+  graphs.push_back(MakeGrid(14, 14));
+  graphs.push_back(MakeStar(64));
+  graphs.push_back(MakeCompleteBipartite(9, 17));
+  return graphs;
+}
+
+void ExpectDagsIdentical(const ShortestPathDag& a, const ShortestPathDag& b) {
+  ASSERT_EQ(a.source, b.source);
+  // Bitwise: dist is integral, sigma double — EQ compares bits for finite
+  // values either way.
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.level_offsets, b.level_offsets);
+}
+
+TEST(SpdKernelTest, HybridMatchesClassicOnGeneratorZoo) {
+  for (const CsrGraph& g : PropertyGraphs()) {
+    BfsSpd classic(g, Classic());
+    BfsSpd hybrid(g, Hybrid());
+    const VertexId step = std::max<VertexId>(1, g.num_vertices() / 7);
+    for (VertexId s = 0; s < g.num_vertices(); s += step) {
+      classic.Run(s);
+      hybrid.Run(s);
+      SCOPED_TRACE("n=" + std::to_string(g.num_vertices()) +
+                   " source=" + std::to_string(s));
+      ExpectDagsIdentical(classic.dag(), hybrid.dag());
+    }
+  }
+}
+
+TEST(SpdKernelTest, CanonicalOrderIsAscendingWithinLevels) {
+  const CsrGraph g = MakeBarabasiAlbert(500, 4, 0x51);
+  for (const SpdOptions& options : {Classic(), Hybrid()}) {
+    BfsSpd bfs(g, options);
+    bfs.Run(17);
+    const ShortestPathDag& dag = bfs.dag();
+    ASSERT_GE(dag.num_levels(), 2u);
+    ASSERT_EQ(dag.level_offsets.back(), dag.order.size());
+    for (std::size_t l = 0; l < dag.num_levels(); ++l) {
+      for (std::size_t i = dag.level_offsets[l]; i < dag.level_offsets[l + 1];
+           ++i) {
+        EXPECT_EQ(dag.dist[dag.order[i]], l);
+        if (i > dag.level_offsets[l]) {
+          EXPECT_LT(dag.order[i - 1], dag.order[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SpdKernelTest, HybridRecordsExactPredecessorLists) {
+  for (const CsrGraph& g : PropertyGraphs()) {
+    BfsSpd hybrid(g, Hybrid());
+    hybrid.Run(0);
+    const ShortestPathDag& dag = hybrid.dag();
+    ASSERT_TRUE(dag.has_predecessors);
+    for (VertexId v : dag.order) {
+      // Recorded parents must equal the dist-derived parent set, in
+      // ascending order (the fold order the accumulation contract pins).
+      std::vector<VertexId> expected;
+      for (VertexId u : g.neighbors(v)) {
+        if (dag.dist[u] + 1 == dag.dist[v]) expected.push_back(u);
+      }
+      const auto preds = dag.predecessors(v);
+      ASSERT_EQ(preds.size(), expected.size()) << "vertex " << v;
+      EXPECT_TRUE(std::equal(preds.begin(), preds.end(), expected.begin()))
+          << "vertex " << v;
+    }
+  }
+}
+
+TEST(SpdKernelTest, DependencyVectorsBitIdenticalAcrossAlphaBeta) {
+  const CsrGraph g = MakeBarabasiAlbert(600, 3, 0xAB);
+  // Baseline: classic kernel (neighbor-rescan backward sweep).
+  BfsSpd classic(g, Classic());
+  DependencyAccumulator classic_acc(g);
+  // Sweep aggressive-to-disabled switching; every setting must reproduce
+  // the classic dependency vector bit for bit.
+  const double alphas[] = {0.0, 0.25, 1.0, 1.5, 8.0, 1e9};
+  const double betas[] = {0.0, 2.0, 24.0, 1e9};
+  for (VertexId s : {VertexId{0}, VertexId{7}, VertexId{599}}) {
+    classic.Run(s);
+    const std::vector<double> baseline = classic_acc.Accumulate(classic);
+    for (double alpha : alphas) {
+      for (double beta : betas) {
+        BfsSpd hybrid(g, Hybrid(alpha, beta));
+        DependencyAccumulator acc(g);
+        hybrid.Run(s);
+        const std::vector<double>& deltas = acc.Accumulate(hybrid);
+        ASSERT_EQ(deltas.size(), baseline.size());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          ASSERT_EQ(deltas[v], baseline[v])
+              << "alpha=" << alpha << " beta=" << beta << " s=" << s
+              << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpdKernelTest, ForcedBottomUpIsCorrectOnClosedForms) {
+  // alpha=1e9 switches to bottom-up as soon as the frontier has any edges.
+  const SpdOptions forced = Hybrid(/*alpha=*/1e9, /*beta=*/0.0);
+  {
+    const CsrGraph g = MakeStar(40);
+    BfsSpd bfs(g, forced);
+    bfs.Run(5);  // leaf source: hub at 1, all other leaves at 2
+    EXPECT_EQ(bfs.dag().dist[0], 1u);
+    EXPECT_EQ(bfs.dag().dist[17], 2u);
+    EXPECT_EQ(bfs.dag().sigma[17], 1u);
+    EXPECT_GT(bfs.last_stats().bottom_up_levels, 0u);
+  }
+  {
+    const CsrGraph g = MakeCycle(9);
+    BfsSpd bfs(g, forced);
+    bfs.Run(0);
+    EXPECT_EQ(bfs.dag().dist[4], 4u);
+    EXPECT_EQ(bfs.dag().dist[5], 4u);
+    EXPECT_EQ(bfs.dag().sigma[4], 1u);
+  }
+  {
+    // K_{2,3} from a B-side vertex: two paths to each other B vertex.
+    const CsrGraph g = MakeCompleteBipartite(2, 3);
+    BfsSpd bfs(g, forced);
+    bfs.Run(2);
+    EXPECT_EQ(bfs.dag().dist[3], 2u);
+    EXPECT_EQ(bfs.dag().sigma[3], 2u);
+  }
+}
+
+TEST(SpdKernelTest, ExactScoresIdenticalAcrossKernels) {
+  const CsrGraph g = MakeWattsStrogatz(200, 6, 0.08, 0x77);
+  const std::vector<double> classic =
+      ExactBetweenness(g, Normalization::kPaper, Classic());
+  const std::vector<double> hybrid =
+      ExactBetweenness(g, Normalization::kPaper, Hybrid());
+  EXPECT_EQ(classic, hybrid);
+  const std::vector<double> parallel_hybrid =
+      BrandesBetweenness(g, Normalization::kPaper, 4, Hybrid());
+  const std::vector<double> parallel_classic =
+      BrandesBetweenness(g, Normalization::kPaper, 4, Classic());
+  EXPECT_EQ(parallel_classic, parallel_hybrid);
+}
+
+TEST(SpdKernelTest, DirectionSwitchesHappenOnLowDiameterGraphs) {
+  // A BA graph is the paper's low-diameter regime: the default heuristics
+  // must actually take bottom-up levels there (otherwise the hybrid kernel
+  // silently degrades to classic and the perf claim is vacuous).
+  const CsrGraph g = MakeBarabasiAlbert(4000, 4, 0x99);
+  BfsSpd hybrid(g, Hybrid());
+  hybrid.Run(0);
+  EXPECT_GT(hybrid.last_stats().bottom_up_levels, 0u);
+  EXPECT_GT(hybrid.last_stats().direction_switches, 0u);
+  // And it must examine strictly fewer edges than the classic kernel.
+  BfsSpd classic(g, Classic());
+  classic.Run(0);
+  EXPECT_LT(hybrid.last_stats().edges_examined,
+            classic.last_stats().edges_examined);
+}
+
+// Regression: degenerate graphs (zero edges, single vertex) must take the
+// classic path without ever touching — or allocating — the hybrid bitmap
+// scratch, independent of any graph statistics.
+TEST(SpdKernelTest, DegenerateGraphsSkipHybridScratch) {
+  {
+    GraphBuilder builder(4);  // four isolated vertices, zero edges
+    const CsrGraph g = std::move(builder.Build()).value();
+    BfsSpd bfs(g, Hybrid());
+    bfs.Run(2);
+    EXPECT_FALSE(bfs.hybrid_scratch_allocated());
+    EXPECT_FALSE(bfs.dag().has_predecessors);
+    EXPECT_EQ(bfs.dag().num_reached(), 1u);
+    EXPECT_EQ(bfs.dag().dist[2], 0u);
+    EXPECT_EQ(bfs.dag().sigma[2], 1u);
+    EXPECT_EQ(bfs.dag().dist[0], kUnreachedDistance);
+    // The dependency sweep must also be well-defined on the degenerate dag.
+    DependencyAccumulator acc(g);
+    const std::vector<double>& deltas = acc.Accumulate(bfs);
+    for (double d : deltas) EXPECT_EQ(d, 0.0);
+  }
+  {
+    GraphBuilder builder(1);
+    const CsrGraph g = std::move(builder.Build()).value();
+    BfsSpd bfs(g, Hybrid());
+    bfs.Run(0);
+    EXPECT_FALSE(bfs.hybrid_scratch_allocated());
+    EXPECT_EQ(bfs.dag().num_reached(), 1u);
+    EXPECT_EQ(bfs.dag().num_levels(), 1u);
+  }
+  // Contrast: a real graph does allocate the scratch.
+  {
+    const CsrGraph g = MakePath(8);
+    BfsSpd bfs(g, Hybrid());
+    bfs.Run(0);
+    EXPECT_TRUE(bfs.hybrid_scratch_allocated());
+  }
+}
+
+TEST(SpdKernelTest, StatsAccumulateAcrossRuns) {
+  const CsrGraph g = MakeBarabasiAlbert(300, 3, 0x31);
+  BfsSpd bfs(g, Hybrid());
+  bfs.Run(0);
+  const std::uint64_t first = bfs.last_stats().edges_examined;
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(bfs.total_stats().edges_examined, first);
+  bfs.Run(1);
+  EXPECT_EQ(bfs.total_stats().edges_examined,
+            first + bfs.last_stats().edges_examined);
+}
+
+TEST(SpdKernelTest, ReuseAcrossSourcesResetsHybridState) {
+  // Alternating sources on one engine: every pass must be identical to a
+  // fresh engine's pass (the lazy reset covers dist/sigma/bitmap/preds).
+  const CsrGraph g = MakeErdosRenyiGnm(200, 600, 0x42);
+  BfsSpd reused(g, Hybrid());
+  for (VertexId s : {VertexId{0}, VertexId{150}, VertexId{3}, VertexId{0}}) {
+    reused.Run(s);
+    BfsSpd fresh(g, Hybrid());
+    fresh.Run(s);
+    ExpectDagsIdentical(reused.dag(), fresh.dag());
+    for (VertexId v : reused.dag().order) {
+      const auto a = reused.dag().predecessors(v);
+      const auto b = fresh.dag().predecessors(v);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mhbc
