@@ -8,6 +8,8 @@
 //   mhbc_tool convert    <in> <out>
 //   mhbc_tool estimators
 //   mhbc_tool estimate   <graph> <v1,v2,...> [estimator] [samples] [seed]
+//   mhbc_tool mutate     <graph> <edit-script> <v1,v2,...> [estimator]
+//                        [samples] [seed]
 //   mhbc_tool exact      <graph> <vertex>
 //   mhbc_tool topk       <graph> <k> [eps] [delta]
 //   mhbc_tool rank       <graph> <v1,v2,...> [iterations]
@@ -22,6 +24,12 @@
 // transcodes between them by output extension (`.mhbc` snapshot, `.mtx`
 // Matrix Market, anything else edge list); `inspect` prints snapshot
 // header/checksum metadata without building the graph.
+//
+// `mutate` estimates the vertices, applies the edit script
+// (docs/formats.md: `add <u> <v> [w]` / `remove <u> <v>` / `addvertex
+// [count]`) to the live engine, and re-estimates — the incremental path:
+// shortest-path passes whose BFS trees the edits do not touch survive the
+// mutation, so the post-edit column costs fewer passes than the first.
 //
 // Global flags (anywhere on the command line):
 //   --threads=<k>    engine worker threads (0 = one per hardware thread,
@@ -43,12 +51,15 @@
 // dispatches on). Run without arguments for a self-contained demo of
 // every subcommand on a generated network.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "centrality/engine.h"
+#include "graph/dynamic_graph.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
@@ -88,6 +99,22 @@ void PrintTableOrJson(const mhbc::Table& table) {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// Parses the shared trailing [estimator] [samples] [seed] CLI triple of
+/// `estimate` and `mutate` into `request` (argv[0] is the estimator).
+/// Returns a non-empty error string on an unknown estimator name.
+std::string ParseEstimateArgs(int argc, char** argv,
+                              mhbc::EstimateRequest* request) {
+  request->kind = mhbc::EstimatorKind::kMetropolisHastings;
+  request->samples = 2'000;
+  if (argc > 0 && !mhbc::ParseEstimatorKind(argv[0], &request->kind)) {
+    return std::string("unknown estimator '") + argv[0] +
+           "' (see: mhbc_tool estimators)";
+  }
+  if (argc > 1) request->samples = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) request->seed = std::strtoull(argv[2], nullptr, 10);
+  return "";
 }
 
 /// Opens a graph in any ingestion format, honouring --cache-dir. The
@@ -225,17 +252,12 @@ int CmdEstimators() {
 int CmdEstimate(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
   if (!source.ok()) return Fail(source.status().ToString());
-  mhbc::EstimateRequest request;
-  request.kind = mhbc::EstimatorKind::kMetropolisHastings;
-  request.samples = 2'000;
   const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[0]);
   if (vertices.empty()) return Fail("no vertex ids given");
-  if (argc > 1 && !mhbc::ParseEstimatorKind(argv[1], &request.kind)) {
-    return Fail(std::string("unknown estimator '") + argv[1] +
-                "' (see: mhbc_tool estimators)");
-  }
-  if (argc > 2) request.samples = std::strtoull(argv[2], nullptr, 10);
-  if (argc > 3) request.seed = std::strtoull(argv[3], nullptr, 10);
+  mhbc::EstimateRequest request;
+  const std::string parse_error =
+      ParseEstimateArgs(argc - 1, argv + 1, &request);
+  if (!parse_error.empty()) return Fail(parse_error);
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto reports = engine.EstimateMany(vertices, request);
   if (!reports.ok()) return Fail(reports.status().ToString());
@@ -269,6 +291,79 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
                 report.cache_hit ? " cached" : "", report.ci_half_width,
                 report.seconds);
   }
+  return 0;
+}
+
+int CmdMutate(const std::string& path, int argc, char** argv) {
+  auto source = Load(path);
+  if (!source.ok()) return Fail(source.status().ToString());
+  auto delta = mhbc::ParseEditScript(argv[0]);
+  if (!delta.ok()) return Fail(delta.status().ToString());
+  const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[1]);
+  if (vertices.empty()) return Fail("no vertex ids given");
+  mhbc::EstimateRequest request;
+  const std::string parse_error =
+      ParseEstimateArgs(argc - 2, argv + 2, &request);
+  if (!parse_error.empty()) return Fail(parse_error);
+
+  // One engine across the edit: the pre-edit pass warms the dependency
+  // memo, ApplyDelta keeps every pass the edits do not touch, and the
+  // post-edit estimate pays only for what actually changed.
+  mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
+  const auto before = engine.EstimateMany(vertices, request);
+  if (!before.ok()) return Fail(before.status().ToString());
+  const std::uint64_t n_before = engine.graph().num_vertices();
+  const std::uint64_t m_before = engine.graph().num_edges();
+  const mhbc::Status applied = engine.ApplyDelta(delta.value());
+  if (!applied.ok()) return Fail(applied.ToString());
+  const auto after = engine.EstimateMany(vertices, request);
+  if (!after.ok()) return Fail(after.status().ToString());
+
+  if (g_flags.json) {
+    std::printf(
+        "{\"edits\": %zu, \"epoch\": %llu, "
+        "\"n\": {\"before\": %llu, \"after\": %u}, "
+        "\"m\": {\"before\": %llu, \"after\": %llu}, \"reports\": [",
+        delta.value().size(),
+        static_cast<unsigned long long>(engine.graph_epoch()),
+        static_cast<unsigned long long>(n_before),
+        engine.graph().num_vertices(),
+        static_cast<unsigned long long>(m_before),
+        static_cast<unsigned long long>(engine.graph().num_edges()));
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const mhbc::EstimateReport& pre = before.value()[i];
+      const mhbc::EstimateReport& post = after.value()[i];
+      std::printf("%s{\"vertex\": %u, \"before\": %.17g, \"after\": %.17g, "
+                  "\"std_error\": %.17g, \"passes_before\": %llu, "
+                  "\"passes_after\": %llu}",
+                  i > 0 ? ", " : "", pre.vertex, pre.value, post.value,
+                  post.std_error,
+                  static_cast<unsigned long long>(pre.sp_passes),
+                  static_cast<unsigned long long>(post.sp_passes));
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("applied %zu edits (epoch %llu): n %llu -> %u, m %llu -> %llu\n",
+              delta.value().size(),
+              static_cast<unsigned long long>(engine.graph_epoch()),
+              static_cast<unsigned long long>(n_before),
+              engine.graph().num_vertices(),
+              static_cast<unsigned long long>(m_before),
+              static_cast<unsigned long long>(engine.graph().num_edges()));
+  mhbc::Table table({"vertex", "BC before", "BC after", "+/-",
+                     "passes before", "passes after"});
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const mhbc::EstimateReport& pre = before.value()[i];
+    const mhbc::EstimateReport& post = after.value()[i];
+    table.AddRow({std::to_string(pre.vertex),
+                  mhbc::FormatDouble(pre.value, 8),
+                  mhbc::FormatDouble(post.value, 8),
+                  mhbc::FormatScientific(post.ci_half_width, 2),
+                  std::to_string(pre.sp_passes),
+                  std::to_string(post.sp_passes)});
+  }
+  PrintTableOrJson(table);
   return 0;
 }
 
@@ -398,6 +493,23 @@ int Demo() {
   if (CmdEstimate(path, 3, est_args) != 0) return 1;
   std::printf("\n-- exact gateway 11 --\n");
   if (CmdExact(path, "11") != 0) return 1;
+  std::printf("\n-- mutate (append a member, rewire a clique edge) --\n");
+  mhbc::GraphDelta delta;
+  delta.AddVertices(1).AddEdge(5, 72).RemoveEdge(0, 1);
+  const std::string script =
+      (std::filesystem::temp_directory_path() /
+       ("mhbc_tool_demo_" +
+        std::to_string(
+            std::chrono::steady_clock::now().time_since_epoch().count()) +
+        ".edits"))
+          .string();
+  const mhbc::Status wrote = mhbc::WriteEditScript(delta, script);
+  if (!wrote.ok()) return Fail(wrote.ToString());
+  char* mutate_args[] = {(char*)script.c_str(), (char*)"11,23",
+                         (char*)"mh", (char*)"2000"};
+  const int mutate_rc = CmdMutate(path, 4, mutate_args);
+  std::remove(script.c_str());
+  if (mutate_rc != 0) return 1;
   std::printf("\n-- top-5 --\n");
   char* topk_args[] = {(char*)"5", (char*)"0.03"};
   if (CmdTopK(path, 2, topk_args) != 0) return 1;
@@ -472,6 +584,9 @@ int main(int raw_argc, char** raw_argv) {
     if (command == "inspect" && argc == rest) return CmdInspect(graph);
     if (command == "estimate" && argc > rest) {
       return CmdEstimate(graph, argc - rest, argv + rest);
+    }
+    if (command == "mutate" && argc > rest + 1) {
+      return CmdMutate(graph, argc - rest, argv + rest);
     }
     if (command == "exact" && argc == rest + 1) {
       return CmdExact(graph, argv[rest]);

@@ -118,20 +118,26 @@ BetweennessEngine::~BetweennessEngine() = default;
 
 // ------------------------------------------------------------ lazy state
 
+std::size_t BetweennessEngine::DependencyCacheEntries(
+    const CsrGraph& graph) const {
+  // Entry capacity from the byte budget: one memoized vector costs n
+  // doubles, plus n u32 hop distances on unweighted graphs (kept for
+  // ApplyDelta's selective invalidation); more than n entries can never
+  // be used.
+  const std::size_t bytes_per_entry =
+      static_cast<std::size_t>(graph.num_vertices()) *
+      (graph.weighted() ? sizeof(double)
+                        : sizeof(double) + sizeof(std::uint32_t));
+  if (bytes_per_entry == 0) return 0;
+  return std::min<std::size_t>(
+      options_.dependency_cache_bytes / bytes_per_entry,
+      graph.num_vertices());
+}
+
 DependencyOracle* BetweennessEngine::oracle() {
   if (!oracle_) {
     oracle_ = std::make_unique<DependencyOracle>(*graph_, options_.spd);
-    // Entry capacity from the byte budget: one memoized vector costs
-    // n doubles; more than n entries can never be used.
-    const std::size_t bytes_per_entry =
-        static_cast<std::size_t>(graph_->num_vertices()) * sizeof(double);
-    const std::size_t entries =
-        bytes_per_entry == 0
-            ? 0
-            : std::min<std::size_t>(
-                  options_.dependency_cache_bytes / bytes_per_entry,
-                  graph_->num_vertices());
-    oracle_->set_cache_capacity(entries);
+    oracle_->set_cache_capacity(DependencyCacheEntries(*graph_));
   }
   return oracle_.get();
 }
@@ -769,6 +775,54 @@ StatusOr<std::vector<TopKEntry>> BetweennessEngine::TopK(std::uint32_t k,
                             credit.values[order[i]]});
   }
   return top;
+}
+
+// -------------------------------------------------------------- mutation
+
+Status BetweennessEngine::ApplyDelta(const GraphDelta& delta) {
+  if (delta.empty()) return Status::Ok();
+  if (!dynamic_) {
+    // First mutation: take over graph ownership. The base starts as a
+    // zero-copy *view* of the construction graph — no O(n+m) copy, and
+    // nothing heavy retained if this first delta is rejected. The view
+    // never dangles: the construction graph outlives the engine per the
+    // constructor contract, and the first successful Apply is compacted
+    // into owned storage immediately below (Csr()).
+    dynamic_ = std::make_unique<DynamicGraph>(CsrGraph::WrapExternal(
+        graph_->raw_offsets(), graph_->raw_adjacency(),
+        graph_->raw_weights(), graph_->name()));
+  }
+  std::vector<GraphEdit> resolved;
+  MHBC_RETURN_IF_ERROR(dynamic_->Apply(delta, &resolved));
+
+  // Drop every piece of state bound to the pre-edit graph *before*
+  // materializing the post-edit CSR — compaction frees the old arrays.
+  // Samplers and shards rebuild lazily on next use. Whole-graph products
+  // (exact scores, RK credit vector, diameter estimate, joint-space
+  // result) are aggregates over all vertex pairs, which any edge edit —
+  // or, for a vertex append, the n-dependent normalization — touches, so
+  // they always reset; the dependency memo is the selectively-surviving
+  // part, handled by the oracle below.
+  mh_.reset();
+  uniform_.reset();
+  distance_.reset();
+  rk_.reset();
+  geisberger_.reset();
+  shards_.clear();
+  exact_scores_.clear();
+  exact_ready_ = false;
+  vertex_diameter_.reset();
+  rk_credit_.reset();
+  joint_cache_.reset();
+
+  const CsrGraph& next = dynamic_->Csr();  // materializes the edits
+  if (oracle_) {
+    oracle_->ApplyGraphDelta(next, resolved);
+    oracle_->set_cache_capacity(DependencyCacheEntries(next));
+  }
+  graph_ = &next;
+  ++graph_epoch_;
+  return Status::Ok();
 }
 
 }  // namespace mhbc

@@ -12,6 +12,7 @@
 #include "core/mh_betweenness.h"
 #include "exact/dependency_oracle.h"
 #include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
 #include "sp/spd.h"
 #include "util/status.h"
 
@@ -77,6 +78,21 @@
 /// caches). For concurrent serving either put a mutex in front of one
 /// engine or shard one engine per server worker — engines share nothing
 /// but the graph.
+///
+/// Graph mutation. ApplyDelta(delta) edits the served graph in place
+/// (through an internal DynamicGraph overlay; see graph/dynamic_graph.h)
+/// and advances graph_epoch(). The determinism contract extends to
+/// mutation: after ApplyDelta, every statistical report field is
+/// bit-identical to what a cold engine constructed on the post-edit graph
+/// (same options) would return for the same request — at every thread
+/// count and SPD kernel setting. Whole-graph products (exact scores, the
+/// RK credit vector, the diameter probe, the joint-space result) are
+/// rebuilt on next use; the dependency memo survives *selectively* —
+/// only cached passes whose BFS trees an edit touches are dropped
+/// (DependencyOracle::ApplyGraphDelta), which is what makes a small edit
+/// batch cheaper to re-estimate than a cold rebuild. After the first
+/// ApplyDelta, graph() returns the engine-owned post-edit graph; the
+/// construction graph is no longer referenced.
 
 namespace mhbc {
 
@@ -150,10 +166,11 @@ struct EstimateReport : BetweennessEstimate {
 /// Engine-wide knobs.
 struct EngineOptions {
   /// Memory budget (bytes) for the shared dependency-vector memo; the
-  /// engine derives the entry capacity as budget / (n * 8 bytes), so the
-  /// footprint stays bounded on any graph size (capped at n entries —
-  /// beyond that every source is already memoized). 0 disables
-  /// cross-query pass reuse.
+  /// engine derives the entry capacity as budget / per-entry-bytes (n
+  /// doubles, plus n u32 hop distances on unweighted graphs for edit
+  /// invalidation), so the footprint stays bounded on any graph size
+  /// (capped at n entries — beyond that every source is already
+  /// memoized). 0 disables cross-query pass reuse.
   std::size_t dependency_cache_bytes = std::size_t{256} << 20;  // 256 MiB
   /// Double-sweep probes for the cached vertex-diameter estimate backing
   /// TopK's VC sample bound.
@@ -268,6 +285,19 @@ class BetweennessEngine {
                                         double delta = 0.1,
                                         std::uint64_t seed = 0x5eed);
 
+  /// Applies a batched edit script to the served graph, atomically: on any
+  /// invalid op (duplicate insert, missing removal, self-loop,
+  /// out-of-range vertex) the engine and its caches are left untouched.
+  /// On success the graph epoch advances, state bound to the pre-edit
+  /// graph is dropped or selectively invalidated (see the file comment's
+  /// mutation contract), and subsequent queries serve the post-edit graph
+  /// bit-identically to a cold engine built on it. An empty delta is a
+  /// no-op that keeps the epoch.
+  Status ApplyDelta(const GraphDelta& delta);
+
+  /// Number of successful non-empty ApplyDelta batches so far.
+  std::uint64_t graph_epoch() const { return graph_epoch_; }
+
   const CsrGraph& graph() const { return *graph_; }
   const EngineOptions& options() const { return options_; }
 
@@ -285,6 +315,10 @@ class BetweennessEngine {
   Status ValidateRequest(VertexId r, const EstimateRequest& request) const;
   Status ValidateTargets(const std::vector<VertexId>& targets,
                          std::uint64_t iterations) const;
+
+  /// Dependency-memo entry capacity for `graph` under the byte budget
+  /// (unweighted entries also carry hop distances for edit invalidation).
+  std::size_t DependencyCacheEntries(const CsrGraph& graph) const;
 
   /// options_.num_threads resolved (0 -> hardware concurrency).
   unsigned resolved_threads() const;
@@ -337,6 +371,11 @@ class BetweennessEngine {
 
   const CsrGraph* graph_;
   EngineOptions options_;
+
+  /// Mutation substrate, created by the first ApplyDelta; from then on
+  /// graph_ points at its materialized CSR.
+  std::unique_ptr<DynamicGraph> dynamic_;
+  std::uint64_t graph_epoch_ = 0;
 
   std::unique_ptr<DependencyOracle> oracle_;
   std::unique_ptr<MhBetweennessSampler> mh_;

@@ -1,9 +1,41 @@
 #include "exact/dependency_oracle.h"
 
+#include <utility>
+
 namespace mhbc {
 
+namespace {
+
+/// True when the edit batch provably leaves the pass' shortest-path DAG —
+/// and therefore its dependency vector, bit-for-bit — unchanged. `hops`
+/// holds the pass' pre-edit hop distances (kUnreachedDistance sentinel for
+/// unreached vertices; appended vertices index past the end and read as
+/// unreached). Unweighted criterion per edit {u,v}: the DAG is untouched
+/// iff dist(s,u) == dist(s,v) — an intra-level edge lies on no shortest
+/// path, removing one deletes no DAG edge and inserting one creates none,
+/// and two equal *unreached* sentinels mean the edit happens outside the
+/// pass' component entirely. Any distance mismatch can change distances,
+/// sigma counts, or the level structure, so the pass is dropped. The test
+/// is evaluated against the original distances for every edit in the
+/// batch, which is sound by induction: each passing edit leaves all
+/// distances unchanged, so the stored vector stays valid for the next
+/// edit. Vertex appends never touch an existing pass.
+bool PassSurvivesEdits(const std::vector<std::uint32_t>& hops,
+                       std::span<const GraphEdit> edits) {
+  const auto dist_of = [&hops](VertexId v) {
+    return v < hops.size() ? hops[v] : kUnreachedDistance;
+  };
+  for (const GraphEdit& edit : edits) {
+    if (edit.kind == GraphEdit::Kind::kAddVertex) continue;
+    if (dist_of(edit.u) != dist_of(edit.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 DependencyOracle::DependencyOracle(const CsrGraph& graph, SpdOptions spd)
-    : graph_(&graph), accumulator_(graph) {
+    : graph_(&graph), spd_(spd), accumulator_(graph) {
   if (graph.weighted()) {
     dijkstra_ = std::make_unique<DijkstraSpd>(graph);
   } else {
@@ -19,9 +51,47 @@ void DependencyOracle::set_cache_capacity(std::size_t max_entries) {
 void DependencyOracle::MergeCacheFrom(const DependencyOracle& other) {
   MHBC_DCHECK(graph_ == other.graph_);
   if (cache_capacity_ == 0) return;
-  for (const auto& [source, deps] : other.cache_) {
+  for (const auto& [source, entry] : other.cache_) {
     if (cache_.size() >= cache_capacity_) return;
-    cache_.emplace(source, deps);  // no-op when the source is present
+    cache_.emplace(source, entry);  // no-op when the source is present
+  }
+}
+
+void DependencyOracle::ApplyGraphDelta(const CsrGraph& new_graph,
+                                       std::span<const GraphEdit> edits) {
+  ++graph_epoch_;
+  if (!edits.empty()) {
+    if (graph_->weighted() || new_graph.weighted()) {
+      // No sound per-pass survival test for weighted passes (see class
+      // comment): drop everything.
+      invalidated_entries_ += cache_.size();
+      cache_.clear();
+    } else {
+      for (auto it = cache_.begin(); it != cache_.end();) {
+        if (PassSurvivesEdits(it->second.hops, edits)) {
+          ++it;
+        } else {
+          ++invalidated_entries_;
+          it = cache_.erase(it);
+        }
+      }
+    }
+  }
+  // Surviving passes never reach an appended vertex: extend with the
+  // exact values a fresh pass on the new graph would store.
+  const std::size_t n = new_graph.num_vertices();
+  for (auto& [source, entry] : cache_) {
+    entry.deps.resize(n, 0.0);
+    entry.hops.resize(n, kUnreachedDistance);
+  }
+  graph_ = &new_graph;
+  accumulator_ = DependencyAccumulator(new_graph);
+  if (new_graph.weighted()) {
+    dijkstra_ = std::make_unique<DijkstraSpd>(new_graph);
+    bfs_.reset();
+  } else {
+    bfs_ = std::make_unique<BfsSpd>(new_graph, spd_);
+    dijkstra_.reset();
   }
 }
 
@@ -31,23 +101,31 @@ const std::vector<double>& DependencyOracle::Dependencies(VertexId source) {
     const auto it = cache_.find(source);
     if (it != cache_.end()) {
       ++cache_hits_;
-      return it->second;
+      return it->second.deps;
     }
   }
   ++num_passes_;
   const std::vector<double>* deps;
+  const ShortestPathDag* dag;
   if (dijkstra_) {
     dijkstra_->Run(source);
     deps = &accumulator_.Accumulate(*dijkstra_);
+    dag = &dijkstra_->dag();
   } else {
     bfs_->Run(source);
     deps = &accumulator_.Accumulate(*bfs_);
+    dag = &bfs_->dag();
   }
   if (cache_capacity_ > 0) {
     // Bulk eviction keeps the policy trivial and deterministic; the cache
     // refills from the live working set within one query's worth of passes.
     if (cache_.size() >= cache_capacity_) cache_.clear();
-    return cache_.emplace(source, *deps).first->second;
+    CacheEntry entry;
+    entry.deps = *deps;
+    // Unweighted passes keep their hop distances for the edit-survival
+    // test (ApplyGraphDelta); weighted passes invalidate wholesale.
+    if (!graph_->weighted()) entry.hops = dag->dist;
+    return cache_.emplace(source, std::move(entry)).first->second.deps;
   }
   return *deps;
 }

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
 #include "sp/bfs_spd.h"
 #include "sp/dependency.h"
 #include "sp/dijkstra_spd.h"
@@ -32,6 +35,21 @@ namespace mhbc {
 /// re-running the pass. Memoization is opt-in via set_cache_capacity();
 /// cached answers are bit-identical to recomputed ones (the passes are
 /// deterministic), so caching never changes estimates, only work.
+///
+/// Graph mutation. The oracle supports epoch-tagged rebinding for the
+/// dynamic-graph path (BetweennessEngine::ApplyDelta): ApplyGraphDelta
+/// points the oracle at the post-edit graph and drops *only* the memoized
+/// passes whose BFS trees an edit touches. For unweighted graphs each
+/// cached pass keeps its hop-distance vector, and an edit {u,v} provably
+/// leaves the pass' whole shortest-path DAG — distances, sigma, canonical
+/// order, and therefore the dependency vector bit-for-bit — unchanged iff
+/// dist(s,u) == dist(s,v) (an intra-level or fully-unreached edge lies on
+/// no shortest path, and inserting one creates none). Passes failing that
+/// test for any edit in the batch are dropped; survivors are extended with
+/// zeros for appended vertices and served exactly as a fresh pass on the
+/// new graph would compute them. Weighted graphs invalidate wholesale:
+/// Dijkstra's settle order among FP-tied distances is not a function of
+/// the DAG alone, so no per-pass survival test can promise bit-exactness.
 class DependencyOracle {
  public:
   /// The graph must outlive the oracle. Weighted graphs automatically use
@@ -55,8 +73,14 @@ class DependencyOracle {
   double EstimatorTerm(VertexId v, VertexId r);
 
   /// Enables memoization of up to `max_entries` dependency vectors
-  /// (memory: max_entries * n doubles; the cache is bulk-evicted when
-  /// full). 0 (the default) disables caching and frees the store.
+  /// (memory: max_entries * n doubles, plus n u32 hop distances per entry
+  /// on unweighted graphs; the cache is bulk-evicted when full). The hop
+  /// vectors are kept unconditionally — a +50% per-entry cost even for
+  /// never-mutated workloads — because the passes memoized *before* the
+  /// first edit are exactly the warm state ApplyGraphDelta exists to
+  /// preserve; retaining distances lazily would force that first edit to
+  /// drop everything. 0 (the default) disables caching and frees the
+  /// store.
   void set_cache_capacity(std::size_t max_entries);
 
   /// Copies `other`'s memoized dependency vectors into this oracle's memo
@@ -68,6 +92,16 @@ class DependencyOracle {
   /// must be bound to the same graph; memoized vectors are deterministic,
   /// so merged entries are bit-identical to locally computed ones.
   void MergeCacheFrom(const DependencyOracle& other);
+
+  /// Rebinds the oracle to `new_graph` — the graph produced by applying
+  /// the resolved edit batch `edits` (DynamicGraph::Apply output, with
+  /// kRemoveEdge weights filled in) to the currently-bound graph — and
+  /// advances the graph epoch. Memoized passes the edits provably do not
+  /// touch survive (see class comment); the SPD engines and accumulator
+  /// are rebuilt against the new graph. `new_graph` must outlive the
+  /// oracle like the construction graph did.
+  void ApplyGraphDelta(const CsrGraph& new_graph,
+                       std::span<const GraphEdit> edits);
 
   /// Records `count` shortest-path passes executed *outside* the oracle on
   /// its behalf (distance-table setup, diameter probes), so every sampler
@@ -81,17 +115,38 @@ class DependencyOracle {
   /// Number of Dependencies() calls served from the memo without a pass.
   std::uint64_t cache_hits() const { return cache_hits_; }
 
+  /// Number of ApplyGraphDelta rebinds so far (0 = construction graph).
+  std::uint64_t graph_epoch() const { return graph_epoch_; }
+
+  /// Memoized passes currently held.
+  std::size_t cached_entries() const { return cache_.size(); }
+
+  /// Cumulative memo entries dropped by ApplyGraphDelta edits (the
+  /// selectivity readout: low relative to cached_entries() means most
+  /// passes survive each edit batch).
+  std::uint64_t invalidated_entries() const { return invalidated_entries_; }
+
   const CsrGraph& graph() const { return *graph_; }
 
  private:
+  /// One memoized pass: the dependency vector plus (unweighted graphs
+  /// only) the pass' hop distances, kept for the edit-survival test.
+  struct CacheEntry {
+    std::vector<double> deps;
+    std::vector<std::uint32_t> hops;
+  };
+
   const CsrGraph* graph_;
+  SpdOptions spd_;
   std::unique_ptr<BfsSpd> bfs_;
   std::unique_ptr<DijkstraSpd> dijkstra_;
   DependencyAccumulator accumulator_;
   std::uint64_t num_passes_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t graph_epoch_ = 0;
+  std::uint64_t invalidated_entries_ = 0;
   std::size_t cache_capacity_ = 0;
-  std::unordered_map<VertexId, std::vector<double>> cache_;
+  std::unordered_map<VertexId, CacheEntry> cache_;
 };
 
 }  // namespace mhbc

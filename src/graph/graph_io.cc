@@ -130,9 +130,20 @@ std::vector<VertexId> ParseVertexIdList(const std::string& csv) {
     const std::size_t comma = csv.find(',', pos);
     const std::string token = csv.substr(
         pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    if (!token.empty()) {
-      ids.push_back(static_cast<VertexId>(
-          std::strtoul(token.c_str(), nullptr, 10)));
+    const std::size_t first = token.find_first_not_of(" \t");
+    if (first != std::string::npos) {
+      const std::size_t last = token.find_last_not_of(" \t");
+      const std::string trimmed = token.substr(first, last - first + 1);
+      if (trimmed.find_first_not_of("0123456789") != std::string::npos) {
+        return {};  // malformed token: reject the whole list
+      }
+      const unsigned long long value =
+          std::strtoull(trimmed.c_str(), nullptr, 10);
+      if (value >= static_cast<unsigned long long>(kInvalidVertex)) {
+        return {};  // out-of-range id: a wrap to 32 bits must not pick
+                    // some other vertex
+      }
+      ids.push_back(static_cast<VertexId>(value));
     }
     if (comma == std::string::npos) break;
     pos = comma + 1;

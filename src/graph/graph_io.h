@@ -42,8 +42,11 @@ StatusOr<CsrGraph> ParseEdgeList(std::istream& in, const EdgeListOptions& option
 StatusOr<CsrGraph> LoadSnapEdgeList(const std::string& path,
                                     const EdgeListOptions& options);
 
-/// Parses a comma-separated vertex-id list ("3,17,42" -> {3, 17, 42});
-/// empty tokens are skipped. The CLI-argument companion of the loaders
+/// Parses a comma-separated vertex-id list ("3,17,42" -> {3, 17, 42}).
+/// Tokens are whitespace-trimmed ("3, 17" works) and empty tokens are
+/// skipped, but any other non-numeric token makes the whole parse fail
+/// with an empty result (a CLI typo must surface as "no vertex ids", not
+/// silently become vertex 0). The CLI-argument companion of the loaders
 /// above (tools take vertex lists wherever they take an edge list).
 std::vector<VertexId> ParseVertexIdList(const std::string& csv);
 

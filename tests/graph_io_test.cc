@@ -130,5 +130,25 @@ TEST(GraphIoTest, FileRoundTripAndMissingFile) {
   EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
 }
 
+TEST(GraphIoTest, ParseVertexIdListTrimsButRejectsGarbage) {
+  EXPECT_EQ(ParseVertexIdList("3,17,42"),
+            (std::vector<VertexId>{3, 17, 42}));
+  // Whitespace around tokens is fine (quoted CLI lists: "10, 11, 12").
+  EXPECT_EQ(ParseVertexIdList(" 10, 11 ,12"),
+            (std::vector<VertexId>{10, 11, 12}));
+  // Empty tokens are skipped...
+  EXPECT_EQ(ParseVertexIdList("5,,6,"), (std::vector<VertexId>{5, 6}));
+  // ...but any malformed token rejects the whole list — a typo must not
+  // silently become vertex 0.
+  EXPECT_TRUE(ParseVertexIdList("junk").empty());
+  EXPECT_TRUE(ParseVertexIdList("1,2x,3").empty());
+  EXPECT_TRUE(ParseVertexIdList("-1,2").empty());
+  EXPECT_TRUE(ParseVertexIdList("1 2").empty());
+  // Out-of-range ids must not wrap to some other 32-bit vertex.
+  EXPECT_TRUE(ParseVertexIdList("4294967296").empty());   // 2^32 -> 0
+  EXPECT_TRUE(ParseVertexIdList("4294967295").empty());   // kInvalidVertex
+  EXPECT_TRUE(ParseVertexIdList("99999999999999999999").empty());
+}
+
 }  // namespace
 }  // namespace mhbc

@@ -235,6 +235,112 @@ TEST_F(SnapshotTest, InspectReportsHeaderFields) {
   EXPECT_EQ(info.value().file_bytes, fs::file_size(path));
 }
 
+// ------------------------------------------------- corruption fuzz sweep
+//
+// Loader hardening: every single-byte flip and every truncation of a
+// valid snapshot must yield a clean Status error — never a crash, never
+// a silently-accepted graph — under both the mmap and buffered paths.
+// Byte flips are caught by header validation or the trailing checksum;
+// truncations by the size reconciliation in ParseLayout.
+
+/// Asserts that the file at `path` is rejected by every loader
+/// configuration (mapped, buffered, inspect-accept) with a non-OK status.
+void ExpectCleanRejection(const std::string& path, const std::string& what) {
+  const auto mapped = LoadSnapshotMapped(path);
+  EXPECT_FALSE(mapped.ok()) << what << ": mmap loader accepted";
+  SnapshotOptions buffered_options;
+  buffered_options.force_buffered = true;
+  const auto buffered = LoadSnapshotMapped(path, buffered_options);
+  EXPECT_FALSE(buffered.ok()) << what << ": buffered loader accepted";
+  // InspectSnapshot may parse a header-intact file, but then it must
+  // report the checksum mismatch instead of blessing the bytes.
+  const auto info = InspectSnapshot(path);
+  if (info.ok()) {
+    EXPECT_FALSE(info.value().checksum_ok) << what << ": inspect blessed";
+  }
+}
+
+class SnapshotFuzzTest : public SnapshotTest {
+ protected:
+  /// Writes a fresh valid snapshot and returns its path + byte size.
+  std::string MakeValid(std::uint64_t* size_out) {
+    const CsrGraph graph = MakeWattsStrogatz(120, 6, 0.1, 0xF422);
+    const std::string path = Path("fuzz.mhbc");
+    EXPECT_TRUE(SaveSnapshot(graph, path).ok());
+    *size_out = fs::file_size(path);
+    return path;
+  }
+
+  void FlipByteAt(const std::string& path, std::uint64_t offset) {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(offset));
+    const int byte = file.get();
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.put(static_cast<char>(static_cast<unsigned char>(byte) ^ 0xA5u));
+  }
+};
+
+TEST_F(SnapshotFuzzTest, ByteFlipInEveryHeaderFieldIsRejected) {
+  // One flip inside each header field: magic, version, byte-order marker,
+  // flags, n, adjacency length, name length, reserved tail.
+  const std::uint64_t field_offsets[] = {0, 8, 12, 16, 24, 32, 40, 48};
+  for (const std::uint64_t field : field_offsets) {
+    std::uint64_t size = 0;
+    const std::string path = MakeValid(&size);
+    FlipByteAt(path, field);
+    ExpectCleanRejection(path, "header offset " + std::to_string(field));
+  }
+}
+
+TEST_F(SnapshotFuzzTest, ByteFlipsAcrossTheBodyAreRejected) {
+  // 64 deterministic-random offsets past the header (name, offsets,
+  // adjacency, weights, checksum — wherever they land).
+  std::uint64_t size = 0;
+  MakeValid(&size);  // probe: fixes the byte size the offsets sample from
+  ASSERT_GT(size, 72u);
+  Rng rng(0xF1E5);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t offset =
+        64 + rng.NextBounded(size - 64);
+    std::uint64_t fresh_size = 0;
+    const std::string path = MakeValid(&fresh_size);
+    ASSERT_EQ(fresh_size, size);
+    FlipByteAt(path, offset);
+    ExpectCleanRejection(path, "body offset " + std::to_string(offset));
+  }
+}
+
+TEST_F(SnapshotFuzzTest, EveryTruncationPointIsRejected) {
+  std::uint64_t size = 0;
+  // Truncating at each header-field boundary plus 32 random interior
+  // points; a shrunken file can never reconcile with its header.
+  std::vector<std::uint64_t> cut_points = {0, 7, 8, 12, 16, 24, 32, 40,
+                                           48, 63, 64, 72};
+  {
+    std::uint64_t probe_size = 0;
+    const std::string probe = MakeValid(&probe_size);
+    Rng rng(0x7A11);
+    for (int i = 0; i < 32; ++i) {
+      cut_points.push_back(rng.NextBounded(probe_size));
+    }
+    std::remove(probe.c_str());
+  }
+  for (const std::uint64_t cut : cut_points) {
+    const std::string path = MakeValid(&size);
+    ASSERT_LT(cut, size);
+    fs::resize_file(path, cut);
+    ExpectCleanRejection(path, "truncation at " + std::to_string(cut));
+  }
+}
+
+TEST_F(SnapshotFuzzTest, GrowingTheFileIsRejected) {
+  std::uint64_t size = 0;
+  const std::string path = MakeValid(&size);
+  std::ofstream(path, std::ios::binary | std::ios::app) << "garbage tail";
+  ExpectCleanRejection(path, "appended bytes");
+}
+
 // The tentpole guarantee: a graph loaded from its snapshot produces
 // bit-identical engine statistics to the same graph loaded from text.
 TEST_F(SnapshotTest, SnapshotAndTextLoadGiveBitIdenticalEstimates) {

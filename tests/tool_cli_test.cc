@@ -1,0 +1,187 @@
+// Negative-path coverage for the mhbc_tool CLI: every malformed
+// invocation must exit non-zero with a diagnostic on stderr, never
+// succeed silently or crash. The binary path is injected by CMake as
+// MHBC_TOOL_PATH (the test target depends on the mhbc_tool target and is
+// skipped when examples are not built).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#define MHBC_TOOL_TEST_SUPPORTED 1
+#else
+#define MHBC_TOOL_TEST_SUPPORTED 0
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ToolRun {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+class ToolCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !MHBC_TOOL_TEST_SUPPORTED
+    GTEST_SKIP() << "subprocess harness requires a POSIX shell";
+#endif
+    dir_ = fs::temp_directory_path() / "mhbc_tool_cli_test";
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& leaf) { return (dir_ / leaf).string(); }
+
+  /// Shell-quotes one argument (paths may contain spaces or metachars).
+  static std::string Quote(const std::string& arg) {
+    std::string quoted = "'";
+    for (const char c : arg) {
+      if (c == '\'') {
+        quoted += "'\\''";
+      } else {
+        quoted += c;
+      }
+    }
+    quoted += "'";
+    return quoted;
+  }
+
+  /// Runs the tool with `args`, discarding stdout and capturing stderr.
+  /// Call sites must Quote() any path they embed in `args`.
+  ToolRun Run(const std::string& args) {
+    ToolRun run;
+#if MHBC_TOOL_TEST_SUPPORTED
+    const std::string err_file = Path("stderr.txt");
+    const std::string command = Quote(MHBC_TOOL_PATH) + " " + args +
+                                " > /dev/null 2> " + Quote(err_file);
+    const int raw = std::system(command.c_str());
+    run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+    std::ifstream err(err_file);
+    std::ostringstream text;
+    text << err.rdbuf();
+    run.stderr_text = text.str();
+#else
+    (void)args;
+#endif
+    return run;
+  }
+
+  /// Writes a small valid edge-list graph and returns its path,
+  /// shell-quoted for embedding in Run() args.
+  std::string ValidGraph() {
+    const std::string path = Path("graph.txt");
+    std::ofstream out(path);
+    for (int v = 1; v < 12; ++v) out << 0 << " " << v << "\n";
+    for (int v = 1; v < 11; ++v) out << v << " " << v + 1 << "\n";
+    return Quote(path);
+  }
+
+  void ExpectFailure(const std::string& args, const std::string& needle) {
+    const ToolRun run = Run(args);
+    EXPECT_NE(run.exit_code, 0) << "succeeded: mhbc_tool " << args;
+    EXPECT_NE(run.stderr_text.find("error:"), std::string::npos)
+        << "no diagnostic for: mhbc_tool " << args
+        << "\nstderr: " << run.stderr_text;
+    if (!needle.empty()) {
+      EXPECT_NE(run.stderr_text.find(needle), std::string::npos)
+          << "diagnostic for 'mhbc_tool " << args << "' missing '" << needle
+          << "': " << run.stderr_text;
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ToolCliTest, SanityAValidInvocationSucceeds) {
+  const ToolRun run = Run("stats " + ValidGraph());
+  EXPECT_EQ(run.exit_code, 0) << run.stderr_text;
+}
+
+TEST_F(ToolCliTest, UnknownSubcommandFails) {
+  ExpectFailure("frobnicate " + ValidGraph(), "unknown command");
+}
+
+TEST_F(ToolCliTest, WrongArityFails) {
+  ExpectFailure("exact " + ValidGraph(), "unknown command or wrong arity");
+  ExpectFailure("topk " + ValidGraph(), "");
+  ExpectFailure("generate ba 10 " + Quote(Path("out.txt")), "");
+}
+
+TEST_F(ToolCliTest, UnknownFlagAndMalformedThreadsFail) {
+  ExpectFailure("--frobnicate stats " + ValidGraph(), "unknown flag");
+  ExpectFailure("--threads=abc stats " + ValidGraph(), "--threads");
+  ExpectFailure("--graph= stats", "--graph");
+}
+
+TEST_F(ToolCliTest, MissingGraphFileFails) {
+  ExpectFailure("stats " + Quote(Path("no-such-graph.txt")), "");
+  ExpectFailure(Quote("--graph=" + Path("nope.mhbc")) + " stats", "");
+}
+
+TEST_F(ToolCliTest, UnknownEstimatorAndBadVerticesFail) {
+  const std::string graph = ValidGraph();
+  ExpectFailure("estimate " + graph + " 1,2 frobnicator", "unknown estimator");
+  ExpectFailure("estimate " + graph + " junk", "no vertex ids");
+  ExpectFailure("estimate " + graph + " 9999 mh 100", "out of range");
+}
+
+TEST_F(ToolCliTest, MutateRejectsMissingAndMalformedEditScripts) {
+  const std::string graph = ValidGraph();
+  ExpectFailure("mutate " + graph + " " + Quote(Path("no.edits")) + " 1,2",
+                "");
+
+  const std::string bad = Path("bad.edits");
+  std::ofstream(bad) << "add 0 1\nfrobnicate 2 3\n";
+  ExpectFailure("mutate " + graph + " " + Quote(bad) + " 1,2", "unknown op");
+
+  const std::string invalid = Path("invalid.edits");
+  std::ofstream(invalid) << "remove 0 11\nremove 0 11\n";  // second: gone
+  ExpectFailure("mutate " + graph + " " + Quote(invalid) + " 1,2",
+                "no such edge");
+}
+
+TEST_F(ToolCliTest, ConvertOntoUnwritablePathFails) {
+  const std::string graph = ValidGraph();
+  // A destination inside a directory that does not exist can never be
+  // opened for writing, root or not.
+  const std::string unwritable =
+      Path("missing-subdir") + "/deeper/out.mhbc";
+  ExpectFailure("convert " + graph + " " + Quote(unwritable), "");
+  const std::string unwritable_mtx =
+      Path("missing-subdir") + "/deeper/out.mtx";
+  ExpectFailure("convert " + graph + " " + Quote(unwritable_mtx), "");
+}
+
+TEST_F(ToolCliTest, InspectOnCorruptSnapshotFails) {
+  const std::string graph = ValidGraph();
+  const std::string snapshot = Path("graph.mhbc");
+  ASSERT_EQ(Run("convert " + graph + " " + Quote(snapshot)).exit_code, 0);
+  // Corrupt one payload byte (XOR so the byte is guaranteed to change);
+  // inspect must exit non-zero on the checksum mismatch.
+  std::fstream file(snapshot,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(100);
+  const int byte = file.get();
+  file.seekp(100);
+  file.put(static_cast<char>(static_cast<unsigned char>(byte) ^ 0xA5u));
+  file.close();
+  const ToolRun run = Run("inspect " + Quote(snapshot));
+  EXPECT_NE(run.exit_code, 0);
+}
+
+}  // namespace
