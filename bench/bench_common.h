@@ -1,5 +1,4 @@
-#ifndef MHBC_BENCH_BENCH_COMMON_H_
-#define MHBC_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdio>
@@ -110,5 +109,3 @@ inline void EmitTable(JsonReport* report, const std::string& title,
 }
 
 }  // namespace mhbc::bench
-
-#endif  // MHBC_BENCH_BENCH_COMMON_H_

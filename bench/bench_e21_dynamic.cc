@@ -36,6 +36,7 @@
 #include "datasets/registry.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph_builder.h"
+#include "util/common.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -67,8 +68,8 @@ CsrGraph RebuildFromEdges(const CsrGraph& graph) {
   if (!built.ok()) {
     std::fprintf(stderr, "error: scratch rebuild failed: %s\n",
                  built.status().ToString().c_str());
-    std::abort();
   }
+  MHBC_DCHECK(built.ok());
   return std::move(built).value();
 }
 
@@ -98,8 +99,8 @@ RowResult RunRows(const CsrGraph& start, mhbc::EstimatorKind kind,
   auto warm = engine.EstimateMany(targets, request);
   if (!warm.ok()) {
     std::fprintf(stderr, "error: %s\n", warm.status().ToString().c_str());
-    std::abort();
   }
+  MHBC_DCHECK(warm.ok());
 
   RowResult result;
   for (int round = 0; round < rounds; ++round) {
@@ -108,7 +109,7 @@ RowResult RunRows(const CsrGraph& start, mhbc::EstimatorKind kind,
 
     const std::uint64_t passes_before = engine.total_sp_passes();
     mhbc::WallTimer incremental_timer;
-    if (!engine.ApplyDelta(delta).ok()) std::abort();
+    MHBC_DCHECK(engine.ApplyDelta(delta).ok());
     const auto incremental = engine.EstimateMany(targets, request);
     result.incremental_ms += incremental_timer.ElapsedSeconds() * 1e3;
     result.incremental_passes += engine.total_sp_passes() - passes_before;
@@ -120,7 +121,7 @@ RowResult RunRows(const CsrGraph& start, mhbc::EstimatorKind kind,
     result.cold_ms += cold_timer.ElapsedSeconds() * 1e3;
     result.cold_passes += cold.total_sp_passes();
 
-    if (!incremental.ok() || !cold_reports.ok()) std::abort();
+    MHBC_DCHECK(incremental.ok() && cold_reports.ok());
     for (std::size_t i = 0; i < targets.size(); ++i) {
       result.identical = result.identical &&
                          ReportsIdentical(incremental.value()[i],

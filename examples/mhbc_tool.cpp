@@ -50,8 +50,15 @@
 // it. `estimators` prints the shared registry (the same table the engine
 // dispatches on). Run without arguments for a self-contained demo of
 // every subcommand on a generated network.
+//
+// Exit codes (asserted by tests/tool_cli_test.cc, so scripts can branch
+// on the failure class):
+//   0  success
+//   2  usage error — unknown command/flag/estimator, malformed arguments
+//   3  I/O error — unreadable/missing/corrupt input, unwritable output
+//   4  compute error — the engine rejected a well-formed request
+//      (vertex out of range, inapplicable edit script, ...)
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -96,9 +103,30 @@ void PrintTableOrJson(const mhbc::Table& table) {
   }
 }
 
-int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
+/// Exit codes, asserted by tests/tool_cli_test.cc. Distinct classes so
+/// scripts can tell "you called it wrong" (usage) from "could not read or
+/// write a file" (io) from "the computation rejected the input" (compute).
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUsage = 2,    // unknown command/flag/estimator, wrong arity, bad ids
+  kExitIo = 3,       // missing/unreadable/unwritable/corrupt files
+  kExitCompute = 4,  // estimation or mutation failed on loadable input
+};
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "usage error: %s\n", message.c_str());
+  return kExitUsage;
+}
+
+/// Maps a non-OK Status onto the exit-code classes: file-system trouble is
+/// kExitIo, everything else (failed preconditions, invalid vertex ids,
+/// rejected computations) is kExitCompute.
+int Fail(const mhbc::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return (status.code() == mhbc::StatusCode::kIoError ||
+          status.code() == mhbc::StatusCode::kNotFound)
+             ? kExitIo
+             : kExitCompute;
 }
 
 /// Parses the shared trailing [estimator] [samples] [seed] CLI triple of
@@ -129,7 +157,7 @@ mhbc::StatusOr<mhbc::GraphSource> Load(const std::string& path) {
 
 int CmdStats(const std::string& path) {
   auto source = Load(path);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   const mhbc::GraphStats s = mhbc::ComputeGraphStats(source.value().graph());
   mhbc::Table table({"metric", "value"});
   table.AddRow({"n", mhbc::FormatCount(s.num_vertices)});
@@ -161,7 +189,7 @@ int CmdInspect(const std::string& path) {
   mhbc::Table table({"field", "value"});
   if (format == mhbc::GraphFileFormat::kSnapshot) {
     auto info = mhbc::InspectSnapshot(path);
-    if (!info.ok()) return Fail(info.status().ToString());
+    if (!info.ok()) return Fail(info.status());
     const mhbc::SnapshotInfo& s = info.value();
     table.AddRow({"format", "snapshot (.mhbc)"});
     table.AddRow({"version", std::to_string(s.version)});
@@ -176,12 +204,12 @@ int CmdInspect(const std::string& path) {
     table.AddRow({"checksum", std::string(checksum) +
                                   (s.checksum_ok ? " (ok)" : " (MISMATCH)")});
     PrintTableOrJson(table);
-    return s.checksum_ok ? 0 : 1;
+    return s.checksum_ok ? kExitOk : kExitIo;
   }
   // Text formats: parse without preprocessing and report the basics.
   mhbc::IngestOptions options;
   auto source = mhbc::OpenGraphSource(path, options);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   const CsrGraph& graph = source.value().graph();
   table.AddRow({"format", mhbc::GraphFileFormatName(format)});
   table.AddRow({"n", mhbc::FormatCount(graph.num_vertices())});
@@ -194,7 +222,7 @@ int CmdInspect(const std::string& path) {
 int CmdConvert(const std::string& in, const std::string& out) {
   // Faithful transcode: no component extraction or relabeling.
   auto source = mhbc::OpenGraphSource(in, mhbc::IngestOptions());
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   const CsrGraph& graph = source.value().graph();
   const mhbc::GraphFileFormat out_format = [&out] {
     const std::string::size_type dot = out.rfind('.');
@@ -223,7 +251,7 @@ int CmdConvert(const std::string& in, const std::string& out) {
       status = mhbc::WriteEdgeList(graph, out);
       break;
   }
-  if (!status.ok()) return Fail(status.ToString());
+  if (!status.ok()) return Fail(status);
   if (g_flags.json) {
     std::printf("{\"in\": \"%s\", \"out\": \"%s\", \"format\": \"%s\", "
                 "\"n\": %u, \"m\": %llu}\n",
@@ -251,16 +279,16 @@ int CmdEstimators() {
 
 int CmdEstimate(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[0]);
-  if (vertices.empty()) return Fail("no vertex ids given");
+  if (vertices.empty()) return UsageError("no vertex ids given");
   mhbc::EstimateRequest request;
   const std::string parse_error =
       ParseEstimateArgs(argc - 1, argv + 1, &request);
-  if (!parse_error.empty()) return Fail(parse_error);
+  if (!parse_error.empty()) return UsageError(parse_error);
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto reports = engine.EstimateMany(vertices, request);
-  if (!reports.ok()) return Fail(reports.status().ToString());
+  if (!reports.ok()) return Fail(reports.status());
   if (g_flags.json) {
     std::printf("[");
     for (std::size_t i = 0; i < reports.value().size(); ++i) {
@@ -296,28 +324,28 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
 
 int CmdMutate(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   auto delta = mhbc::ParseEditScript(argv[0]);
-  if (!delta.ok()) return Fail(delta.status().ToString());
+  if (!delta.ok()) return Fail(delta.status());
   const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[1]);
-  if (vertices.empty()) return Fail("no vertex ids given");
+  if (vertices.empty()) return UsageError("no vertex ids given");
   mhbc::EstimateRequest request;
   const std::string parse_error =
       ParseEstimateArgs(argc - 2, argv + 2, &request);
-  if (!parse_error.empty()) return Fail(parse_error);
+  if (!parse_error.empty()) return UsageError(parse_error);
 
   // One engine across the edit: the pre-edit pass warms the dependency
   // memo, ApplyDelta keeps every pass the edits do not touch, and the
   // post-edit estimate pays only for what actually changed.
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto before = engine.EstimateMany(vertices, request);
-  if (!before.ok()) return Fail(before.status().ToString());
+  if (!before.ok()) return Fail(before.status());
   const std::uint64_t n_before = engine.graph().num_vertices();
   const std::uint64_t m_before = engine.graph().num_edges();
   const mhbc::Status applied = engine.ApplyDelta(delta.value());
-  if (!applied.ok()) return Fail(applied.ToString());
+  if (!applied.ok()) return Fail(applied);
   const auto after = engine.EstimateMany(vertices, request);
-  if (!after.ok()) return Fail(after.status().ToString());
+  if (!after.ok()) return Fail(after.status());
 
   if (g_flags.json) {
     std::printf(
@@ -369,13 +397,13 @@ int CmdMutate(const std::string& path, int argc, char** argv) {
 
 int CmdExact(const std::string& path, const char* vertex) {
   auto source = Load(path);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   mhbc::EstimateRequest request;
   request.kind = mhbc::EstimatorKind::kExact;
   const auto r = static_cast<VertexId>(std::strtoul(vertex, nullptr, 10));
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto result = engine.Estimate(r, request);
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   if (g_flags.json) {
     std::printf("{\"vertex\": %u, \"value\": %.17g, \"estimator\": \"exact\", "
                 "\"sp_passes\": %llu, \"seconds\": %.6f}\n",
@@ -391,13 +419,13 @@ int CmdExact(const std::string& path, const char* vertex) {
 
 int CmdTopK(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   const auto k = static_cast<std::uint32_t>(std::strtoul(argv[0], nullptr, 10));
   const double eps = argc > 1 ? std::strtod(argv[1], nullptr) : 0.02;
   const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto result = engine.TopK(k, eps, delta);
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   mhbc::Table table({"rank", "vertex", "estimated BC"});
   std::size_t rank = 1;
   for (const mhbc::TopKEntry& entry : result.value()) {
@@ -410,16 +438,16 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
 
 int CmdRank(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
-  if (!source.ok()) return Fail(source.status().ToString());
+  if (!source.ok()) return Fail(source.status());
   const std::vector<VertexId> targets = mhbc::ParseVertexIdList(argv[0]);
   const std::uint64_t iterations =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
   // One engine: the joint chain runs once and serves both calls.
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto joint = engine.EstimateRelative(targets, iterations);
-  if (!joint.ok()) return Fail(joint.status().ToString());
+  if (!joint.ok()) return Fail(joint.status());
   const auto order = engine.RankTargets(targets, iterations);
-  if (!order.ok()) return Fail(order.status().ToString());
+  if (!order.ok()) return Fail(order.status());
   mhbc::Table table({"rank", "vertex", "copeland", "samples |M|"});
   std::size_t rank = 1;
   for (std::size_t idx : order.value()) {
@@ -436,7 +464,7 @@ int CmdRank(const std::string& path, int argc, char** argv) {
 }
 
 int CmdGenerate(int argc, char** argv) {
-  if (argc < 2) return Fail("generate: need <family> <args...> <out-file>");
+  if (argc < 2) return UsageError("generate: need <family> <args...> <out-file>");
   const std::string family = argv[0];
   const std::string out = argv[argc - 1];
   CsrGraph graph;
@@ -458,10 +486,10 @@ int CmdGenerate(int argc, char** argv) {
     graph = mhbc::MakeConnectedCaveman(static_cast<VertexId>(arg(1)),
                                        static_cast<VertexId>(arg(2)));
   } else {
-    return Fail("generate: unknown family or wrong arity");
+    return UsageError("generate: unknown family or wrong arity");
   }
   const mhbc::Status status = mhbc::WriteEdgeList(graph, out);
-  if (!status.ok()) return Fail(status.ToString());
+  if (!status.ok()) return Fail(status);
   if (g_flags.json) {
     std::printf("{\"file\": \"%s\", \"n\": %u, \"m\": %llu}\n", out.c_str(),
                 graph.num_vertices(),
@@ -479,40 +507,36 @@ int Demo() {
   const std::string path = "/tmp/mhbc_tool_demo.txt";
   char* gen_args[] = {(char*)"caveman", (char*)"6", (char*)"12",
                       (char*)path.c_str()};
-  if (CmdGenerate(4, gen_args) != 0) return 1;
+  if (const int rc = CmdGenerate(4, gen_args); rc != 0) return rc;
   std::printf("\n-- stats --\n");
-  if (CmdStats(path) != 0) return 1;
+  if (const int rc = CmdStats(path); rc != 0) return rc;
   std::printf("\n-- convert to snapshot + inspect --\n");
   const std::string snapshot = "/tmp/mhbc_tool_demo.mhbc";
-  if (CmdConvert(path, snapshot) != 0) return 1;
-  if (CmdInspect(snapshot) != 0) return 1;
+  if (const int rc = CmdConvert(path, snapshot); rc != 0) return rc;
+  if (const int rc = CmdInspect(snapshot); rc != 0) return rc;
   std::printf("\n-- estimators --\n");
-  if (CmdEstimators() != 0) return 1;
+  if (const int rc = CmdEstimators(); rc != 0) return rc;
   std::printf("\n-- estimate gateways 11,23 (mh-rb) --\n");
   char* est_args[] = {(char*)"11,23", (char*)"mh-rb", (char*)"2000"};
-  if (CmdEstimate(path, 3, est_args) != 0) return 1;
+  if (const int rc = CmdEstimate(path, 3, est_args); rc != 0) return rc;
   std::printf("\n-- exact gateway 11 --\n");
-  if (CmdExact(path, "11") != 0) return 1;
+  if (const int rc = CmdExact(path, "11"); rc != 0) return rc;
   std::printf("\n-- mutate (append a member, rewire a clique edge) --\n");
   mhbc::GraphDelta delta;
   delta.AddVertices(1).AddEdge(5, 72).RemoveEdge(0, 1);
   const std::string script =
-      (std::filesystem::temp_directory_path() /
-       ("mhbc_tool_demo_" +
-        std::to_string(
-            std::chrono::steady_clock::now().time_since_epoch().count()) +
-        ".edits"))
+      (std::filesystem::temp_directory_path() / "mhbc_tool_demo.edits")
           .string();
   const mhbc::Status wrote = mhbc::WriteEditScript(delta, script);
-  if (!wrote.ok()) return Fail(wrote.ToString());
+  if (!wrote.ok()) return Fail(wrote);
   char* mutate_args[] = {(char*)script.c_str(), (char*)"11,23",
                          (char*)"mh", (char*)"2000"};
   const int mutate_rc = CmdMutate(path, 4, mutate_args);
   std::remove(script.c_str());
-  if (mutate_rc != 0) return 1;
+  if (mutate_rc != 0) return mutate_rc;
   std::printf("\n-- top-5 --\n");
   char* topk_args[] = {(char*)"5", (char*)"0.03"};
-  if (CmdTopK(path, 2, topk_args) != 0) return 1;
+  if (const int rc = CmdTopK(path, 2, topk_args); rc != 0) return rc;
   std::printf("\n-- rank gateways --\n");
   char* rank_args[] = {(char*)"11,23,35,47"};
   return CmdRank(path, 1, rank_args);
@@ -530,27 +554,29 @@ int main(int raw_argc, char** raw_argv) {
       const std::string value = arg.substr(std::string("--threads=").size());
       if (value.empty() ||
           value.find_first_not_of("0123456789") != std::string::npos) {
-        return Fail("--threads expects a non-negative integer, got '" +
-                    value + "'");
+        return UsageError("--threads expects a non-negative integer, got '" +
+                          value + "'");
       }
       const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
       if (parsed > 4096) {
-        return Fail("--threads=" + value + " is implausibly large (max 4096)");
+        return UsageError("--threads=" + value +
+                          " is implausibly large (max 4096)");
       }
       g_flags.threads = static_cast<unsigned>(parsed);
     } else if (arg == "--json") {
       g_flags.json = true;
     } else if (arg.rfind("--graph=", 0) == 0) {
       g_flags.graph = arg.substr(std::string("--graph=").size());
-      if (g_flags.graph.empty()) return Fail("--graph expects a file path");
+      if (g_flags.graph.empty()) return UsageError("--graph expects a file path");
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       g_flags.cache_dir = arg.substr(std::string("--cache-dir=").size());
       if (g_flags.cache_dir.empty()) {
-        return Fail("--cache-dir expects a directory path");
+        return UsageError("--cache-dir expects a directory path");
       }
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
-      return Fail("unknown flag '" + arg + "' (flags: --threads=<k>, --json, "
-                  "--graph=<file>, --cache-dir=<dir>)");
+      return UsageError("unknown flag '" + arg +
+                        "' (flags: --threads=<k>, --json, "
+                        "--graph=<file>, --cache-dir=<dir>)");
     } else {
       args.push_back(raw_argv[i]);
     }
@@ -598,6 +624,6 @@ int main(int raw_argc, char** raw_argv) {
       return CmdRank(graph, argc - rest, argv + rest);
     }
   }
-  return Fail("unknown command or wrong arity; run without arguments for "
-              "the demo and usage");
+  return UsageError("unknown command or wrong arity; run without arguments "
+                    "for the demo and usage");
 }

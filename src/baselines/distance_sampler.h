@@ -1,5 +1,4 @@
-#ifndef MHBC_BASELINES_DISTANCE_SAMPLER_H_
-#define MHBC_BASELINES_DISTANCE_SAMPLER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -65,5 +64,3 @@ class DistanceProportionalSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_BASELINES_DISTANCE_SAMPLER_H_

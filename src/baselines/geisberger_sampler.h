@@ -1,5 +1,4 @@
-#ifndef MHBC_BASELINES_GEISBERGER_SAMPLER_H_
-#define MHBC_BASELINES_GEISBERGER_SAMPLER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,5 +55,3 @@ class GeisbergerSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_BASELINES_GEISBERGER_SAMPLER_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_BASELINES_OPTIMAL_SAMPLER_H_
-#define MHBC_BASELINES_OPTIMAL_SAMPLER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -61,5 +60,3 @@ class OptimalSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_BASELINES_OPTIMAL_SAMPLER_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_BASELINES_RK_SAMPLER_H_
-#define MHBC_BASELINES_RK_SAMPLER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -71,5 +70,3 @@ class RkSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_BASELINES_RK_SAMPLER_H_

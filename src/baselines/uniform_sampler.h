@@ -1,5 +1,4 @@
-#ifndef MHBC_BASELINES_UNIFORM_SAMPLER_H_
-#define MHBC_BASELINES_UNIFORM_SAMPLER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -53,5 +52,3 @@ class UniformSourceSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_BASELINES_UNIFORM_SAMPLER_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CENTRALITY_API_H_
-#define MHBC_CENTRALITY_API_H_
+#pragma once
 
 #include <vector>
 
@@ -134,5 +133,3 @@ StatusOr<std::vector<TopKEntry>> EstimateTopKBetweenness(
     double delta = 0.1, std::uint64_t seed = 0x5eed);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CENTRALITY_API_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CENTRALITY_ENGINE_H_
-#define MHBC_CENTRALITY_ENGINE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -402,5 +401,3 @@ class BetweennessEngine {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_CENTRALITY_ENGINE_H_

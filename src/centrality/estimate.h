@@ -1,5 +1,4 @@
-#ifndef MHBC_CENTRALITY_ESTIMATE_H_
-#define MHBC_CENTRALITY_ESTIMATE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -91,5 +90,3 @@ struct TopKEntry {
 std::vector<std::size_t> RankOrderFromScores(const std::vector<double>& scores);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CENTRALITY_ESTIMATE_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_ADAPTIVE_H_
-#define MHBC_CORE_ADAPTIVE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -50,5 +49,3 @@ AdaptiveResult AdaptiveMhEstimate(const CsrGraph& graph, VertexId r,
                                   const AdaptiveOptions& options);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_ADAPTIVE_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_CO_BETWEENNESS_MH_H_
-#define MHBC_CORE_CO_BETWEENNESS_MH_H_
+#pragma once
 
 #include <cstdint>
 
@@ -66,5 +65,3 @@ class CoBetweennessMhSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_CO_BETWEENNESS_MH_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_DIAGNOSTICS_H_
-#define MHBC_CORE_DIAGNOSTICS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -48,5 +47,3 @@ std::vector<std::uint64_t> VisitCounts(const std::vector<VertexId>& trace,
                                        VertexId num_vertices);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_DIAGNOSTICS_H_

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "util/stats.h"
+
 namespace mhbc {
 
 JointSpaceSampler::JointSpaceSampler(const CsrGraph& graph,

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_JOINT_SPACE_H_
-#define MHBC_CORE_JOINT_SPACE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -103,5 +102,3 @@ class JointSpaceSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_JOINT_SPACE_H_

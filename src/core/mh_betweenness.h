@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_MH_BETWEENNESS_H_
-#define MHBC_CORE_MH_BETWEENNESS_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -120,5 +119,3 @@ class MhBetweennessSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_MH_BETWEENNESS_H_

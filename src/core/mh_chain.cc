@@ -20,13 +20,6 @@ double MhAcceptanceProbability(double delta_current, double delta_proposed,
                   (delta_proposed * q_current) / (delta_current * q_proposed));
 }
 
-double ClippedRatio(double a, double b) {
-  MHBC_DCHECK(a >= 0.0);
-  MHBC_DCHECK(b >= 0.0);
-  if (b == 0.0) return 1.0;  // both-zero and a>0 cases clip to 1
-  return std::min(1.0, a / b);
-}
-
 VertexId DrawProposal(const CsrGraph& graph, ProposalKind kind, Rng* rng) {
   switch (kind) {
     case ProposalKind::kUniform:

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_MH_CHAIN_H_
-#define MHBC_CORE_MH_CHAIN_H_
+#pragma once
 
 #include <cstdint>
 
@@ -41,10 +40,6 @@ double MhAcceptanceProbability(double delta_current, double delta_proposed);
 double MhAcceptanceProbability(double delta_current, double delta_proposed,
                                double q_current, double q_proposed);
 
-/// min{1, a/b} with the same zero conventions (used by the relative
-/// betweenness score, Eq. 23: ClippedRatio(a, a) == 1 even at a == 0).
-double ClippedRatio(double a, double b);
-
 /// Draws a proposal vertex according to `kind`. Degree-proportional
 /// proposals draw an edge endpoint (degree-biased) in O(1) via the CSR
 /// adjacency array.
@@ -55,5 +50,3 @@ VertexId DrawProposal(const CsrGraph& graph, ProposalKind kind, Rng* rng);
 double ProposalMass(const CsrGraph& graph, ProposalKind kind, VertexId v);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_MH_CHAIN_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_MULTI_CHAIN_H_
-#define MHBC_CORE_MULTI_CHAIN_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,5 +53,3 @@ MultiChainResult RunMultipleChains(const CsrGraph& graph, VertexId r,
 double GelmanRubinRhat(const std::vector<std::vector<double>>& chains);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_MULTI_CHAIN_H_

@@ -5,6 +5,7 @@
 
 #include "core/mh_chain.h"
 #include "util/common.h"
+#include "util/stats.h"
 
 namespace mhbc {
 

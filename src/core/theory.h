@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_THEORY_H_
-#define MHBC_CORE_THEORY_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -57,5 +56,3 @@ double ChainLimitRelative(const std::vector<double>& profile_i,
                           const std::vector<double>& profile_j);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_THEORY_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_CORE_VARIANCE_H_
-#define MHBC_CORE_VARIANCE_H_
+#pragma once
 
 #include <vector>
 
@@ -47,5 +46,3 @@ double OptimalSamplerVariance(const std::vector<double>& profile);
 double ChainStationaryVariance(const std::vector<double>& profile);
 
 }  // namespace mhbc
-
-#endif  // MHBC_CORE_VARIANCE_H_

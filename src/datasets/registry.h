@@ -1,5 +1,4 @@
-#ifndef MHBC_DATASETS_REGISTRY_H_
-#define MHBC_DATASETS_REGISTRY_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,5 +53,3 @@ StatusOr<GraphSource> MaterializeDataset(const std::string& name,
 std::vector<std::string> DefaultExperimentDatasets();
 
 }  // namespace mhbc
-
-#endif  // MHBC_DATASETS_REGISTRY_H_

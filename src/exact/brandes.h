@@ -1,5 +1,4 @@
-#ifndef MHBC_EXACT_BRANDES_H_
-#define MHBC_EXACT_BRANDES_H_
+#pragma once
 
 #include <vector>
 
@@ -72,5 +71,3 @@ std::vector<double> DependencyProfile(const CsrGraph& graph, VertexId r,
                                       SpdOptions spd = SpdOptions());
 
 }  // namespace mhbc
-
-#endif  // MHBC_EXACT_BRANDES_H_

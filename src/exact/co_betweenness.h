@@ -1,5 +1,4 @@
-#ifndef MHBC_EXACT_CO_BETWEENNESS_H_
-#define MHBC_EXACT_CO_BETWEENNESS_H_
+#pragma once
 
 #include "graph/csr_graph.h"
 #include "exact/brandes.h"
@@ -28,5 +27,3 @@ double GroupBetweennessPair(const CsrGraph& graph, VertexId u, VertexId w,
                             Normalization norm = Normalization::kPaper);
 
 }  // namespace mhbc
-
-#endif  // MHBC_EXACT_CO_BETWEENNESS_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_EXACT_DEPENDENCY_ORACLE_H_
-#define MHBC_EXACT_DEPENDENCY_ORACLE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -150,5 +149,3 @@ class DependencyOracle {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_EXACT_DEPENDENCY_ORACLE_H_

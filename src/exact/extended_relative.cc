@@ -1,7 +1,7 @@
 #include "exact/extended_relative.h"
 
-#include "core/mh_chain.h"
 #include "sp/bfs_spd.h"
+#include "util/stats.h"
 
 namespace mhbc {
 

@@ -1,5 +1,4 @@
-#ifndef MHBC_EXACT_EXTENDED_RELATIVE_H_
-#define MHBC_EXACT_EXTENDED_RELATIVE_H_
+#pragma once
 
 #include "graph/csr_graph.h"
 
@@ -23,5 +22,3 @@ double ExactExtendedRelativeBetweenness(const CsrGraph& graph, VertexId ri,
                                         VertexId rj);
 
 }  // namespace mhbc
-
-#endif  // MHBC_EXACT_EXTENDED_RELATIVE_H_

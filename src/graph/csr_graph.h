@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_CSR_GRAPH_H_
-#define MHBC_GRAPH_CSR_GRAPH_H_
+#pragma once
 
 #include <cstddef>
 #include <span>
@@ -161,5 +160,3 @@ class CsrGraph {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_CSR_GRAPH_H_

@@ -238,7 +238,14 @@ Status DynamicGraph::Apply(const GraphDelta& delta,
   staged_resolved.reserve(delta.size());
 
   const auto ids = [](VertexId u, VertexId v) {
-    return "{" + std::to_string(u) + "," + std::to_string(v) + "}";
+    // Built by append: `const char* + std::string&&` trips a GCC 12
+    // -Wrestrict false positive in the inlined libstdc++ concatenation.
+    std::string out = "{";
+    out += std::to_string(u);
+    out += ',';
+    out += std::to_string(v);
+    out += '}';
+    return out;
   };
   for (const GraphEdit& edit : delta.edits()) {
     const VertexId n = base_.num_vertices() + staged_extra;

@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_DYNAMIC_GRAPH_H_
-#define MHBC_GRAPH_DYNAMIC_GRAPH_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -272,5 +271,3 @@ GraphDelta MakeRandomEditScript(const CsrGraph& graph, std::size_t num_edits,
                                 std::uint64_t seed);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_GENERATORS_H_
-#define MHBC_GRAPH_GENERATORS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -85,5 +84,3 @@ CsrGraph AssignUniformWeights(const CsrGraph& graph, double lo, double hi,
                               std::uint64_t seed);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_GENERATORS_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_GRAPH_ALGOS_H_
-#define MHBC_GRAPH_GRAPH_ALGOS_H_
+#pragma once
 
 #include <vector>
 
@@ -61,5 +60,3 @@ CsrGraph ApplyVertexPermutation(const CsrGraph& graph,
 std::vector<VertexId> DegreeDescendingPermutation(const CsrGraph& graph);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_GRAPH_ALGOS_H_

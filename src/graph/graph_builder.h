@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_GRAPH_BUILDER_H_
-#define MHBC_GRAPH_GRAPH_BUILDER_H_
+#pragma once
 
 #include <vector>
 
@@ -66,5 +65,3 @@ class GraphBuilder {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_GRAPH_BUILDER_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_GRAPH_IO_H_
-#define MHBC_GRAPH_GRAPH_IO_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -62,5 +61,3 @@ Status WriteEdgeList(const CsrGraph& graph, const std::string& path);
 void WriteEdgeList(const CsrGraph& graph, std::ostream& out);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_GRAPH_IO_H_

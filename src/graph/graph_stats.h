@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_GRAPH_STATS_H_
-#define MHBC_GRAPH_GRAPH_STATS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -71,5 +70,3 @@ std::uint32_t ApproxVertexDiameter(const CsrGraph& graph, std::uint32_t probes,
                                    std::uint64_t seed);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_GRAPH_STATS_H_

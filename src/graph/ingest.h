@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_INGEST_H_
-#define MHBC_GRAPH_INGEST_H_
+#pragma once
 
 #include <string>
 
@@ -143,5 +142,3 @@ StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path);
 Status WriteMatrixMarket(const CsrGraph& graph, const std::string& path);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_INGEST_H_

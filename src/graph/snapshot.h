@@ -1,5 +1,4 @@
-#ifndef MHBC_GRAPH_SNAPSHOT_H_
-#define MHBC_GRAPH_SNAPSHOT_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -123,5 +122,3 @@ StatusOr<CsrGraph> LoadSnapshotBuffered(
 StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
 
 }  // namespace mhbc
-
-#endif  // MHBC_GRAPH_SNAPSHOT_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_APSP_ORACLE_H_
-#define MHBC_SP_APSP_ORACLE_H_
+#pragma once
 
 #include <vector>
 
@@ -51,5 +50,3 @@ class ApspOracle {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_APSP_ORACLE_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_BFS_SPD_H_
-#define MHBC_SP_BFS_SPD_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -102,5 +101,3 @@ class BfsSpd {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_BFS_SPD_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_BIDIRECTIONAL_BFS_H_
-#define MHBC_SP_BIDIRECTIONAL_BFS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -27,5 +26,3 @@ BbBfsResult BidirectionalBfsDistance(const CsrGraph& graph, VertexId s,
                                      VertexId t);
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_BIDIRECTIONAL_BFS_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_DEPENDENCY_H_
-#define MHBC_SP_DEPENDENCY_H_
+#pragma once
 
 #include <vector>
 
@@ -73,5 +72,3 @@ SigmaCount CountPathsThrough(const CsrGraph& graph, VertexId s, VertexId t,
                              VertexId v);
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_DEPENDENCY_H_

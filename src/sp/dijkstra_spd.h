@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_DIJKSTRA_SPD_H_
-#define MHBC_SP_DIJKSTRA_SPD_H_
+#pragma once
 
 #include <vector>
 
@@ -54,5 +53,3 @@ class DijkstraSpd {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_DIJKSTRA_SPD_H_

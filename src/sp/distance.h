@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_DISTANCE_H_
-#define MHBC_SP_DISTANCE_H_
+#pragma once
 
 #include <vector>
 
@@ -20,5 +19,3 @@ std::vector<std::uint32_t> BfsDistances(const CsrGraph& graph,
 std::vector<double> DijkstraDistances(const CsrGraph& graph, VertexId source);
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_DISTANCE_H_

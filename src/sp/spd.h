@@ -1,5 +1,4 @@
-#ifndef MHBC_SP_SPD_H_
-#define MHBC_SP_SPD_H_
+#pragma once
 
 #include <span>
 #include <vector>
@@ -156,5 +155,3 @@ void ForEachParent(const ShortestPathDag& dag, const CsrGraph& graph,
 }
 
 }  // namespace mhbc
-
-#endif  // MHBC_SP_SPD_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_UTIL_COMMON_H_
-#define MHBC_UTIL_COMMON_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -41,7 +40,7 @@ namespace internal {
 
 [[noreturn]] inline void DcheckFailed(const char* expr, const char* file, int line) {
   std::fprintf(stderr, "MHBC_DCHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
+  std::abort();  // NOLINT(mhbc-exit-paths): the one sanctioned invariant trap
 }
 
 }  // namespace internal
@@ -55,5 +54,3 @@ namespace internal {
   } while (0)
 
 }  // namespace mhbc
-
-#endif  // MHBC_UTIL_COMMON_H_

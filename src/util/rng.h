@@ -1,5 +1,4 @@
-#ifndef MHBC_UTIL_RNG_H_
-#define MHBC_UTIL_RNG_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -97,5 +96,3 @@ class DiscreteSampler {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_UTIL_RNG_H_

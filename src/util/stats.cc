@@ -31,6 +31,13 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+double ClippedRatio(double a, double b) {
+  MHBC_DCHECK(a >= 0.0);
+  MHBC_DCHECK(b >= 0.0);
+  if (b == 0.0) return 1.0;  // both-zero and a>0 cases clip to 1
+  return std::min(1.0, a / b);
+}
+
 double Mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   return std::accumulate(xs.begin(), xs.end(), 0.0) /

@@ -1,5 +1,4 @@
-#ifndef MHBC_UTIL_STATS_H_
-#define MHBC_UTIL_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -33,6 +32,12 @@ class RunningStats {
   double max_ = 0.0;
   double sum_ = 0.0;
 };
+
+/// min{1, a/b} under the library-wide zero conventions shared by the MH
+/// acceptance ratios and the relative betweenness score (Eq. 23):
+/// ClippedRatio(a, a) == 1 even at a == 0, and b == 0 clips to 1. Lives in
+/// util so both exact/ and core/ can use it without a layering cycle.
+double ClippedRatio(double a, double b);
 
 /// Arithmetic mean; 0 for empty input.
 double Mean(const std::vector<double>& xs);
@@ -85,5 +90,3 @@ double TotalVariationDistance(const std::vector<std::uint64_t>& observed,
                               const std::vector<double>& probabilities);
 
 }  // namespace mhbc
-
-#endif  // MHBC_UTIL_STATS_H_

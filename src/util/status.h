@@ -1,5 +1,4 @@
-#ifndef MHBC_UTIL_STATUS_H_
-#define MHBC_UTIL_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -107,5 +106,3 @@ class StatusOr {
   } while (0)
 
 }  // namespace mhbc
-
-#endif  // MHBC_UTIL_STATUS_H_

@@ -93,7 +93,11 @@ std::string Table::ToJson() const {
     std::string line = "[";
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c > 0) line += ", ";
-      line += "\"" + EscapeJson(cells[c]) + "\"";
+      // Appended piecewise: `const char* + std::string&&` trips a GCC 12
+      // -Wrestrict false positive in the inlined libstdc++ concatenation.
+      line += '"';
+      line += EscapeJson(cells[c]);
+      line += '"';
     }
     return line + "]";
   };

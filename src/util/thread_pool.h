@@ -1,5 +1,4 @@
-#ifndef MHBC_UTIL_THREAD_POOL_H_
-#define MHBC_UTIL_THREAD_POOL_H_
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -107,5 +106,3 @@ void ParallelOrderedReduce(ThreadPool* pool, std::size_t count,
 }
 
 }  // namespace mhbc
-
-#endif  // MHBC_UTIL_THREAD_POOL_H_

@@ -1,5 +1,4 @@
-#ifndef MHBC_UTIL_TIMER_H_
-#define MHBC_UTIL_TIMER_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -35,5 +34,3 @@ class WallTimer {
 };
 
 }  // namespace mhbc
-
-#endif  // MHBC_UTIL_TIMER_H_

@@ -1,0 +1,6 @@
+// Fixture: mhbc-banned-nondeterminism fires exactly once (libc rand()).
+// Linted via LexSource in tests/lint_test.cc; the tree walk skips this
+// directory (tools/lint/mhbc_lint.conf).
+#include <cstdlib>
+
+int SampleFixture() { return rand(); }

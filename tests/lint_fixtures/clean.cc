@@ -1,0 +1,15 @@
+// Fixture: zero findings. Exercises the sanctioned twins of the banned
+// patterns — exit() inside main(), an ordered (vector) accumulation, and a
+// std::thread::hardware_concurrency query (a read, not a spawn).
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+int main() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::vector<double> values{1.0, 2.0, 3.0};
+  double total = 0.0;
+  for (double v : values) total += v;
+  if (total < 0.0 || cores == 0) std::exit(1);
+  return 0;
+}

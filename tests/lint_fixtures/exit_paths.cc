@@ -1,0 +1,10 @@
+// Fixture: mhbc-exit-paths fires exactly once (std::exit in a helper;
+// the call inside main() is exempt by design).
+#include <cstdlib>
+
+void BailFixture() { std::exit(1); }
+
+int main() {
+  BailFixture();
+  return 0;
+}

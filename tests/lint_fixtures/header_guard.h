@@ -1,0 +1,4 @@
+// Fixture: mhbc-header-guard fires exactly once (a header without
+// #pragma once).
+
+inline int HeaderGuardFixture() { return 42; }

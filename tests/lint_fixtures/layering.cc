@@ -1,0 +1,5 @@
+// Fixture: mhbc-layering fires exactly once when this content is lexed as
+// a util-layer file (util may not include upward into core).
+#include "core/mh_chain.h"
+
+int LayeringFixture() { return 0; }

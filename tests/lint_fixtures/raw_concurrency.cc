@@ -1,0 +1,5 @@
+// Fixture: mhbc-raw-concurrency fires exactly once (a std::mutex outside
+// util/thread_pool).
+#include <mutex>
+
+std::mutex fixture_mutex;

@@ -1,0 +1,12 @@
+// Fixture: the same violation as banned_nondeterminism.cc, silenced three
+// ways. Zero findings as written; tests/lint_test.cc also re-lints this
+// content with the markers stripped and expects the findings back
+// (suppression round-trip).
+#include <cstdlib>
+
+int SampleInline() { return rand(); }  // NOLINT(mhbc-banned-nondeterminism)
+
+// NOLINTNEXTLINE(mhbc-banned-nondeterminism)
+int SampleNextLine() { return rand(); }
+
+int SampleBare() { return rand(); }  // NOLINT

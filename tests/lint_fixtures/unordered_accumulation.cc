@@ -1,0 +1,11 @@
+// Fixture: mhbc-unordered-accumulation fires exactly once (a floating-point
+// += fold inside range-for over an unordered container).
+#include <unordered_map>
+
+double TotalFixture(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}

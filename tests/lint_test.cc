@@ -1,0 +1,238 @@
+// Drives the mhbc_lint rule engine (tools/lint/) in-process against the
+// golden fixtures in tests/lint_fixtures/: each rule fires exactly once on
+// its fixture, the clean fixture stays clean, suppression round-trips, and
+// the real tree lints clean under the shipped config.
+//
+// The build defines MHBC_LINT_FIXTURES (the fixture directory) and
+// MHBC_REPO_ROOT (the source tree the integration test walks).
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+using mhbc::lint::Config;
+using mhbc::lint::DefaultConfig;
+using mhbc::lint::Finding;
+using mhbc::lint::GlobMatch;
+using mhbc::lint::IsSuppressed;
+using mhbc::lint::LexSource;
+using mhbc::lint::LintFile;
+using mhbc::lint::LintTree;
+using mhbc::lint::LoadConfig;
+using mhbc::lint::LoadTree;
+using mhbc::lint::Rules;
+using mhbc::lint::Severity;
+using mhbc::lint::SourceFile;
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(std::string(MHBC_LINT_FIXTURES) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints fixture `name` as if it lived at `as_path` (no allowlists, so the
+/// fixtures fire regardless of the shipped config).
+std::vector<Finding> LintFixture(const std::string& name,
+                                 const std::string& as_path) {
+  const SourceFile file = LexSource(as_path, ReadFixture(name));
+  return LintFile(file, DefaultConfig());
+}
+
+void ExpectSingleFinding(const std::vector<Finding>& findings,
+                         const std::string& rule) {
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, rule);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_GT(findings[0].line, 0);
+  EXPECT_FALSE(findings[0].message.empty());
+  EXPECT_FALSE(findings[0].fixit.empty());
+}
+
+TEST(LintRegistry, SixRulesWithUniqueIds) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 6u);
+  std::vector<std::string> ids;
+  for (const auto& rule : rules) {
+    EXPECT_EQ(rule.id.rfind("mhbc-", 0), 0u) << rule.id;
+    EXPECT_FALSE(rule.summary.empty());
+    EXPECT_FALSE(rule.fixit.empty());
+    ids.push_back(rule.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(LintFixtures, BannedNondeterminismFiresOnce) {
+  ExpectSingleFinding(
+      LintFixture("banned_nondeterminism.cc", "src/core/fixture.cc"),
+      "mhbc-banned-nondeterminism");
+}
+
+TEST(LintFixtures, UnorderedAccumulationFiresOnce) {
+  ExpectSingleFinding(
+      LintFixture("unordered_accumulation.cc", "src/core/fixture.cc"),
+      "mhbc-unordered-accumulation");
+}
+
+TEST(LintFixtures, RawConcurrencyFiresOnce) {
+  ExpectSingleFinding(LintFixture("raw_concurrency.cc", "src/sp/fixture.cc"),
+                      "mhbc-raw-concurrency");
+}
+
+TEST(LintFixtures, LayeringFiresOnceFromUtil) {
+  ExpectSingleFinding(LintFixture("layering.cc", "src/util/fixture.cc"),
+                      "mhbc-layering");
+}
+
+TEST(LintFixtures, LayeringIsCleanDownwardAndSameLayer) {
+  // The identical include is legal from core (core sits above util) …
+  EXPECT_TRUE(LintFixture("layering.cc", "src/core/fixture.cc").empty());
+  // … and a same-layer include is always legal.
+  const SourceFile same =
+      LexSource("src/util/fixture.cc", "#include \"util/stats.h\"\n");
+  EXPECT_TRUE(LintFile(same, DefaultConfig()).empty());
+}
+
+TEST(LintFixtures, HeaderGuardFiresOnce) {
+  const auto findings =
+      LintFixture("header_guard.h", "src/util/fixture.h");
+  ExpectSingleFinding(findings, "mhbc-header-guard");
+  EXPECT_EQ(findings[0].line, 1);
+  // The same content as a .cc is not a header and passes.
+  EXPECT_TRUE(LintFixture("header_guard.h", "src/util/fixture.cc").empty());
+}
+
+TEST(LintFixtures, ExitPathsFiresOnceOutsideMain) {
+  // std::exit in a helper fires; the BailFixture() call inside main() and
+  // main's own return path stay silent.
+  ExpectSingleFinding(LintFixture("exit_paths.cc", "src/exact/fixture.cc"),
+                      "mhbc-exit-paths");
+}
+
+TEST(LintFixtures, CleanFixtureIsClean) {
+  EXPECT_TRUE(LintFixture("clean.cc", "examples/fixture.cc").empty());
+}
+
+TEST(LintSuppression, RoundTrip) {
+  // As written every violation carries a NOLINT marker: zero findings.
+  const std::string content = ReadFixture("suppressed.cc");
+  EXPECT_TRUE(
+      LintFile(LexSource("src/core/fixture.cc", content), DefaultConfig())
+          .empty());
+
+  // Strip the markers and the three rand() calls come back.
+  std::string stripped = content;
+  for (const char* marker :
+       {"// NOLINTNEXTLINE(mhbc-banned-nondeterminism)",
+        "// NOLINT(mhbc-banned-nondeterminism)", "// NOLINT"}) {
+    for (std::size_t pos = stripped.find(marker); pos != std::string::npos;
+         pos = stripped.find(marker)) {
+      stripped.erase(pos, std::string(marker).size());
+    }
+  }
+  const auto findings =
+      LintFile(LexSource("src/core/fixture.cc", stripped), DefaultConfig());
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.rule, "mhbc-banned-nondeterminism");
+  }
+}
+
+TEST(LintSuppression, IsSuppressedSemantics) {
+  const SourceFile file = LexSource(
+      "src/core/fixture.cc",
+      "int a = rand();  // NOLINT(mhbc-banned-nondeterminism)\n"
+      "// NOLINTNEXTLINE(mhbc-exit-paths, mhbc-layering)\n"
+      "int b = 0;\n"
+      "int c = 0;  // NOLINT\n"
+      "int d = 0;  // NOLINT(*)\n"
+      "int e = 0;\n");
+  EXPECT_TRUE(IsSuppressed(file, "mhbc-banned-nondeterminism", 1));
+  EXPECT_FALSE(IsSuppressed(file, "mhbc-exit-paths", 1));
+  // NOLINTNEXTLINE applies to line 3, not its own line, and lists compose.
+  EXPECT_TRUE(IsSuppressed(file, "mhbc-exit-paths", 3));
+  EXPECT_TRUE(IsSuppressed(file, "mhbc-layering", 3));
+  EXPECT_FALSE(IsSuppressed(file, "mhbc-exit-paths", 2));
+  // Bare NOLINT and the * wildcard silence every rule on that line.
+  EXPECT_TRUE(IsSuppressed(file, "mhbc-raw-concurrency", 4));
+  EXPECT_TRUE(IsSuppressed(file, "mhbc-raw-concurrency", 5));
+  EXPECT_FALSE(IsSuppressed(file, "mhbc-raw-concurrency", 6));
+}
+
+TEST(LintConfig, GlobSemantics) {
+  EXPECT_TRUE(GlobMatch("src/*", "src/util/foo.h"));  // '*' crosses '/'
+  EXPECT_TRUE(GlobMatch("src/*.h", "src/util/foo.h"));
+  EXPECT_TRUE(GlobMatch("src/util/timer.h", "src/util/timer.h"));
+  EXPECT_TRUE(GlobMatch("tests/lint_fixtures/*", "tests/lint_fixtures/a.cc"));
+  EXPECT_FALSE(GlobMatch("src/*.cc", "src/util/foo.h"));
+  EXPECT_FALSE(GlobMatch("bench/*", "src/util/foo.h"));
+}
+
+TEST(LintConfig, DefaultLayerRanking) {
+  const Config config = DefaultConfig();
+  EXPECT_EQ(config.LayerRank("util"), 0);
+  EXPECT_LT(config.LayerRank("graph"), config.LayerRank("exact"));
+  EXPECT_LT(config.LayerRank("sp"), config.LayerRank("core"));
+  EXPECT_EQ(config.LayerRank("core"), config.LayerRank("baselines"));
+  EXPECT_LT(config.LayerRank("core"), config.LayerRank("centrality"));
+  EXPECT_EQ(config.LayerRank("nonsense"), -1);
+}
+
+TEST(LintConfig, ShippedConfigParsesAndCoversTheExceptions) {
+  auto loaded =
+      LoadConfig(std::string(MHBC_REPO_ROOT) + "/tools/lint/mhbc_lint.conf");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Config config = std::move(loaded).value();
+  EXPECT_TRUE(config.Skipped("tests/lint_fixtures/clean.cc"));
+  EXPECT_TRUE(
+      config.Allows("mhbc-raw-concurrency", "", "src/util/thread_pool.cc"));
+  EXPECT_TRUE(config.Allows("mhbc-banned-nondeterminism", "wall-clock",
+                            "src/util/timer.h"));
+  EXPECT_FALSE(config.Allows("mhbc-banned-nondeterminism", "wall-clock",
+                             "src/core/mh_chain.cc"));
+}
+
+TEST(LintTreeRules, DetectsIncludeCycles) {
+  const std::vector<SourceFile> files = {
+      LexSource("src/util/a.h", "#pragma once\n#include \"util/b.h\"\n"),
+      LexSource("src/util/b.h", "#pragma once\n#include \"util/a.h\"\n"),
+  };
+  const auto findings = LintTree(files, DefaultConfig());
+  ASSERT_FALSE(findings.empty());
+  bool saw_cycle = false;
+  for (const auto& finding : findings) {
+    saw_cycle = saw_cycle || (finding.rule == "mhbc-layering" &&
+                              finding.message.find("cycle") !=
+                                  std::string::npos);
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+// Integration: the real tree lints clean under the shipped config. This is
+// the in-process twin of the mhbc_lint_tree ctest entry, so a regression
+// shows up even when only the gtest suite runs.
+TEST(LintTreeRules, RepoIsClean) {
+  auto loaded =
+      LoadConfig(std::string(MHBC_REPO_ROOT) + "/tools/lint/mhbc_lint.conf");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Config config = std::move(loaded).value();
+  auto tree = LoadTree(MHBC_REPO_ROOT, config);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const auto findings = LintTree(tree.value(), config);
+  for (const auto& finding : findings) {
+    ADD_FAILURE() << finding.path << ":" << finding.line << ": ["
+                  << finding.rule << "] " << finding.message;
+  }
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
+#include "util/stats.h"
 
 namespace mhbc {
 namespace {

@@ -1,8 +1,10 @@
 // Negative-path coverage for the mhbc_tool CLI: every malformed
 // invocation must exit non-zero with a diagnostic on stderr, never
-// succeed silently or crash. The binary path is injected by CMake as
-// MHBC_TOOL_PATH (the test target depends on the mhbc_tool target and is
-// skipped when examples are not built).
+// succeed silently or crash — and with the documented exit-code class:
+// 2 for usage errors, 3 for I/O failures (missing/unwritable/corrupt
+// files), 4 for computations that reject loadable input. The binary path
+// is injected by CMake as MHBC_TOOL_PATH (the test target depends on the
+// mhbc_tool target and is skipped when examples are not built).
 
 #include <gtest/gtest.h>
 
@@ -29,6 +31,11 @@ struct ToolRun {
   int exit_code = -1;
   std::string stderr_text;
 };
+
+// mhbc_tool's documented exit-code classes (examples/mhbc_tool.cpp).
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitCompute = 4;
 
 class ToolCliTest : public ::testing::Test {
  protected:
@@ -91,9 +98,17 @@ class ToolCliTest : public ::testing::Test {
     return Quote(path);
   }
 
-  void ExpectFailure(const std::string& args, const std::string& needle) {
+  /// `expected_code` < 0 accepts any non-zero exit; otherwise the exact
+  /// documented exit-code class is asserted.
+  void ExpectFailure(const std::string& args, const std::string& needle,
+                     int expected_code = -1) {
     const ToolRun run = Run(args);
     EXPECT_NE(run.exit_code, 0) << "succeeded: mhbc_tool " << args;
+    if (expected_code >= 0) {
+      EXPECT_EQ(run.exit_code, expected_code)
+          << "wrong exit class for: mhbc_tool " << args
+          << "\nstderr: " << run.stderr_text;
+    }
     EXPECT_NE(run.stderr_text.find("error:"), std::string::npos)
         << "no diagnostic for: mhbc_tool " << args
         << "\nstderr: " << run.stderr_text;
@@ -113,46 +128,54 @@ TEST_F(ToolCliTest, SanityAValidInvocationSucceeds) {
 }
 
 TEST_F(ToolCliTest, UnknownSubcommandFails) {
-  ExpectFailure("frobnicate " + ValidGraph(), "unknown command");
+  ExpectFailure("frobnicate " + ValidGraph(), "unknown command",
+                kExitUsage);
 }
 
 TEST_F(ToolCliTest, WrongArityFails) {
-  ExpectFailure("exact " + ValidGraph(), "unknown command or wrong arity");
-  ExpectFailure("topk " + ValidGraph(), "");
-  ExpectFailure("generate ba 10 " + Quote(Path("out.txt")), "");
+  ExpectFailure("exact " + ValidGraph(), "unknown command or wrong arity",
+                kExitUsage);
+  ExpectFailure("topk " + ValidGraph(), "", kExitUsage);
+  ExpectFailure("generate ba 10 " + Quote(Path("out.txt")), "", kExitUsage);
 }
 
 TEST_F(ToolCliTest, UnknownFlagAndMalformedThreadsFail) {
-  ExpectFailure("--frobnicate stats " + ValidGraph(), "unknown flag");
-  ExpectFailure("--threads=abc stats " + ValidGraph(), "--threads");
-  ExpectFailure("--graph= stats", "--graph");
+  ExpectFailure("--frobnicate stats " + ValidGraph(), "unknown flag",
+                kExitUsage);
+  ExpectFailure("--threads=abc stats " + ValidGraph(), "--threads",
+                kExitUsage);
+  ExpectFailure("--graph= stats", "--graph", kExitUsage);
 }
 
 TEST_F(ToolCliTest, MissingGraphFileFails) {
-  ExpectFailure("stats " + Quote(Path("no-such-graph.txt")), "");
-  ExpectFailure(Quote("--graph=" + Path("nope.mhbc")) + " stats", "");
+  ExpectFailure("stats " + Quote(Path("no-such-graph.txt")), "", kExitIo);
+  ExpectFailure(Quote("--graph=" + Path("nope.mhbc")) + " stats", "",
+                kExitIo);
 }
 
 TEST_F(ToolCliTest, UnknownEstimatorAndBadVerticesFail) {
   const std::string graph = ValidGraph();
-  ExpectFailure("estimate " + graph + " 1,2 frobnicator", "unknown estimator");
-  ExpectFailure("estimate " + graph + " junk", "no vertex ids");
-  ExpectFailure("estimate " + graph + " 9999 mh 100", "out of range");
+  ExpectFailure("estimate " + graph + " 1,2 frobnicator", "unknown estimator",
+                kExitUsage);
+  ExpectFailure("estimate " + graph + " junk", "no vertex ids", kExitUsage);
+  ExpectFailure("estimate " + graph + " 9999 mh 100", "out of range",
+                kExitCompute);
 }
 
 TEST_F(ToolCliTest, MutateRejectsMissingAndMalformedEditScripts) {
   const std::string graph = ValidGraph();
   ExpectFailure("mutate " + graph + " " + Quote(Path("no.edits")) + " 1,2",
-                "");
+                "", kExitIo);
 
   const std::string bad = Path("bad.edits");
   std::ofstream(bad) << "add 0 1\nfrobnicate 2 3\n";
-  ExpectFailure("mutate " + graph + " " + Quote(bad) + " 1,2", "unknown op");
+  ExpectFailure("mutate " + graph + " " + Quote(bad) + " 1,2", "unknown op",
+                kExitCompute);
 
   const std::string invalid = Path("invalid.edits");
   std::ofstream(invalid) << "remove 0 11\nremove 0 11\n";  // second: gone
   ExpectFailure("mutate " + graph + " " + Quote(invalid) + " 1,2",
-                "no such edge");
+                "no such edge", kExitCompute);
 }
 
 TEST_F(ToolCliTest, ConvertOntoUnwritablePathFails) {
@@ -161,10 +184,11 @@ TEST_F(ToolCliTest, ConvertOntoUnwritablePathFails) {
   // opened for writing, root or not.
   const std::string unwritable =
       Path("missing-subdir") + "/deeper/out.mhbc";
-  ExpectFailure("convert " + graph + " " + Quote(unwritable), "");
+  ExpectFailure("convert " + graph + " " + Quote(unwritable), "", kExitIo);
   const std::string unwritable_mtx =
       Path("missing-subdir") + "/deeper/out.mtx";
-  ExpectFailure("convert " + graph + " " + Quote(unwritable_mtx), "");
+  ExpectFailure("convert " + graph + " " + Quote(unwritable_mtx), "",
+                kExitIo);
 }
 
 TEST_F(ToolCliTest, InspectOnCorruptSnapshotFails) {
@@ -181,7 +205,7 @@ TEST_F(ToolCliTest, InspectOnCorruptSnapshotFails) {
   file.put(static_cast<char>(static_cast<unsigned char>(byte) ^ 0xA5u));
   file.close();
   const ToolRun run = Run("inspect " + Quote(snapshot));
-  EXPECT_NE(run.exit_code, 0);
+  EXPECT_EQ(run.exit_code, kExitIo) << run.stderr_text;
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+#include "lint.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mhbc::lint {
+
+namespace {
+
+/// Accepts rule ids with or without the "mhbc-" prefix and returns the
+/// normalized full id.
+std::string NormalizeRuleId(const std::string& id) {
+  if (id.rfind("mhbc-", 0) == 0) return id;
+  return "mhbc-" + id;
+}
+
+}  // namespace
+
+bool GlobMatch(const std::string& glob, const std::string& path) {
+  // Iterative *-wildcard match ('*' crosses '/'; '?' is not supported —
+  // no allowlist has ever needed it).
+  std::size_t g = 0, p = 0, star_g = std::string::npos, star_p = 0;
+  while (p < path.size()) {
+    if (g < glob.size() && (glob[g] == path[p])) {
+      ++g;
+      ++p;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star_g = g++;
+      star_p = p;
+    } else if (star_g != std::string::npos) {
+      g = star_g + 1;
+      p = ++star_p;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+int Config::LayerRank(const std::string& name) const {
+  for (const auto& [layer, rank] : layers) {
+    if (layer == name) return rank;
+  }
+  return -1;
+}
+
+bool Config::Allows(const std::string& rule, const std::string& subcheck,
+                    const std::string& path) const {
+  for (const Allow& allow : allows) {
+    if (allow.rule != rule) continue;
+    if (!allow.subcheck.empty() && allow.subcheck != subcheck) continue;
+    if (GlobMatch(allow.glob, path)) return true;
+  }
+  return false;
+}
+
+bool Config::Skipped(const std::string& path) const {
+  for (const std::string& glob : skips) {
+    if (GlobMatch(glob, path)) return true;
+  }
+  return false;
+}
+
+Config DefaultConfig() {
+  Config config;
+  // The documented layer order (docs/ARCHITECTURE.md "Layer map"):
+  // util -> graph -> sp -> exact -> baselines/core -> centrality, with
+  // datasets beside sp (it consumes graph, nothing consumes it but the
+  // harnesses). Gaps of 10 leave room for future layers.
+  config.layers = {
+      {"util", 0},      {"graph", 10},    {"datasets", 20}, {"sp", 20},
+      {"exact", 30},    {"baselines", 40}, {"core", 40},    {"centrality", 50},
+  };
+  return config;
+}
+
+StatusOr<Config> LoadConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open lint config '" + path + "'");
+  }
+  Config config = DefaultConfig();
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank/comment line
+    const auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (directive == "layer") {
+      std::string name;
+      int rank = 0;
+      if (!(fields >> name >> rank)) {
+        return bad("expected `layer <name> <rank>`");
+      }
+      // Overrides an existing entry, else appends.
+      bool replaced = false;
+      for (auto& [layer, existing] : config.layers) {
+        if (layer == name) {
+          existing = rank;
+          replaced = true;
+        }
+      }
+      if (!replaced) config.layers.emplace_back(name, rank);
+    } else if (directive == "allow") {
+      std::string rule;
+      if (!(fields >> rule)) {
+        return bad("expected `allow <rule>[:<subcheck>] <glob>...`");
+      }
+      std::string subcheck;
+      const std::size_t colon = rule.find(':');
+      if (colon != std::string::npos) {
+        subcheck = rule.substr(colon + 1);
+        rule.resize(colon);
+      }
+      rule = NormalizeRuleId(rule);
+      bool known = false;
+      for (const RuleInfo& info : Rules()) known = known || info.id == rule;
+      if (!known) return bad("unknown rule '" + rule + "'");
+      std::string glob;
+      int globs = 0;
+      while (fields >> glob) {
+        config.allows.push_back({rule, subcheck, glob});
+        ++globs;
+      }
+      if (globs == 0) return bad("`allow " + rule + "` lists no globs");
+    } else if (directive == "skip") {
+      std::string glob;
+      int globs = 0;
+      while (fields >> glob) {
+        config.skips.push_back(glob);
+        ++globs;
+      }
+      if (globs == 0) return bad("`skip` lists no globs");
+    } else {
+      return bad("unknown directive '" + directive +
+                 "' (expected layer/allow/skip)");
+    }
+  }
+  return config;
+}
+
+}  // namespace mhbc::lint

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tokenizer.h"
+#include "util/status.h"
+
+/// \file
+/// mhbc_lint: repo-specific static analysis for the bit-determinism
+/// contract (docs/static-analysis.md has the user-facing catalog).
+///
+/// The library enforces one load-bearing invariant — statistical results
+/// are bit-identical at every thread count, SPD kernel, and post-ApplyDelta
+/// epoch. Determinism tests and sanitizers check that contract dynamically;
+/// these rules check the *code patterns that break it* statically, on every
+/// line of the tree, at CI time:
+///
+///   mhbc-banned-nondeterminism   ambient entropy: rand()/std:: RNG
+///                                engines/wall-clock reads/unplumbed Rng
+///                                construction
+///   mhbc-unordered-accumulation  floating-point accumulation in unordered
+///                                container iteration order
+///   mhbc-raw-concurrency         std::thread/mutex/atomic outside
+///                                util/thread_pool
+///   mhbc-layering                includes against the documented layer
+///                                order, and include cycles
+///   mhbc-header-guard            headers must open with #pragma once
+///   mhbc-exit-paths              exit()/abort() outside main()
+///
+/// Suppression: `// NOLINT(mhbc-<rule>)` on the finding line, or
+/// `// NOLINTNEXTLINE(mhbc-<rule>)` on the line above. A bare `// NOLINT`
+/// suppresses every rule on that line (clang-tidy semantics). Allowlists
+/// for whole files (the thread pool may use std::thread; samplers may
+/// construct Rng) live in the config file, not in the code.
+
+namespace mhbc::lint {
+
+inline constexpr const char kLintVersion[] = "1.0.0";
+
+enum class Severity { kWarning, kError };
+const char* SeverityName(Severity severity);
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string rule;  // full id, e.g. "mhbc-layering"
+  Severity severity = Severity::kError;
+  std::string path;  // repo-relative, '/'-separated
+  int line = 0;      // 1-based
+  std::string message;
+  std::string fixit;  // one-line remediation hint
+};
+
+/// Registry entry describing one check.
+struct RuleInfo {
+  std::string id;  // full id, e.g. "mhbc-banned-nondeterminism"
+  Severity severity;
+  std::string summary;
+  std::string fixit;  // default remediation hint
+};
+
+/// All registered rules, in reporting order.
+const std::vector<RuleInfo>& Rules();
+
+/// Configuration: path allowlists per rule (or per rule:subcheck), the
+/// layer ranking for mhbc-layering, and paths to skip entirely.
+///
+/// File format (tools/lint/mhbc_lint.conf), one directive per line:
+///   # comment
+///   layer <name> <rank>           e.g. `layer graph 10`
+///   allow <rule>[:<subcheck>] <glob> [<glob>...]
+///   skip  <glob> [<glob>...]
+/// Globs match repo-relative paths; `*` matches any run of characters,
+/// including '/'. Rule ids may be written with or without the `mhbc-`
+/// prefix.
+struct Config {
+  struct Allow {
+    std::string rule;      // normalized full id, e.g. "mhbc-raw-concurrency"
+    std::string subcheck;  // optional, e.g. "rng-construction"; "" = all
+    std::string glob;
+  };
+  std::vector<Allow> allows;
+  /// Layer name (first path segment under src/) -> rank. An include from
+  /// layer A to layer B is legal iff rank(B) < rank(A) or A == B.
+  std::vector<std::pair<std::string, int>> layers;
+  std::vector<std::string> skips;
+
+  int LayerRank(const std::string& name) const;  // -1 when unknown
+  bool Allows(const std::string& rule, const std::string& subcheck,
+              const std::string& path) const;
+  bool Skipped(const std::string& path) const;
+};
+
+/// The built-in layer ranking (matches docs/ARCHITECTURE.md); the config
+/// file extends/overrides it.
+Config DefaultConfig();
+
+/// Parses a config file; directives merge into DefaultConfig().
+StatusOr<Config> LoadConfig(const std::string& path);
+
+/// `*`-glob match over a repo-relative path ('*' crosses '/').
+bool GlobMatch(const std::string& glob, const std::string& path);
+
+/// One lexed file plus the path metadata rules dispatch on.
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated (e.g. "src/sp/spd.h")
+  std::string top;   // first segment: "src", "bench", "examples", ...
+  std::string layer;  // second segment under src/ ("util", "graph", ...)
+  bool is_header = false;
+  TokenStream stream;
+};
+
+/// Lexes in-memory content under a caller-chosen repo-relative path (unit
+/// tests use this to lint fixture text as if it lived anywhere).
+SourceFile LexSource(const std::string& rel_path, const std::string& content);
+
+/// Reads and lexes one file from disk.
+StatusOr<SourceFile> LoadSource(const std::string& repo_root,
+                                const std::string& rel_path);
+
+/// Walks the linted trees (src/, bench/, examples/, tests/, tools/) under
+/// `repo_root`, honoring config `skip` globs. Deterministic (sorted) order.
+StatusOr<std::vector<SourceFile>> LoadTree(const std::string& repo_root,
+                                           const Config& config);
+
+/// Runs every per-file rule. NOLINT suppressions are already applied.
+std::vector<Finding> LintFile(const SourceFile& file, const Config& config);
+
+/// Runs whole-tree rules (include cycles) plus LintFile over every file.
+/// NOLINT suppressions are already applied.
+std::vector<Finding> LintTree(const std::vector<SourceFile>& files,
+                              const Config& config);
+
+/// True when `// NOLINT(...)` on `line` (or NOLINTNEXTLINE on line-1)
+/// suppresses `rule` in `file`. Exposed for the round-trip tests.
+bool IsSuppressed(const SourceFile& file, const std::string& rule, int line);
+
+}  // namespace mhbc::lint

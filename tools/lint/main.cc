@@ -1,0 +1,170 @@
+// mhbc_lint — determinism-contract static analysis for the mhbc tree.
+//
+//   mhbc_lint [--root=<dir>] [--config=<file>] [--json] [paths...]
+//   mhbc_lint --list-rules
+//   mhbc_lint --version
+//
+// With no positional paths, walks src/, bench/, examples/, tests/, and
+// tools/ under the repo root (default: the current directory) and runs
+// every registered rule, including the whole-tree include-cycle check.
+// Positional paths restrict the run to specific repo-relative files —
+// tree-wide rules still see only those files.
+//
+// The config file (default <root>/tools/lint/mhbc_lint.conf when present)
+// carries the per-rule allowlists, the layer ranking, and skip globs; see
+// docs/static-analysis.md for the rule catalog and suppression syntax.
+//
+// Exit codes follow the mhbc_tool convention: 0 clean, 1 findings at error
+// severity, 2 usage error, 3 I/O error.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "util/table.h"
+
+namespace {
+
+using mhbc::lint::Config;
+using mhbc::lint::Finding;
+using mhbc::lint::RuleInfo;
+using mhbc::lint::Severity;
+using mhbc::lint::SourceFile;
+
+enum ExitCode : int {
+  kExitClean = 0,
+  kExitFindings = 1,
+  kExitUsage = 2,
+  kExitIo = 3,
+};
+
+int PrintVersion() {
+  std::printf("mhbc_lint %s (%zu rules)\n", mhbc::lint::kLintVersion,
+              mhbc::lint::Rules().size());
+  return kExitClean;
+}
+
+int PrintRules(bool json) {
+  mhbc::Table table({"rule", "severity", "summary", "fix"});
+  for (const RuleInfo& rule : mhbc::lint::Rules()) {
+    table.AddRow({rule.id, SeverityName(rule.severity), rule.summary,
+                  rule.fixit});
+  }
+  std::printf("%s", json ? (table.ToJson() + "\n").c_str()
+                         : table.ToMarkdown().c_str());
+  return kExitClean;
+}
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr,
+               "usage error: %s\n"
+               "usage: mhbc_lint [--root=<dir>] [--config=<file>] [--json] "
+               "[--list-rules] [--version] [paths...]\n",
+               message.c_str());
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path;
+  bool json = false;
+  bool list_rules = false;
+  bool version = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+      if (root.empty()) return UsageError("--root expects a directory");
+    } else if (arg.rfind("--config=", 0) == 0) {
+      config_path = arg.substr(9);
+      if (config_path.empty()) return UsageError("--config expects a file");
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--version") {
+      version = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return UsageError("unknown flag '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (version) return PrintVersion();
+  if (list_rules) return PrintRules(json);
+
+  // Config: explicit flag, else the repo default when it exists.
+  Config config;
+  const std::string default_config = root + "/tools/lint/mhbc_lint.conf";
+  if (config_path.empty() &&
+      std::filesystem::exists(std::filesystem::path(default_config))) {
+    config_path = default_config;
+  }
+  if (!config_path.empty()) {
+    auto loaded = mhbc::lint::LoadConfig(config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return loaded.status().code() == mhbc::StatusCode::kIoError ? kExitIo
+                                                                  : kExitUsage;
+    }
+    config = std::move(loaded).value();
+  } else {
+    config = mhbc::lint::DefaultConfig();
+  }
+
+  std::vector<SourceFile> files;
+  if (paths.empty()) {
+    auto tree = mhbc::lint::LoadTree(root, config);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
+      return tree.status().code() == mhbc::StatusCode::kInvalidArgument
+                 ? kExitUsage
+                 : kExitIo;
+    }
+    files = std::move(tree).value();
+  } else {
+    for (const std::string& rel : paths) {
+      auto file = mhbc::lint::LoadSource(root, rel);
+      if (!file.ok()) {
+        std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+        return kExitIo;
+      }
+      files.push_back(std::move(file).value());
+    }
+  }
+
+  const std::vector<Finding> findings = mhbc::lint::LintTree(files, config);
+
+  std::size_t errors = 0;
+  for (const Finding& finding : findings) {
+    if (finding.severity == Severity::kError) ++errors;
+  }
+  if (json) {
+    mhbc::Table table({"location", "rule", "severity", "message", "fix"});
+    for (const Finding& f : findings) {
+      table.AddRow({f.path + ":" + std::to_string(f.line), f.rule,
+                    SeverityName(f.severity), f.message, f.fixit});
+    }
+    std::printf("%s\n", table.ToJson().c_str());
+  } else {
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "%s:%d: %s: %s [%s]\n", f.path.c_str(), f.line,
+                   SeverityName(f.severity), f.message.c_str(),
+                   f.rule.c_str());
+      if (!f.fixit.empty()) {
+        std::fprintf(stderr, "    fix: %s\n", f.fixit.c_str());
+      }
+    }
+    std::fprintf(stderr,
+                 "mhbc_lint: %zu file(s), %zu finding(s), %zu error(s)\n",
+                 files.size(), findings.size(), errors);
+  }
+  return errors > 0 ? kExitFindings : kExitClean;
+}

@@ -1,0 +1,90 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace mhbc::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The trees mhbc_lint walks, in reporting order. tools/ is included so the
+/// linter dogfoods itself.
+const char* const kLintedTrees[] = {"src", "bench", "examples", "tests",
+                                    "tools"};
+
+bool HasLintedExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+SourceFile LexSource(const std::string& rel_path, const std::string& content) {
+  SourceFile file;
+  file.path = rel_path;
+  const std::size_t first_slash = rel_path.find('/');
+  file.top = rel_path.substr(0, first_slash);
+  if (file.top == "src" && first_slash != std::string::npos) {
+    const std::size_t second_slash = rel_path.find('/', first_slash + 1);
+    if (second_slash != std::string::npos) {
+      file.layer =
+          rel_path.substr(first_slash + 1, second_slash - first_slash - 1);
+    }
+  }
+  const std::size_t dot = rel_path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : rel_path.substr(dot);
+  file.is_header = ext == ".h" || ext == ".hpp";
+  file.stream = Tokenize(content);
+  return file;
+}
+
+StatusOr<SourceFile> LoadSource(const std::string& repo_root,
+                                const std::string& rel_path) {
+  const fs::path full = fs::path(repo_root) / rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + full.string() + "' for reading");
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return LexSource(rel_path, content.str());
+}
+
+StatusOr<std::vector<SourceFile>> LoadTree(const std::string& repo_root,
+                                           const Config& config) {
+  const fs::path root(repo_root);
+  if (!fs::is_directory(root / "src")) {
+    return Status::InvalidArgument("'" + repo_root +
+                                   "' has no src/ directory; pass the repo "
+                                   "root via --root=");
+  }
+  std::vector<std::string> rel_paths;
+  for (const char* tree : kLintedTrees) {
+    const fs::path base = root / tree;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !HasLintedExtension(entry.path())) {
+        continue;
+      }
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (config.Skipped(rel)) continue;
+      rel_paths.push_back(rel);
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    auto file = LoadSource(repo_root, rel);
+    if (!file.ok()) return file.status();
+    files.push_back(std::move(file).value());
+  }
+  return files;
+}
+
+}  // namespace mhbc::lint

@@ -1,0 +1,205 @@
+#include "tokenizer.h"
+
+#include <cctype>
+
+namespace mhbc::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character punctuators the rules care to see as one token. Longest
+/// match first within each leading character; everything else falls back to
+/// a single-character punct token.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",
+};
+
+}  // namespace
+
+TokenStream Tokenize(const std::string& content) {
+  TokenStream out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto append_comment = [&out](int at_line, const std::string& text) {
+    std::string& slot = out.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  // Pending raw preprocessor directive text, accumulated per logical line so
+  // #include targets and #pragma once can be recognized after macros of any
+  // spelling. Directive *tokens* still flow into the stream (macro bodies
+  // can hide banned constructs), except for include targets.
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && content[i] != '\n') ++i;
+      append_comment(line, content.substr(start, i - start));
+      continue;
+    }
+    // Block comment (may span lines; text is attached to each line).
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t start = i;
+      i += 2;
+      int comment_line = line;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') {
+          append_comment(comment_line, content.substr(start, i - start));
+          ++line;
+          comment_line = line;
+          start = i + 1;
+        }
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      append_comment(comment_line, content.substr(start, i - start));
+      continue;
+    }
+
+    // Preprocessor directive: recognize #include targets and #pragma once;
+    // other directives tokenize normally below (the '#' itself is a punct).
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && IsIdentChar(content[k])) ++k;
+      const std::string directive = content.substr(j, k - j);
+      if (directive == "include" || directive == "include_next") {
+        while (k < n && (content[k] == ' ' || content[k] == '\t')) ++k;
+        if (k < n && (content[k] == '"' || content[k] == '<')) {
+          const char close = content[k] == '<' ? '>' : '"';
+          const std::size_t target_start = k + 1;
+          std::size_t e = target_start;
+          while (e < n && content[e] != close && content[e] != '\n') ++e;
+          out.includes.push_back({content.substr(target_start, e - target_start),
+                                  close == '>', line});
+          i = e < n && content[e] == close ? e + 1 : e;
+          continue;
+        }
+      } else if (directive == "pragma") {
+        std::size_t p = k;
+        while (p < n && (content[p] == ' ' || content[p] == '\t')) ++p;
+        if (content.compare(p, 4, "once") == 0) out.has_pragma_once = true;
+        // fall through: pragma tokens enter the stream (e.g. `#pragma omp`
+        // is exactly what the raw-concurrency rule wants to see).
+      }
+      out.tokens.push_back({TokenKind::kPunct, "#", line});
+      ++i;
+      continue;
+    }
+
+    // String literal (incl. raw strings); contents are dropped.
+    if (c == '"' || (c == 'R' && i + 1 < n && content[i + 1] == '"')) {
+      if (c == 'R') {
+        // R"delim( ... )delim"
+        std::size_t d = i + 2;
+        std::string delim;
+        while (d < n && content[d] != '(') delim += content[d++];
+        const std::string closer = ")" + delim + "\"";
+        std::size_t e = content.find(closer, d);
+        e = e == std::string::npos ? n : e + closer.size();
+        for (std::size_t p = i; p < e && p < n; ++p) {
+          if (content[p] == '\n') ++line;
+        }
+        out.tokens.push_back({TokenKind::kString, "\"\"", line});
+        i = e;
+        continue;
+      }
+      std::size_t e = i + 1;
+      while (e < n && content[e] != '"' && content[e] != '\n') {
+        if (content[e] == '\\') ++e;
+        ++e;
+      }
+      out.tokens.push_back({TokenKind::kString, "\"\"", line});
+      i = e < n ? e + 1 : n;
+      continue;
+    }
+
+    // Character literal — but only when it cannot be a digit separator,
+    // which the number path below consumes itself.
+    if (c == '\'') {
+      std::size_t e = i + 1;
+      while (e < n && content[e] != '\'' && content[e] != '\n') {
+        if (content[e] == '\\') ++e;
+        ++e;
+      }
+      out.tokens.push_back({TokenKind::kChar, "''", line});
+      i = e < n ? e + 1 : n;
+      continue;
+    }
+
+    // pp-number: digits, idents chars, '.', exponent signs, and digit
+    // separators like 2'000.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(content[i + 1]))) {
+      const std::size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = content[i];
+        if (IsIdentChar(d) || d == '.') {
+          ++i;
+        } else if (d == '\'' && i + 1 < n && IsIdentChar(content[i + 1])) {
+          i += 2;  // digit separator
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (content[i - 1] == 'e' || content[i - 1] == 'E' ||
+                    content[i - 1] == 'p' || content[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokenKind::kNumber, content.substr(start, i - start),
+                            line});
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      const std::size_t start = i;
+      while (i < n && IsIdentChar(content[i])) ++i;
+      out.tokens.push_back(
+          {TokenKind::kIdentifier, content.substr(start, i - start), line});
+      continue;
+    }
+
+    // Punctuation, longest match.
+    std::string matched(1, c);
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (content.compare(i, len, p) == 0) {
+        matched = p;
+        break;
+      }
+    }
+    out.tokens.push_back({TokenKind::kPunct, matched, line});
+    i += matched.size();
+  }
+
+  out.num_lines = line;
+  return out;
+}
+
+}  // namespace mhbc::lint

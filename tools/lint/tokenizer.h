@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file
+/// A small C++ lexer for mhbc_lint. It is NOT a compiler front-end: it
+/// produces a flat token stream with comments and string contents removed
+/// (so rule matchers never fire on prose), plus the side tables the rules
+/// need — per-line comment text (for NOLINT suppressions), the #include
+/// list, and whether the file opens with #pragma once. That is deliberate:
+/// every mhbc rule is a lexical-pattern rule, and keeping the matcher input
+/// this small is what makes the whole tree lint in milliseconds.
+
+namespace mhbc::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (no distinction needed)
+  kNumber,      // pp-numbers, including digit separators (2'000)
+  kString,      // string literal (text is "" — contents never matter)
+  kChar,        // character literal (text is '')
+  kPunct,       // operators/punctuation, longest-match ("+=", "::", ...)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+struct IncludeDirective {
+  std::string target;  // path between the delimiters
+  bool angled;         // <...> (true) vs "..." (false)
+  int line;            // 1-based
+};
+
+/// Lexed view of one source file.
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// Comment text per line (concatenated when a line holds several); block
+  /// comments contribute their text to every line they span. NOLINT
+  /// suppression scanning reads this.
+  std::map<int, std::string> comments;
+  bool has_pragma_once = false;
+  int num_lines = 0;
+};
+
+/// Lexes `content`. Never fails: unterminated constructs lex as best-effort
+/// to the end of file (the compiler, not the linter, owns that diagnosis).
+TokenStream Tokenize(const std::string& content);
+
+}  // namespace mhbc::lint
