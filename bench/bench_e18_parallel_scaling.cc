@@ -6,8 +6,11 @@
 //   3. EstimateMany       — sharded per-vertex fan-out on one engine
 //
 // Each row also re-checks the subsystem's core promise: the values at
-// t threads are bit-identical to the 1-thread run ("det" column). Speedup
-// on a machine with fewer hardware threads than t tops out at the hardware
+// t threads are bit-identical to the 1-thread run ("det" column), and
+// reports per-pass throughput ("p/s": forward shortest-path passes per
+// second — the hardware-independent unit estimators are priced in, and
+// the number bench_e22 tracks for the intra-pass axis). Speedup on a
+// machine with fewer hardware threads than t tops out at the hardware
 // (this harness reports, it does not assert).
 //
 //   bench_e18_parallel_scaling [n] [chains] [iterations] [many_vertices]
@@ -34,12 +37,19 @@ constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
 
 struct Run {
   double seconds = 0.0;
+  std::uint64_t sp_passes = 0;  // forward passes the run executed
   bool matches_baseline = true;
 };
 
 std::string SpeedupCell(double baseline_seconds, const Run& run) {
   return FormatDouble(baseline_seconds / run.seconds, 2) + "x" +
          (run.matches_baseline ? "" : " !DET");
+}
+
+/// Per-pass throughput: forward shortest-path passes per wall-clock
+/// second, the hardware-independent unit every estimator is priced in.
+std::string PassesPerSecondCell(const Run& run) {
+  return FormatDouble(static_cast<double>(run.sp_passes) / run.seconds, 0);
 }
 
 }  // namespace
@@ -86,6 +96,7 @@ int main(int argc, char** argv) {
                           /*num_threads=*/t);
     Run run;
     run.seconds = timer.ElapsedSeconds();
+    run.sp_passes = result.sp_passes;
     if (t == 1) chain_baseline = result;
     run.matches_baseline =
         result.pooled_estimate == chain_baseline.pooled_estimate &&
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
         BrandesBetweenness(graph, Normalization::kPaper, t);
     Run run;
     run.seconds = timer.ElapsedSeconds();
+    run.sp_passes = graph.num_vertices();  // one pass per source
     if (t == 1) brandes_baseline = scores;
     run.matches_baseline = scores == brandes_baseline;
     brandes_runs.push_back(run);
@@ -129,6 +141,7 @@ int main(int argc, char** argv) {
     const auto reports = engine.EstimateMany(vertices, request);
     Run run;
     run.seconds = timer.ElapsedSeconds();
+    run.sp_passes = engine.total_sp_passes();
     if (!reports.ok()) {
       std::fprintf(stderr, "EstimateMany failed: %s\n",
                    reports.status().ToString().c_str());
@@ -145,20 +158,24 @@ int main(int argc, char** argv) {
     many_runs.push_back(run);
   }
 
-  Table table({"threads", "multi-chain s", "speedup", "brandes s", "speedup",
-               "many s", "speedup"});
+  Table table({"threads", "multi-chain s", "speedup", "p/s", "brandes s",
+               "speedup", "p/s", "many s", "speedup", "p/s"});
   for (std::size_t i = 0; i < std::size(kThreadCounts); ++i) {
     table.AddRow({std::to_string(kThreadCounts[i]),
                   FormatDouble(chain_runs[i].seconds, 3),
                   SpeedupCell(chain_runs[0].seconds, chain_runs[i]),
+                  PassesPerSecondCell(chain_runs[i]),
                   FormatDouble(brandes_runs[i].seconds, 3),
                   SpeedupCell(brandes_runs[0].seconds, brandes_runs[i]),
+                  PassesPerSecondCell(brandes_runs[i]),
                   FormatDouble(many_runs[i].seconds, 3),
-                  SpeedupCell(many_runs[0].seconds, many_runs[i])});
+                  SpeedupCell(many_runs[0].seconds, many_runs[i]),
+                  PassesPerSecondCell(many_runs[i])});
   }
   bench::EmitTable(&json,
-                   "E18: wall-clock speedup vs 1-thread baseline "
-                   "(!DET flags a determinism violation — must never appear)",
+                   "E18: wall-clock speedup + passes/sec vs 1-thread "
+                   "baseline (!DET flags a determinism violation — must "
+                   "never appear)",
                    table);
   const std::string written = json.Write();
   if (!written.empty()) std::printf("wrote %s\n", written.c_str());

@@ -1,7 +1,7 @@
 // mhbc_tool — multitool CLI over the BetweennessEngine session API.
 //
-//   mhbc_tool [--threads=<k>] [--json] [--graph=<file>] [--cache-dir=<dir>]
-//             <command> ...
+//   mhbc_tool [--threads=<k>] [--spd-threads=<k>] [--json] [--graph=<file>]
+//             [--cache-dir=<dir>] <command> ...
 //
 //   mhbc_tool stats      <graph>
 //   mhbc_tool inspect    <file>
@@ -35,6 +35,11 @@
 //   --threads=<k>    engine worker threads (0 = one per hardware thread,
 //                    default 1). Values are bit-identical at any setting —
 //                    threads change wall-clock, never results.
+//   --spd-threads=<k> frontier-parallel threads *within* each shortest-path
+//                    pass (SpdOptions::num_threads; 0 = inherit --threads,
+//                    default 0). Same contract: bit-identical results at
+//                    every setting; use for single-vertex queries on large
+//                    graphs where the source axis has no parallelism.
 //   --json           machine-readable output: tables render as
 //                    {"columns": ..., "rows": ...}, estimates as full
 //                    report objects (value, std_error, ci, passes, ...).
@@ -82,6 +87,7 @@ using mhbc::VertexId;
 /// Global flags, stripped from argv before command dispatch.
 struct ToolFlags {
   unsigned threads = 1;
+  unsigned spd_threads = 0;  // --spd-threads= intra-pass width (0 = inherit)
   bool json = false;
   std::string graph;      // --graph= default graph file
   std::string cache_dir;  // --cache-dir= snapshot cache
@@ -91,7 +97,12 @@ ToolFlags g_flags;
 mhbc::EngineOptions ToolEngineOptions() {
   mhbc::EngineOptions options;
   options.num_threads = g_flags.threads;
+  options.spd.num_threads = g_flags.spd_threads;
   return options;
+}
+
+const char* KernelName(mhbc::SpdKernel kernel) {
+  return kernel == mhbc::SpdKernel::kClassic ? "classic" : "hybrid";
 }
 
 /// Renders a titled table honouring --json.
@@ -295,12 +306,15 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
       const mhbc::EstimateReport& report = reports.value()[i];
       std::printf(
           "%s{\"vertex\": %u, \"value\": %.17g, \"estimator\": \"%s\", "
+          "\"kernel\": \"%s\", \"spd_threads\": %u, "
           "\"samples_used\": %llu, \"std_error\": %.17g, "
           "\"ci_half_width\": %.17g, \"ess\": %.17g, "
           "\"acceptance_rate\": %.17g, \"sp_passes\": %llu, "
           "\"cache_hit\": %s, \"converged\": %s, \"seconds\": %.6f}",
           i > 0 ? ", " : "", report.vertex, report.value,
           mhbc::EstimatorKindName(report.kind),
+          KernelName(engine.options().spd.kernel),
+          engine.options().spd.num_threads,
           static_cast<unsigned long long>(report.samples_used),
           report.std_error, report.ci_half_width, report.ess,
           report.acceptance_rate,
@@ -406,8 +420,11 @@ int CmdExact(const std::string& path, const char* vertex) {
   if (!result.ok()) return Fail(result.status());
   if (g_flags.json) {
     std::printf("{\"vertex\": %u, \"value\": %.17g, \"estimator\": \"exact\", "
+                "\"kernel\": \"%s\", \"spd_threads\": %u, "
                 "\"sp_passes\": %llu, \"seconds\": %.6f}\n",
                 r, result.value().value,
+                KernelName(engine.options().spd.kernel),
+                engine.options().spd.num_threads,
                 static_cast<unsigned long long>(result.value().sp_passes),
                 result.value().seconds);
     return 0;
@@ -563,6 +580,21 @@ int main(int raw_argc, char** raw_argv) {
                           " is implausibly large (max 4096)");
       }
       g_flags.threads = static_cast<unsigned>(parsed);
+    } else if (arg.rfind("--spd-threads=", 0) == 0) {
+      const std::string value =
+          arg.substr(std::string("--spd-threads=").size());
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return UsageError(
+            "--spd-threads expects a non-negative integer, got '" + value +
+            "'");
+      }
+      const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+      if (parsed > 4096) {
+        return UsageError("--spd-threads=" + value +
+                          " is implausibly large (max 4096)");
+      }
+      g_flags.spd_threads = static_cast<unsigned>(parsed);
     } else if (arg == "--json") {
       g_flags.json = true;
     } else if (arg.rfind("--graph=", 0) == 0) {
@@ -575,8 +607,8 @@ int main(int raw_argc, char** raw_argv) {
       }
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
       return UsageError("unknown flag '" + arg +
-                        "' (flags: --threads=<k>, --json, "
-                        "--graph=<file>, --cache-dir=<dir>)");
+                        "' (flags: --threads=<k>, --spd-threads=<k>, "
+                        "--json, --graph=<file>, --cache-dir=<dir>)");
     } else {
       args.push_back(raw_argv[i]);
     }

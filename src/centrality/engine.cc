@@ -136,7 +136,7 @@ std::size_t BetweennessEngine::DependencyCacheEntries(
 
 DependencyOracle* BetweennessEngine::oracle() {
   if (!oracle_) {
-    oracle_ = std::make_unique<DependencyOracle>(*graph_, options_.spd);
+    oracle_ = std::make_unique<DependencyOracle>(*graph_, IntraPassSpd());
     oracle_->set_cache_capacity(DependencyCacheEntries(*graph_));
   }
   return oracle_.get();
@@ -170,7 +170,7 @@ DistanceProportionalSampler* BetweennessEngine::distance_sampler() {
 
 RkSampler* BetweennessEngine::rk_sampler() {
   if (!rk_) {
-    rk_ = std::make_unique<RkSampler>(*graph_, /*seed=*/0, options_.spd);
+    rk_ = std::make_unique<RkSampler>(*graph_, /*seed=*/0, IntraPassSpd());
   }
   return rk_.get();
 }
@@ -178,13 +178,21 @@ RkSampler* BetweennessEngine::rk_sampler() {
 GeisbergerSampler* BetweennessEngine::geisberger_sampler() {
   if (!geisberger_) {
     geisberger_ = std::make_unique<GeisbergerSampler>(*graph_, /*seed=*/0,
-                                                      options_.spd);
+                                                      IntraPassSpd());
   }
   return geisberger_.get();
 }
 
 unsigned BetweennessEngine::resolved_threads() const {
   return ResolveThreadCount(options_.num_threads);
+}
+
+SpdOptions BetweennessEngine::IntraPassSpd() const {
+  SpdOptions spd = options_.spd;
+  // 0 = inherit: the engine's serial-path pass engines get the full thread
+  // budget for frontier-parallel level steps. Explicit values pass through.
+  if (spd.num_threads == 0) spd.num_threads = resolved_threads();
+  return spd;
 }
 
 ThreadPool* BetweennessEngine::pool() {
@@ -201,6 +209,9 @@ void BetweennessEngine::EnsureShards() {
   // memoization entirely. 0 stays 0: caching explicitly off.
   EngineOptions shard_options = options_;
   shard_options.num_threads = 1;
+  // Shards are the parallel axis of a fan-out; their passes must stay
+  // sequential or the pool would be oversubscribed num_threads-fold.
+  shard_options.spd.num_threads = 1;
   shard_options.dependency_cache_bytes =
       options_.dependency_cache_bytes / resolved_threads();
   const std::size_t one_entry_bytes =
@@ -299,8 +310,14 @@ const BetweennessEngine::RkCredit& BetweennessEngine::EnsureRkCredit(
             std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (b + 1);
             std::unique_ptr<RkSampler>& sampler = worker_samplers[worker];
             if (sampler == nullptr) {
+              // With a parallel pool the batches are the parallel axis, so
+              // per-worker samplers run sequential passes (intra-pass
+              // threads would oversubscribe); a 1-wide pool runs batches
+              // inline and the passes keep the intra-pass budget.
+              SpdOptions batch_spd = IntraPassSpd();
+              if (pool()->num_threads() > 1) batch_spd.num_threads = 1;
               sampler = std::make_unique<RkSampler>(*graph_, /*seed=*/0,
-                                                    options_.spd);
+                                                    batch_spd);
             }
             sampler->Reset(SplitMix64(&state));
             return sampler->EstimateAll(base + (b < extra ? 1 : 0));
@@ -680,7 +697,12 @@ StatusOr<std::vector<EstimateReport>> BetweennessEngine::EstimateBatch(
     if (!status.ok()) return status;  // fail fast, before any work
     all_sharded = all_sharded && FindEstimator(request.kind)->sharded_many;
   }
-  if (all_sharded && requests.size() > 1 && resolved_threads() > 1) {
+  // Pool-splitting policy (see engine.h): fan out across shards only when
+  // the queries can occupy the pool; smaller batches serve sequentially on
+  // the owning engine, whose passes then use the pool internally. Both
+  // shapes return identical statistical fields.
+  if (all_sharded && requests.size() > 1 && resolved_threads() > 1 &&
+      requests.size() >= resolved_threads()) {
     return ServeSharded(
         requests.size(), [&requests](std::size_t i) { return requests[i].vertex; },
         [&requests](std::size_t i) -> const EstimateRequest& {
@@ -703,8 +725,11 @@ StatusOr<std::vector<EstimateReport>> BetweennessEngine::EstimateMany(
     const Status status = ValidateRequest(vertex, request);
     if (!status.ok()) return status;  // fail fast, before any work
   }
+  // Same pool-splitting policy as EstimateBatch: shard only when the
+  // vertex count can occupy the pool.
   if (!vertices.empty() && FindEstimator(request.kind)->sharded_many &&
-      vertices.size() > 1 && resolved_threads() > 1) {
+      vertices.size() > 1 && resolved_threads() > 1 &&
+      vertices.size() >= resolved_threads()) {
     return ServeSharded(
         vertices.size(), [&vertices](std::size_t i) { return vertices[i]; },
         [&request](std::size_t) -> const EstimateRequest& { return request; });

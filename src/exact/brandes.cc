@@ -36,8 +36,8 @@ template <typename PerSource>
 void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
                                       VertexId end, SpdOptions spd,
                                       PerSource&& per_source) {
-  DependencyAccumulator accumulator(graph);
   if (graph.weighted()) {
+    DependencyAccumulator accumulator(graph);
     DijkstraSpd engine(graph);
     for (VertexId s = begin; s < end; ++s) {
       engine.Run(s);
@@ -45,6 +45,10 @@ void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
     }
   } else {
     BfsSpd engine(graph, spd);
+    // The sweep borrows the pass engine's intra-pass pool (null when the
+    // pass is sequential), so pass + accumulate share one set of threads.
+    DependencyAccumulator accumulator(graph, engine.intra_pool(),
+                                      spd.parallel_grain);
     for (VertexId s = begin; s < end; ++s) {
       engine.Run(s);
       per_source(accumulator.Accumulate(engine));
@@ -90,6 +94,11 @@ std::vector<double> BrandesBetweenness(const CsrGraph& graph,
   const std::size_t shards =
       std::min<std::size_t>(n, kBrandesSourceShards);
   ThreadPool pool(ResolveThreadCount(num_threads));
+  // Pool-splitting policy: with source-parallelism active the shards
+  // saturate the pool, so per-shard passes run sequentially (intra-pass
+  // threads would only oversubscribe). A 1-wide pool leaves the caller's
+  // intra-pass setting untouched — the passes become the parallel axis.
+  if (pool.num_threads() > 1) spd.num_threads = 1;
   // Each shard accumulates its contiguous source range into a private
   // partial vector; the per-vertex sums regroup as
   //   ((partial_0 + partial_1) + partial_2) + ...
@@ -98,10 +107,10 @@ std::vector<double> BrandesBetweenness(const CsrGraph& graph,
   ParallelOrderedReduce<std::vector<double>>(
       &pool, shards,
       [&graph, n, shards, spd](unsigned, std::size_t shard) {
-        const auto begin = static_cast<VertexId>(
-            static_cast<std::size_t>(n) * shard / shards);
-        const auto end = static_cast<VertexId>(
-            static_cast<std::size_t>(n) * (shard + 1) / shards);
+        const auto [shard_begin, shard_end] =
+            ShardBounds(static_cast<std::size_t>(n), shard, shards);
+        const auto begin = static_cast<VertexId>(shard_begin);
+        const auto end = static_cast<VertexId>(shard_end);
         std::vector<double> partial(n, 0.0);
         ForEachSourceDependenciesInRange(
             graph, begin, end, spd,

@@ -34,9 +34,11 @@ void NormalizeScores(std::vector<double>* scores, Normalization norm,
 
 /// Exact betweenness of all vertices. O(nm) unweighted, O(nm + n^2 log n)
 /// weighted. Works on disconnected graphs (unreachable pairs contribute 0).
-/// Single-threaded; see BrandesBetweenness for the source-parallel form.
-/// `spd` selects the unweighted SPD kernel (ignored for weighted graphs);
-/// scores are bit-identical across kernels and α/β settings.
+/// Sequential across sources; see BrandesBetweenness for the
+/// source-parallel form. `spd` selects the unweighted SPD kernel and, via
+/// spd.num_threads, frontier-parallel execution *within* each pass
+/// (ignored for weighted graphs); scores are bit-identical across kernels,
+/// α/β settings, and thread counts.
 std::vector<double> ExactBetweenness(const CsrGraph& graph,
                                      Normalization norm = Normalization::kPaper,
                                      SpdOptions spd = SpdOptions());
@@ -49,7 +51,11 @@ std::vector<double> ExactBetweenness(const CsrGraph& graph,
 /// structure plus the ordered merge make the result bit-identical at every
 /// `num_threads` (0 = hardware concurrency, 1 = sequential). Values may
 /// differ from ExactBetweenness by floating-point regrouping only (last
-/// ulp); both are exact Brandes.
+/// ulp); both are exact Brandes. Pool-splitting: when num_threads > 1 the
+/// sources are the parallel axis and spd.num_threads is forced to 1
+/// (intra-pass threads would oversubscribe); at num_threads == 1 the
+/// caller's spd.num_threads applies within each pass. Either way the
+/// result is bit-identical.
 std::vector<double> BrandesBetweenness(
     const CsrGraph& graph, Normalization norm = Normalization::kPaper,
     unsigned num_threads = 0, SpdOptions spd = SpdOptions());

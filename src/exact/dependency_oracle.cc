@@ -40,6 +40,11 @@ DependencyOracle::DependencyOracle(const CsrGraph& graph, SpdOptions spd)
     dijkstra_ = std::make_unique<DijkstraSpd>(graph);
   } else {
     bfs_ = std::make_unique<BfsSpd>(graph, spd);
+    // The backward sweep borrows the pass engine's intra-pass pool (null
+    // when spd.num_threads resolves to sequential), so one pass +
+    // accumulate runs on one set of threads.
+    accumulator_ =
+        DependencyAccumulator(graph, bfs_->intra_pool(), spd.parallel_grain);
   }
 }
 
@@ -85,13 +90,17 @@ void DependencyOracle::ApplyGraphDelta(const CsrGraph& new_graph,
     entry.hops.resize(n, kUnreachedDistance);
   }
   graph_ = &new_graph;
-  accumulator_ = DependencyAccumulator(new_graph);
+  // Rebuild the pass engine first: the new accumulator borrows its
+  // intra-pass pool, so the pool must already belong to the new engine.
   if (new_graph.weighted()) {
     dijkstra_ = std::make_unique<DijkstraSpd>(new_graph);
     bfs_.reset();
+    accumulator_ = DependencyAccumulator(new_graph);
   } else {
     bfs_ = std::make_unique<BfsSpd>(new_graph, spd_);
     dijkstra_.reset();
+    accumulator_ = DependencyAccumulator(new_graph, bfs_->intra_pool(),
+                                         spd_.parallel_grain);
   }
 }
 

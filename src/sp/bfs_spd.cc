@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace mhbc {
 
@@ -14,7 +17,14 @@ BfsSpd::BfsSpd(const CsrGraph& graph, SpdOptions options)
   dag_.weighted = false;
   frontier_.reserve(n);
   next_.reserve(n);
+  // num_threads == 0 means "inherit": standalone construction has nothing
+  // to inherit from, so it stays sequential; an owning engine substitutes
+  // its resolved count before constructing us (see BetweennessEngine).
+  const unsigned intra = options_.num_threads == 0 ? 1 : options_.num_threads;
+  if (intra > 1) pool_ = std::make_unique<ThreadPool>(intra);
 }
+
+BfsSpd::~BfsSpd() = default;
 
 void BfsSpd::Run(VertexId source) {
   MHBC_DCHECK(source < graph_->num_vertices());
@@ -56,30 +66,39 @@ void BfsSpd::RunClassic(VertexId source) {
   dag_.sigma[source] = 1;
   frontier_.clear();
   frontier_.push_back(source);
+  // Degree sum of the current frontier, maintained incrementally (add each
+  // discovery's degree) so the parallel-or-sequential choice for a level
+  // is known before expanding it.
+  std::uint64_t frontier_edges = graph_->degree(source);
   std::uint32_t depth = 0;
   while (!frontier_.empty()) {
     dag_.level_offsets.push_back(dag_.order.size());
     dag_.order.insert(dag_.order.end(), frontier_.begin(), frontier_.end());
     next_.clear();
-    std::uint64_t frontier_edges = 0;
-    for (VertexId u : frontier_) {
-      frontier_edges += graph_->degree(u);
-      const SigmaCount su = dag_.sigma[u];
-      for (VertexId v : graph_->neighbors(u)) {
-        if (dag_.dist[v] == kUnreachedDistance) {
-          dag_.dist[v] = depth + 1;
-          next_.push_back(v);
-        }
-        if (dag_.dist[v] == depth + 1) dag_.sigma[v] += su;
-      }
-    }
-    // Canonicalize the next level: ascending vertex id, so the stored
-    // order (and the frontier the next iteration expands, which fixes the
-    // sigma fold) is independent of discovery order.
-    std::sort(next_.begin(), next_.end());
     last_stats_.edges_examined += frontier_edges;
     ++last_stats_.top_down_levels;
+    std::uint64_t next_edges = 0;
+    if (UseParallel(frontier_edges)) {
+      next_edges = TopDownLevelParallel(depth, /*record_preds=*/false);
+    } else {
+      for (VertexId u : frontier_) {
+        const SigmaCount su = dag_.sigma[u];
+        for (VertexId v : graph_->neighbors(u)) {
+          if (dag_.dist[v] == kUnreachedDistance) {
+            dag_.dist[v] = depth + 1;
+            next_.push_back(v);
+            next_edges += graph_->degree(v);
+          }
+          if (dag_.dist[v] == depth + 1) dag_.sigma[v] += su;
+        }
+      }
+      // Canonicalize the next level: ascending vertex id, so the stored
+      // order (and the frontier the next iteration expands, which fixes
+      // the sigma fold) is independent of discovery order.
+      std::sort(next_.begin(), next_.end());
+    }
     frontier_.swap(next_);
+    frontier_edges = next_edges;
     ++depth;
   }
   dag_.level_offsets.push_back(dag_.order.size());
@@ -150,57 +169,66 @@ void BfsSpd::RunHybrid(VertexId source) {
     if (bottom_up) {
       ++last_stats_.bottom_up_levels;
       last_stats_.edges_examined += unexplored_edges;
-      // Scan unvisited vertices in ascending id (so the next level needs
-      // no sort) and gather all parents at the current depth; no early
-      // exit — exact sigma needs every parent.
-      for (std::size_t word = 0; word < visited_.size(); ++word) {
-        std::uint64_t unvisited = ~visited_[word];
-        if (word + 1 == visited_.size()) unvisited &= tail_mask;
-        while (unvisited != 0) {
-          const VertexId v = static_cast<VertexId>(
-              (word << 6) + std::countr_zero(unvisited));
-          unvisited &= unvisited - 1;
-          SigmaCount sv = 0;
-          std::uint32_t parents = 0;
-          const std::size_t base = dag_.pred_begin[v];
-          for (VertexId u : graph_->neighbors(v)) {
-            if (dag_.dist[u] == depth) {
-              sv += dag_.sigma[u];
-              dag_.pred_storage[base + parents++] = u;
+      if (UseParallel(unexplored_edges)) {
+        next_edges = BottomUpLevelParallel(depth, tail_mask);
+      } else {
+        // Scan unvisited vertices in ascending id (so the next level needs
+        // no sort) and gather all parents at the current depth; no early
+        // exit — exact sigma needs every parent.
+        for (std::size_t word = 0; word < visited_.size(); ++word) {
+          std::uint64_t unvisited = ~visited_[word];
+          if (word + 1 == visited_.size()) unvisited &= tail_mask;
+          while (unvisited != 0) {
+            const VertexId v = static_cast<VertexId>(
+                (word << 6) + std::countr_zero(unvisited));
+            unvisited &= unvisited - 1;
+            SigmaCount sv = 0;
+            std::uint32_t parents = 0;
+            const std::size_t base = dag_.pred_begin[v];
+            for (VertexId u : graph_->neighbors(v)) {
+              if (dag_.dist[u] == depth) {
+                sv += dag_.sigma[u];
+                dag_.pred_storage[base + parents++] = u;
+              }
             }
-          }
-          if (parents != 0) {
-            dag_.dist[v] = depth + 1;
-            dag_.sigma[v] = sv;
-            dag_.pred_count[v] = parents;
-            SetVisited(v);
-            next_.push_back(v);
-            next_edges += graph_->degree(v);
+            if (parents != 0) {
+              dag_.dist[v] = depth + 1;
+              dag_.sigma[v] = sv;
+              dag_.pred_count[v] = parents;
+              SetVisited(v);
+              next_.push_back(v);
+              next_edges += graph_->degree(v);
+            }
           }
         }
       }
     } else {
       ++last_stats_.top_down_levels;
       last_stats_.edges_examined += frontier_edges;
-      for (VertexId u : frontier_) {
-        const SigmaCount su = dag_.sigma[u];
-        for (VertexId v : graph_->neighbors(u)) {
-          if (dag_.dist[v] == kUnreachedDistance) {
-            dag_.dist[v] = depth + 1;
-            SetVisited(v);
-            next_.push_back(v);
-            next_edges += graph_->degree(v);
-          }
-          if (dag_.dist[v] == depth + 1) {
-            // The frontier is sorted, so parents append in ascending id —
-            // the same sequence a bottom-up neighbor scan records — and
-            // sigma folds in the same order.
-            dag_.sigma[v] += su;
-            dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]++] = u;
+      if (UseParallel(frontier_edges)) {
+        next_edges = TopDownLevelParallel(depth, /*record_preds=*/true);
+      } else {
+        for (VertexId u : frontier_) {
+          const SigmaCount su = dag_.sigma[u];
+          for (VertexId v : graph_->neighbors(u)) {
+            if (dag_.dist[v] == kUnreachedDistance) {
+              dag_.dist[v] = depth + 1;
+              SetVisited(v);
+              next_.push_back(v);
+              next_edges += graph_->degree(v);
+            }
+            if (dag_.dist[v] == depth + 1) {
+              // The frontier is sorted, so parents append in ascending id
+              // — the same sequence a bottom-up neighbor scan records —
+              // and sigma folds in the same order.
+              dag_.sigma[v] += su;
+              dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]++] =
+                  u;
+            }
           }
         }
+        std::sort(next_.begin(), next_.end());
       }
-      std::sort(next_.begin(), next_.end());
     }
     unexplored_edges -= next_edges;
     frontier_edges = next_edges;
@@ -209,6 +237,166 @@ void BfsSpd::RunHybrid(VertexId source) {
   }
   dag_.level_offsets.push_back(dag_.order.size());
   dag_.has_predecessors = true;
+}
+
+void BfsSpd::EnsureParallelScratch() {
+  if (!range_next_.empty()) return;
+  const std::size_t n = graph_->num_vertices();
+  const std::size_t n_words = (n + 63) / 64;
+  // Destination ranges are contiguous 64-aligned vertex-id slices — a pure
+  // function of |V|, never of the thread count: the smallest power-of-two
+  // word span that yields at most kFrontierShards ranges. Word alignment
+  // makes every visited-bitmap word single-owner, so bottom-up steps and
+  // hybrid discovery write the bitmap without synchronization.
+  const std::size_t words_per_range =
+      std::bit_ceil((n_words + kFrontierShards - 1) / kFrontierShards);
+  range_shift_ =
+      6 + static_cast<std::uint32_t>(std::countr_zero(words_per_range));
+  num_ranges_ = (n_words + words_per_range - 1) / words_per_range;
+  buckets_.resize(kFrontierShards * num_ranges_);
+  range_next_.resize(num_ranges_);
+  range_edges_.assign(num_ranges_, 0);
+  frontier_bits_.assign(n_words, 0);
+}
+
+std::uint64_t BfsSpd::TopDownLevelParallel(std::uint32_t depth,
+                                           bool record_preds) {
+  EnsureParallelScratch();
+  // Phase 1 — fan out over fixed frontier shards: each shard examines its
+  // contiguous slice of the (sorted) frontier and buckets every candidate
+  // DAG edge by destination range. dist is read-only in this phase, so a
+  // vertex is bucketed once per frontier parent that reaches it; all
+  // writes go to the shard's private bucket row.
+  ParallelShardedLevel(
+      pool_.get(), kFrontierShards,
+      [this](unsigned, std::size_t shard) {
+        const auto [begin, end] =
+            ShardBounds(frontier_.size(), shard, kFrontierShards);
+        std::vector<TdCandidate>* row = buckets_.data() + shard * num_ranges_;
+        for (std::size_t i = begin; i < end; ++i) {
+          const VertexId u = frontier_[i];
+          for (VertexId v : graph_->neighbors(u)) {
+            if (dag_.dist[v] == kUnreachedDistance) {
+              row[v >> range_shift_].push_back({v, u});
+            }
+          }
+        }
+      },
+      // Nothing to merge: phase 2 consumes the buckets in shard order.
+      [](std::size_t) {});
+
+  // Phase 2 — fan out over destination ranges: each range owner settles
+  // its vertices. First touch assigns dist (and the visited bit); every
+  // candidate then folds sigma and appends the parent. Buckets are walked
+  // in ascending shard order and each shard bucketed its parents in
+  // ascending frontier order, so for any fixed v the contributions arrive
+  // in ascending parent id — the exact fold order of the sequential
+  // kernels, making the (floating-point) sigma sums bit-identical. Every
+  // write lands in the owner's range; sigma/dist reads of parents touch
+  // the previous level only, which no one writes here.
+  std::uint64_t next_edges = 0;
+  ParallelShardedLevel(
+      pool_.get(), num_ranges_,
+      [this, depth, record_preds](unsigned, std::size_t range) {
+        std::vector<VertexId>& seg = range_next_[range];
+        seg.clear();
+        std::uint64_t seg_edges = 0;
+        for (std::size_t shard = 0; shard < kFrontierShards; ++shard) {
+          std::vector<TdCandidate>& bucket =
+              buckets_[shard * num_ranges_ + range];
+          for (const TdCandidate& c : bucket) {
+            if (dag_.dist[c.v] == kUnreachedDistance) {
+              dag_.dist[c.v] = depth + 1;
+              if (record_preds) SetVisited(c.v);
+              seg.push_back(c.v);
+              seg_edges += graph_->degree(c.v);
+            }
+            dag_.sigma[c.v] += dag_.sigma[c.u];
+            if (record_preds) {
+              dag_.pred_storage[dag_.pred_begin[c.v] + dag_.pred_count[c.v]++] =
+                  c.u;
+            }
+          }
+          bucket.clear();
+        }
+        // Ranges partition the id space in order, so locally sorted
+        // segments concatenate into the globally sorted next frontier.
+        std::sort(seg.begin(), seg.end());
+        range_edges_[range] = seg_edges;
+      },
+      [this, &next_edges](std::size_t range) {
+        next_.insert(next_.end(), range_next_[range].begin(),
+                     range_next_[range].end());
+        next_edges += range_edges_[range];
+      });
+  return next_edges;
+}
+
+std::uint64_t BfsSpd::BottomUpLevelParallel(std::uint32_t depth,
+                                            std::uint64_t tail_mask) {
+  EnsureParallelScratch();
+  // Publish the current frontier as a bitmap. The parent test below must
+  // not read dist[u]: a neighbor u may be a *newly discovered* vertex
+  // whose dist another range owner is writing concurrently. Frontier bits
+  // are written before the fan-out, read-only during it, and cleared
+  // after, so the bitmap is all-zero between steps.
+  for (VertexId u : frontier_) {
+    frontier_bits_[u >> 6] |= std::uint64_t{1} << (u & 63);
+  }
+  const std::uint32_t word_shift = range_shift_ - 6;
+  std::uint64_t next_edges = 0;
+  // One fan-out over word ranges: each owner runs the sequential scan body
+  // on its words. Every write — dist, sigma, pred_count, pred_storage, the
+  // visited word — targets a vertex in the owned range; parent reads
+  // (frontier bit, sigma) touch the stable previous level only. The scan
+  // visits candidates in ascending id, so each segment is born sorted.
+  ParallelShardedLevel(
+      pool_.get(), num_ranges_,
+      [this, depth, tail_mask, word_shift](unsigned, std::size_t range) {
+        const std::size_t word_begin = range << word_shift;
+        const std::size_t word_end =
+            std::min(word_begin + (std::size_t{1} << word_shift),
+                     visited_.size());
+        std::vector<VertexId>& seg = range_next_[range];
+        seg.clear();
+        std::uint64_t seg_edges = 0;
+        for (std::size_t word = word_begin; word < word_end; ++word) {
+          std::uint64_t unvisited = ~visited_[word];
+          if (word + 1 == visited_.size()) unvisited &= tail_mask;
+          while (unvisited != 0) {
+            const VertexId v = static_cast<VertexId>(
+                (word << 6) + std::countr_zero(unvisited));
+            unvisited &= unvisited - 1;
+            SigmaCount sv = 0;
+            std::uint32_t parents = 0;
+            const std::size_t base = dag_.pred_begin[v];
+            for (VertexId u : graph_->neighbors(v)) {
+              if ((frontier_bits_[u >> 6] >> (u & 63)) & 1) {
+                sv += dag_.sigma[u];
+                dag_.pred_storage[base + parents++] = u;
+              }
+            }
+            if (parents != 0) {
+              dag_.dist[v] = depth + 1;
+              dag_.sigma[v] = sv;
+              dag_.pred_count[v] = parents;
+              SetVisited(v);
+              seg.push_back(v);
+              seg_edges += graph_->degree(v);
+            }
+          }
+        }
+        range_edges_[range] = seg_edges;
+      },
+      [this, &next_edges](std::size_t range) {
+        next_.insert(next_.end(), range_next_[range].begin(),
+                     range_next_[range].end());
+        next_edges += range_edges_[range];
+      });
+  for (VertexId u : frontier_) {
+    frontier_bits_[u >> 6] &= ~(std::uint64_t{1} << (u & 63));
+  }
+  return next_edges;
 }
 
 }  // namespace mhbc

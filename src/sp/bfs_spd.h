@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -29,14 +31,45 @@
 /// it traverses — it inspects every parent edge anyway — which is what lets
 /// the fused backward sweep (sp/dependency.h) walk SPD edges only instead
 /// of re-deriving parents by full neighbor rescans.
+///
+/// Intra-pass parallelism (SpdOptions::num_threads > 1) runs the level
+/// steps of either kernel frontier-parallel while keeping every output
+/// bit-identical to the sequential pass. The structure is fixed and
+/// thread-count-independent (the same discipline BrandesBetweenness uses
+/// across sources):
+///
+///   * The frontier is split into kFrontierShards contiguous slices; the
+///     vertex-id space into contiguous 64-aligned *destination ranges*
+///     (a pure function of |V|, at most kFrontierShards of them).
+///   * A top-down level runs two ParallelShardedLevel phases: frontier
+///     shards bucket candidate DAG edges by destination range (dist is
+///     read-only), then each range owner settles its vertices, folding
+///     sigma and appending parents by walking the buckets in shard order —
+///     which for any fixed vertex is ascending parent id, the exact
+///     sequential fold order.
+///   * A bottom-up level partitions the visited bitmap by word ranges;
+///     each owner runs the sequential scan body on its words (every write
+///     — dist/sigma/preds/bitmap — lands in the owned range) and tests
+///     parents against a read-only frontier bitmap.
+///   * Per-range next-frontier segments are sorted locally and
+///     concatenated in range order, reproducing the globally sorted
+///     frontier the sequential kernels build.
+///
+/// Levels below SpdOptions::parallel_grain examined edges run the
+/// (identical-output) sequential step, so tiny levels pay no fan-out cost.
 
 namespace mhbc {
+
+class ThreadPool;
 
 /// Reusable BFS engine for one graph.
 ///
 /// Run(source) costs O(|E|) with no allocation after the first call: state
-/// is reset lazily via the previous pass' order. The engine is
-/// single-threaded and not reentrant; samplers own one instance each.
+/// is reset lazily via the previous pass' order. The engine is not
+/// reentrant — one Run at a time; with SpdOptions::num_threads > 1 a Run
+/// internally fans level steps out over an owned worker pool (see the
+/// intra-pass notes above), which callers can share for the fused
+/// dependency sweep via intra_pool(). Samplers own one instance each.
 class BfsSpd {
  public:
   /// Work counters of one pass (and totals across passes). "Edges
@@ -50,8 +83,15 @@ class BfsSpd {
     std::uint32_t direction_switches = 0;
   };
 
+  /// Fixed number of frontier shards (and the cap on destination ranges)
+  /// a parallel level step uses. A constant — never derived from the
+  /// thread count — which is what makes the shard-merge order, and with it
+  /// every sigma/delta regrouping, identical at any parallelism level.
+  static constexpr std::size_t kFrontierShards = 32;
+
   /// The graph must outlive the engine.
   explicit BfsSpd(const CsrGraph& graph, SpdOptions options = SpdOptions());
+  ~BfsSpd();
 
   /// Computes dist/sigma/order (+ level offsets, + predecessors for the
   /// hybrid kernel) from `source`.
@@ -74,11 +114,33 @@ class BfsSpd {
   /// direction optimization has nothing to optimize.
   bool hybrid_scratch_allocated() const { return !visited_.empty(); }
 
+  /// The engine's intra-pass worker pool; null when the pass is sequential
+  /// (SpdOptions::num_threads resolved to 1). The fused dependency sweep
+  /// borrows this pool so one pass + accumulate uses one set of threads.
+  ThreadPool* intra_pool() const { return pool_.get(); }
+
  private:
   /// Top-down-only level loop (also the degenerate-graph fallback).
   void RunClassic(VertexId source);
   /// Direction-optimizing level loop.
   void RunHybrid(VertexId source);
+
+  /// True when a level with `level_edges` of work should fan out: a pool
+  /// exists and the level clears the (thread-count-independent) grain.
+  bool UseParallel(std::uint64_t level_edges) const {
+    return pool_ != nullptr && level_edges >= options_.parallel_grain;
+  }
+  /// Lazily sizes the destination ranges + per-shard buckets (a pure
+  /// function of |V|).
+  void EnsureParallelScratch();
+  /// Frontier-parallel top-down level step: settles depth+1, fills next_
+  /// (sorted) and returns its degree sum. record_preds selects the hybrid
+  /// variant (visited bits + predecessor lists).
+  std::uint64_t TopDownLevelParallel(std::uint32_t depth, bool record_preds);
+  /// Word-range-parallel bottom-up level step; same outputs as above,
+  /// always records predecessors (hybrid only).
+  std::uint64_t BottomUpLevelParallel(std::uint32_t depth,
+                                      std::uint64_t tail_mask);
 
   void SetVisited(VertexId v) {
     visited_[v >> 6] |= std::uint64_t{1} << (v & 63);
@@ -98,6 +160,32 @@ class BfsSpd {
   std::vector<std::uint64_t> visited_;
   Stats last_stats_;
   Stats total_stats_;
+
+  /// A candidate DAG edge found by a top-down frontier shard: v is
+  /// unreached at level start, u its frontier parent.
+  struct TdCandidate {
+    VertexId v;
+    VertexId u;
+  };
+
+  /// Intra-pass parallel state; pool_ is null (and the scratch below
+  /// empty) when the engine runs sequentially.
+  std::unique_ptr<ThreadPool> pool_;
+  /// Destination-range geometry: range of v is v >> range_shift_;
+  /// num_ranges_ <= kFrontierShards. Ranges are 64-aligned so every
+  /// visited-bitmap word has exactly one owner.
+  std::size_t num_ranges_ = 0;
+  std::uint32_t range_shift_ = 0;
+  /// Candidate buckets, indexed [shard * num_ranges_ + range]; capacity is
+  /// retained across levels and passes.
+  std::vector<std::vector<TdCandidate>> buckets_;
+  /// Per-range next-frontier segments + their degree sums.
+  std::vector<std::vector<VertexId>> range_next_;
+  std::vector<std::uint64_t> range_edges_;
+  /// Bit-per-vertex image of the current frontier, published before a
+  /// parallel bottom-up step so the parent test never reads a dist entry
+  /// another range owner may be writing. All-zero outside a step.
+  std::vector<std::uint64_t> frontier_bits_;
 };
 
 }  // namespace mhbc

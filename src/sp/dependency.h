@@ -24,13 +24,32 @@
 /// property of the DAG alone — not of the traversal direction that built
 /// it — which is what makes dependency vectors bit-identical across SPD
 /// kernels and α/β settings.
+///
+/// With a borrowed worker pool the sweep runs level-parallel under the
+/// same fixed-shard discipline as the BFS kernels: per level, fixed shards
+/// of the level slice bucket per-parent contributions sigma_v * coeff_w by
+/// destination range, then each range owner folds its deltas walking the
+/// buckets in shard order. For any fixed parent the contributions fold in
+/// ascending-w order — exactly the sequential sweep's regrouping — so
+/// delta vectors stay bit-identical at every thread count.
 
 namespace mhbc {
+
+class ThreadPool;
 
 /// Reusable accumulator bound to one graph.
 class DependencyAccumulator {
  public:
-  explicit DependencyAccumulator(const CsrGraph& graph);
+  /// `pool` (optional, non-owning, may be null) enables the level-parallel
+  /// sweep for DAGs that carry level offsets; callers share the SPD
+  /// engine's pool (BfsSpd::intra_pool) so one pass + accumulate uses one
+  /// set of threads. Levels whose degree sum is below `parallel_grain` run
+  /// the (bit-identical) sequential body; the default matches
+  /// SpdOptions::parallel_grain.
+  explicit DependencyAccumulator(const CsrGraph& graph,
+                                 ThreadPool* pool = nullptr,
+                                 std::uint64_t parallel_grain =
+                                     SpdOptions{}.parallel_grain);
 
   /// Accumulates dependencies of `dag.source` on all vertices — the single
   /// backward-sweep implementation every pass flavor (classic BFS, hybrid
@@ -54,8 +73,29 @@ class DependencyAccumulator {
   const std::vector<double>& deltas() const { return delta_; }
 
  private:
+  /// One bucketed backward-sweep contribution: delta_[v] += c.
+  struct Contribution {
+    VertexId v;
+    double c;
+  };
+
+  /// Level-parallel sweep over the recorded level structure (BFS DAGs).
+  void AccumulateLevels(const ShortestPathDag& dag, const CsrGraph& graph);
+  /// Lazily sizes destination ranges + buckets (same geometry rules as
+  /// BfsSpd::EnsureParallelScratch — a pure function of |V|).
+  void EnsureParallelScratch();
+
   std::vector<double> delta_;
   std::vector<VertexId> touched_;
+
+  /// Intra-pass parallel state; pool_ null = always-sequential sweep.
+  ThreadPool* pool_ = nullptr;
+  std::uint64_t parallel_grain_ = 0;
+  std::size_t num_vertices_ = 0;
+  std::size_t num_ranges_ = 0;
+  std::uint32_t range_shift_ = 0;
+  /// Contribution buckets, indexed [shard * num_ranges_ + range].
+  std::vector<std::vector<Contribution>> buckets_;
 };
 
 /// Pair dependency delta_{st}(v) = sigma_st(v) / sigma_st for all v, given a

@@ -29,12 +29,28 @@ enum class SpdKernel {
   kHybrid,
 };
 
-/// Tuning knobs for the unweighted SPD engine. Kernel choice and the α/β
-/// thresholds change only the work a pass does — dist, sigma, the canonical
-/// order, and every dependency vector downstream are bit-identical across
-/// all settings (see BfsSpd for why).
+/// Tuning knobs for the unweighted SPD engine. Every knob — kernel choice,
+/// the α/β thresholds, the thread count, the parallel grain — changes only
+/// the work a pass does: dist, sigma, the canonical order, and every
+/// dependency vector downstream are bit-identical across all settings (see
+/// BfsSpd for why).
 struct SpdOptions {
   SpdKernel kernel = SpdKernel::kHybrid;
+  /// Intra-pass parallelism: number of threads one SPD pass (and its fused
+  /// dependency accumulation) may use for frontier-parallel level steps.
+  /// 0 means "inherit": an owning BetweennessEngine substitutes its own
+  /// resolved thread count where intra-pass parallelism should win (serial
+  /// single-query paths), while standalone construction of BfsSpd /
+  /// ExactBetweenness treats 0 as 1 (fully sequential — the historical
+  /// behavior). Results are bit-identical at every value.
+  unsigned num_threads = 0;
+  /// Minimum per-level work (in examined edges, or edge-weighted vertices
+  /// for the backward sweep) before a level fans out across threads;
+  /// smaller levels run the sequential step, whose output is identical.
+  /// The threshold is a function of the level only — never of the thread
+  /// count — so the parallel/sequential choice cannot break determinism.
+  /// 0 forces every level through the parallel path (used by tests).
+  std::uint64_t parallel_grain = 2048;
   /// Per-level direction test (Beamer's CTB, recalibrated): a level runs
   /// bottom-up when m_f * alpha > m_u, where m_f is the degree sum of the
   /// current frontier (edges a top-down step examines) and m_u the degree

@@ -10,6 +10,14 @@ unsigned ResolveThreadCount(unsigned requested) {
   return hardware == 0 ? 1 : hardware;
 }
 
+std::pair<std::size_t, std::size_t> ShardBounds(std::size_t count,
+                                                std::size_t shard,
+                                                std::size_t num_shards) {
+  MHBC_DCHECK(num_shards > 0);
+  MHBC_DCHECK(shard < num_shards);
+  return {count * shard / num_shards, count * (shard + 1) / num_shards};
+}
+
 ThreadPool::ThreadPool(unsigned num_threads)
     : num_threads_(ResolveThreadCount(num_threads)) {
   workers_.reserve(num_threads_ - 1);

@@ -105,4 +105,43 @@ void ParallelOrderedReduce(ThreadPool* pool, std::size_t count,
   }
 }
 
+/// Contiguous half-open range [first, second) that shard `shard` of
+/// `num_shards` covers when [0, count) is split into fixed shards — the
+/// same arithmetic BrandesBetweenness uses for its source shards. The
+/// boundaries are a function of (count, num_shards) only, never of the
+/// thread count, which is what makes shard-structured reductions
+/// bit-identical at any parallelism level. Shards are balanced to within
+/// one element; trailing shards may be empty when num_shards > count.
+std::pair<std::size_t, std::size_t> ShardBounds(std::size_t count,
+                                                std::size_t shard,
+                                                std::size_t num_shards);
+
+/// One deterministic level-synchronous step — the building block of the
+/// frontier-parallel SPD kernels (sp/bfs_spd.cc) and the parallel backward
+/// dependency sweep (sp/dependency.cc):
+///
+///   1. expand(worker, shard) runs for every shard in [0, num_shards) in
+///      parallel (dynamically claimed, like ParallelFor). Each shard must
+///      write only shard-private state (per-shard buffers, or slots no
+///      other shard touches) that is a pure function of its shard index.
+///   2. merge(shard) then runs for every shard in ascending shard order on
+///      the calling thread.
+///
+/// Returning from this function is the level barrier: every expansion and
+/// every merge has completed. Because the shard structure is fixed (pass a
+/// num_shards that does not depend on the thread count) and the merge
+/// order is fixed, the step's result — including any floating-point
+/// regrouping in the merges — is bit-identical at any thread count.
+template <typename Expand, typename Merge>
+void ParallelShardedLevel(ThreadPool* pool, std::size_t num_shards,
+                          Expand&& expand, Merge&& merge) {
+  pool->ParallelFor(num_shards,
+                    [&expand](unsigned worker, std::size_t shard) {
+                      expand(worker, shard);
+                    });
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    merge(shard);
+  }
+}
+
 }  // namespace mhbc

@@ -5,6 +5,7 @@
 #include "centrality/engine.h"
 #include "core/multi_chain.h"
 #include "exact/brandes.h"
+#include "graph/dynamic_graph.h"
 #include "graph/generators.h"
 
 /// \file
@@ -218,6 +219,130 @@ TEST(ParallelEngineTest, BatchInvariantAcrossThreadCountsAndFailsFast) {
     EstimateRequest bad = mh;
     bad.vertex = 99;
     EXPECT_FALSE(engine.EstimateBatch({mh, bad}).ok());
+  }
+}
+
+// --------------------------------------------------- intra-pass threads
+
+TEST(ParallelBrandesTest, IntraPassSpdBitIdenticalToSequential) {
+  // Frontier-parallel passes inside ExactBetweenness / BrandesBetweenness:
+  // any spd.num_threads (grain 0 forces every level through the sharded
+  // steps) must reproduce the sequential kernel bit-for-bit.
+  const CsrGraph g = MakeBarabasiAlbert(350, 3, 11);
+  const std::vector<double> exact_baseline = ExactBetweenness(g);
+  // Note the distinct baselines: BrandesBetweenness regroups the
+  // per-source sum into fixed shards even at 1 thread, so it is compared
+  // against itself, never bitwise against ExactBetweenness.
+  const std::vector<double> sharded_baseline =
+      BrandesBetweenness(g, Normalization::kPaper, 1);
+  for (unsigned intra : kThreadCounts) {
+    SpdOptions spd;
+    spd.num_threads = intra;
+    spd.parallel_grain = 0;
+    EXPECT_EQ(ExactBetweenness(g, Normalization::kPaper, spd), exact_baseline)
+        << intra << " intra-pass threads";
+    // Source-parallel at 1 thread: the caller's intra-pass setting applies
+    // within each pass.
+    EXPECT_EQ(BrandesBetweenness(g, Normalization::kPaper, 1, spd),
+              sharded_baseline)
+        << intra << " intra-pass threads (source-serial)";
+    // Source-parallel at >1 threads: pool splitting forces the passes
+    // sequential; still bit-identical to the 1-thread sharded run.
+    EXPECT_EQ(BrandesBetweenness(g, Normalization::kPaper, 4, spd),
+              sharded_baseline)
+        << intra << " intra-pass threads (source-parallel)";
+  }
+}
+
+TEST(ParallelEngineTest, IntraPassThreadsInvariantForSerialQueries) {
+  // A serial engine (num_threads = 1) with frontier-parallel passes must
+  // report every statistical field bit-identically to the default.
+  const CsrGraph g = MakeConnectedCaveman(6, 10);
+  for (EstimatorKind kind :
+       {EstimatorKind::kMetropolisHastings, EstimatorKind::kUniformSource,
+        EstimatorKind::kShortestPath, EstimatorKind::kExact}) {
+    EstimateRequest request;
+    request.kind = kind;
+    request.samples = 250;
+    request.seed = 0x17A;
+    EngineOptions base_options;
+    base_options.num_threads = 1;
+    BetweennessEngine baseline_engine(g, base_options);
+    const auto baseline = baseline_engine.Estimate(19, request);
+    ASSERT_TRUE(baseline.ok());
+    for (unsigned intra : kThreadCounts) {
+      EngineOptions options;
+      options.num_threads = 1;
+      options.spd.num_threads = intra;
+      options.spd.parallel_grain = 0;
+      BetweennessEngine engine(g, options);
+      const auto report = engine.Estimate(19, request);
+      ASSERT_TRUE(report.ok());
+      ExpectSameStatistics(report.value(), baseline.value(),
+                           std::string(EstimatorKindName(kind)) + " @" +
+                               std::to_string(intra) + " intra threads");
+    }
+  }
+}
+
+TEST(ParallelEngineTest, IntraPassInheritsEnginePoolForSingleQueries) {
+  // spd.num_threads == 0 (default) inherits the engine pool width for
+  // serial-path queries; the composition must stay bit-neutral, including
+  // for EstimateMany fan-outs where shards force passes sequential.
+  const CsrGraph g = MakeConnectedCaveman(6, 10);
+  const std::vector<VertexId> vertices{9, 19, 29, 39, 49, 59, 3, 14};
+  EstimateRequest request;
+  request.kind = EstimatorKind::kMetropolisHastings;
+  request.samples = 300;
+  request.seed = 0xDE7;
+  const std::vector<EstimateReport> baseline =
+      ManyAtThreads(g, 1, request, vertices);
+  for (unsigned threads : kThreadCounts) {
+    EngineOptions options;
+    options.num_threads = threads;  // spd.num_threads stays 0 = inherit
+    options.spd.parallel_grain = 0;
+    BetweennessEngine engine(g, options);
+    // Single query: runs on the serial path with intra-pass parallelism.
+    const auto single = engine.Estimate(19, request);
+    ASSERT_TRUE(single.ok());
+    ExpectSameStatistics(single.value(), baseline[1],
+                         "inherited intra @" + std::to_string(threads));
+    // Fan-out: fewer queries than threads stays serial-across-sources but
+    // intra-parallel; at or above the width it shards with serial passes.
+    auto many = engine.EstimateMany(vertices, request);
+    ASSERT_TRUE(many.ok());
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      ExpectSameStatistics(many.value()[i], baseline[i],
+                           "inherited many @" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelEngineTest, IntraPassAfterApplyDeltaMatchesColdEngine) {
+  // The mutation contract extends to frontier-parallel passes: after
+  // ApplyDelta, reports must match a cold engine built on the post-edit
+  // graph at every intra-pass width.
+  const CsrGraph g = MakeBarabasiAlbert(220, 3, 0x1D);
+  const GraphDelta delta = MakeRandomEditScript(g, 12, 0xED17);
+  EstimateRequest request;
+  request.kind = EstimatorKind::kMetropolisHastings;
+  request.samples = 220;
+  request.seed = 0xF00;
+  for (unsigned intra : kThreadCounts) {
+    EngineOptions options;
+    options.num_threads = 1;
+    options.spd.num_threads = intra;
+    options.spd.parallel_grain = 0;
+    BetweennessEngine engine(g, options);
+    ASSERT_TRUE(engine.Estimate(7, request).ok());  // warm the memo
+    ASSERT_TRUE(engine.ApplyDelta(delta).ok());
+    const auto edited = engine.Estimate(7, request);
+    ASSERT_TRUE(edited.ok());
+    BetweennessEngine cold(engine.graph(), options);
+    const auto cold_report = cold.Estimate(7, request);
+    ASSERT_TRUE(cold_report.ok());
+    ExpectSameStatistics(edited.value(), cold_report.value(),
+                         "post-delta @" + std::to_string(intra));
   }
 }
 

@@ -239,6 +239,141 @@ TEST(SpdKernelTest, DegenerateGraphsSkipHybridScratch) {
   }
 }
 
+SpdOptions WithThreads(SpdOptions options, unsigned threads,
+                       std::uint64_t grain = 0) {
+  options.num_threads = threads;
+  // grain 0 forces every level through the parallel path, so small test
+  // graphs actually exercise the sharded steps.
+  options.parallel_grain = grain;
+  return options;
+}
+
+void ExpectPredsIdentical(const ShortestPathDag& a,
+                          const ShortestPathDag& b) {
+  ASSERT_EQ(a.has_predecessors, b.has_predecessors);
+  if (!a.has_predecessors) return;
+  for (VertexId v : a.order) {
+    const auto pa = a.predecessors(v);
+    const auto pb = b.predecessors(v);
+    ASSERT_EQ(pa.size(), pb.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin())) << "vertex "
+                                                              << v;
+  }
+}
+
+TEST(SpdKernelTest, IntraPassParallelMatchesSequentialOnGeneratorZoo) {
+  // The tentpole determinism sweep: both kernels, 2 and 4 intra-pass
+  // threads, grain 0 (every level fans out) — dist/sigma/order/levels,
+  // predecessor lists, and dependency vectors must be bit-identical to
+  // the sequential kernel on every graph family.
+  for (const CsrGraph& g : PropertyGraphs()) {
+    for (const SpdOptions& base : {Classic(), Hybrid()}) {
+      BfsSpd sequential(g, base);
+      DependencyAccumulator sequential_acc(g);
+      for (unsigned threads : {2u, 4u}) {
+        BfsSpd parallel(g, WithThreads(base, threads));
+        DependencyAccumulator parallel_acc(g, parallel.intra_pool(),
+                                           /*parallel_grain=*/0);
+        const VertexId step = std::max<VertexId>(1, g.num_vertices() / 5);
+        for (VertexId s = 0; s < g.num_vertices(); s += step) {
+          SCOPED_TRACE("n=" + std::to_string(g.num_vertices()) + " threads=" +
+                       std::to_string(threads) + " source=" +
+                       std::to_string(s));
+          sequential.Run(s);
+          parallel.Run(s);
+          ExpectDagsIdentical(sequential.dag(), parallel.dag());
+          ExpectPredsIdentical(sequential.dag(), parallel.dag());
+          const std::vector<double> baseline =
+              sequential_acc.Accumulate(sequential);
+          const std::vector<double>& deltas =
+              parallel_acc.Accumulate(parallel);
+          ASSERT_EQ(deltas, baseline);
+        }
+      }
+    }
+  }
+}
+
+TEST(SpdKernelTest, IntraPassParallelShardMergeEdgeCases) {
+  // Frontier shapes that stress the shard merge: single-vertex levels
+  // (path), one giant level behind a hub (star), wide diagonal frontiers
+  // (grid), and a tiny graph where most shards and ranges are empty.
+  std::vector<CsrGraph> graphs;
+  graphs.push_back(MakePath(70));
+  graphs.push_back(MakeStar(130));
+  graphs.push_back(MakeGrid(11, 17));
+  graphs.push_back(MakeCycle(3));
+  for (const CsrGraph& g : graphs) {
+    for (const SpdOptions& base : {Classic(), Hybrid(),
+                                   Hybrid(/*alpha=*/1e9, /*beta=*/0.0)}) {
+      BfsSpd sequential(g, base);
+      for (unsigned threads : {1u, 2u, 4u}) {
+        BfsSpd parallel(g, WithThreads(base, threads));
+        for (VertexId s :
+             {VertexId{0}, static_cast<VertexId>(g.num_vertices() / 2),
+              static_cast<VertexId>(g.num_vertices() - 1)}) {
+          SCOPED_TRACE("n=" + std::to_string(g.num_vertices()) + " threads=" +
+                       std::to_string(threads) + " source=" +
+                       std::to_string(s));
+          sequential.Run(s);
+          parallel.Run(s);
+          ExpectDagsIdentical(sequential.dag(), parallel.dag());
+          ExpectPredsIdentical(sequential.dag(), parallel.dag());
+        }
+      }
+    }
+  }
+}
+
+TEST(SpdKernelTest, ParallelGrainOnlyChangesWorkNeverResults) {
+  // Sweeping the grain moves levels between the sequential and parallel
+  // steps; every setting must agree bit-for-bit (including stats, which
+  // count examined edges identically on both paths).
+  const CsrGraph g = MakeBarabasiAlbert(500, 3, 0x61);
+  BfsSpd baseline(g, Hybrid());
+  for (std::uint64_t grain : {std::uint64_t{0}, std::uint64_t{64},
+                              std::uint64_t{100000}}) {
+    BfsSpd swept(g, WithThreads(Hybrid(), 4, grain));
+    for (VertexId s : {VertexId{0}, VertexId{250}}) {
+      baseline.Run(s);
+      swept.Run(s);
+      SCOPED_TRACE("grain=" + std::to_string(grain) + " source=" +
+                   std::to_string(s));
+      ExpectDagsIdentical(baseline.dag(), swept.dag());
+      EXPECT_EQ(baseline.last_stats().edges_examined,
+                swept.last_stats().edges_examined);
+      EXPECT_EQ(baseline.last_stats().bottom_up_levels,
+                swept.last_stats().bottom_up_levels);
+    }
+  }
+}
+
+TEST(SpdKernelTest, IntraPassReuseAcrossSourcesResetsState) {
+  // Engine reuse with the parallel scratch in play: alternating sources
+  // must reproduce fresh-engine passes exactly.
+  const CsrGraph g = MakeErdosRenyiGnm(220, 700, 0x43);
+  BfsSpd reused(g, WithThreads(Hybrid(), 4));
+  for (VertexId s : {VertexId{0}, VertexId{160}, VertexId{9}, VertexId{0}}) {
+    reused.Run(s);
+    BfsSpd fresh(g, Hybrid());
+    fresh.Run(s);
+    ExpectDagsIdentical(reused.dag(), fresh.dag());
+    ExpectPredsIdentical(reused.dag(), fresh.dag());
+  }
+}
+
+TEST(SpdKernelTest, IntraPassZeroThreadsStandaloneIsSequential) {
+  // num_threads == 0 means "inherit"; standalone engines have nothing to
+  // inherit from and must stay sequential (no pool).
+  const CsrGraph g = MakePath(10);
+  BfsSpd inherit(g, Hybrid());
+  EXPECT_EQ(inherit.intra_pool(), nullptr);
+  BfsSpd one(g, WithThreads(Hybrid(), 1));
+  EXPECT_EQ(one.intra_pool(), nullptr);
+  BfsSpd two(g, WithThreads(Hybrid(), 2));
+  EXPECT_NE(two.intra_pool(), nullptr);
+}
+
 TEST(SpdKernelTest, StatsAccumulateAcrossRuns) {
   const CsrGraph g = MakeBarabasiAlbert(300, 3, 0x31);
   BfsSpd bfs(g, Hybrid());

@@ -84,6 +84,99 @@ TEST(ParallelMapTest, ResultsComeBackInIndexOrder) {
   }
 }
 
+TEST(ShardBoundsTest, ShardsPartitionTheRangeContiguously) {
+  for (std::size_t count : {0u, 1u, 7u, 31u, 32u, 33u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 32u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = ShardBounds(count, s, shards);
+        EXPECT_EQ(begin, expected_begin)
+            << "count " << count << " shard " << s << "/" << shards;
+        EXPECT_LE(begin, end);
+        // Balanced to within one element.
+        EXPECT_LE(end - begin, count / shards + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, count);  // exact cover, no gaps or overlap
+    }
+  }
+}
+
+TEST(ShardBoundsTest, BoundsDependOnlyOnCountAndShardStructure) {
+  // The same (count, shards) pair always yields the same boundaries —
+  // there is no hidden thread-count input.
+  EXPECT_EQ(ShardBounds(100, 3, 32), ShardBounds(100, 3, 32));
+  EXPECT_EQ(ShardBounds(100, 0, 32).first, 0u);
+  EXPECT_EQ(ShardBounds(100, 31, 32).second, 100u);
+}
+
+TEST(ParallelShardedLevelTest, MergeRunsInShardOrderAtAnyThreadCount) {
+  // Non-commutative merge (string concat): identical output at every
+  // thread count proves the ordered-merge contract.
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kShards = 26;
+    std::vector<std::string> produced(kShards);
+    std::string merged;
+    ParallelShardedLevel(
+        &pool, kShards,
+        [&produced](unsigned, std::size_t shard) {
+          produced[shard] = std::string(1, static_cast<char>('a' + shard));
+        },
+        [&produced, &merged](std::size_t shard) { merged += produced[shard]; });
+    return merged;
+  };
+  const std::string expected = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(run(1), expected);
+  EXPECT_EQ(run(2), expected);
+  EXPECT_EQ(run(4), expected);
+}
+
+TEST(ParallelShardedLevelTest, EveryShardExpandsOnceBeforeAnyMerge) {
+  ThreadPool pool(4);
+  constexpr std::size_t kShards = 40;
+  std::vector<std::atomic<int>> expanded(kShards);
+  for (auto& e : expanded) e.store(0);
+  std::size_t merges = 0;
+  ParallelShardedLevel(
+      &pool, kShards,
+      [&expanded](unsigned, std::size_t shard) {
+        expanded[shard].fetch_add(1);
+      },
+      [&expanded, &merges](std::size_t shard) {
+        // The fan-out is a barrier: by the first merge, every expansion
+        // has completed exactly once.
+        EXPECT_EQ(expanded[shard].load(), 1) << "shard " << shard;
+        ++merges;
+      });
+  EXPECT_EQ(merges, kShards);
+}
+
+TEST(ParallelShardedLevelTest, LevelSequenceReproducesSequentialFold) {
+  // Drive several consecutive levels (the BFS usage shape) accumulating a
+  // float in shard order; the sum must be bit-identical across thread
+  // counts even though per-shard values differ wildly in magnitude.
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    double total = 0.0;
+    std::vector<double> partial(8, 0.0);
+    for (int level = 0; level < 5; ++level) {
+      ParallelShardedLevel(
+          &pool, partial.size(),
+          [&partial, level](unsigned, std::size_t shard) {
+            partial[shard] =
+                1.0 / static_cast<double>((level + 1) * (shard + 1));
+          },
+          [&partial, &total](std::size_t shard) { total += partial[shard]; });
+    }
+    return total;
+  };
+  const double expected = run(1);
+  EXPECT_EQ(run(2), expected);  // bitwise: EXPECT_EQ on double
+  EXPECT_EQ(run(3), expected);
+  EXPECT_EQ(run(4), expected);
+}
+
 TEST(ParallelOrderedReduceTest, FoldRunsInIndexOrderAtAnyThreadCount) {
   // The fold sees results strictly in index order, so a non-commutative
   // reduction gives the same answer at any thread count.

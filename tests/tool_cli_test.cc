@@ -88,6 +88,26 @@ class ToolCliTest : public ::testing::Test {
     return run;
   }
 
+  /// Runs the tool with `args`, capturing stdout (for positive-path
+  /// output assertions) and discarding stderr.
+  std::string RunStdout(const std::string& args, int* exit_code) {
+#if MHBC_TOOL_TEST_SUPPORTED
+    const std::string out_file = Path("stdout.txt");
+    const std::string command = Quote(MHBC_TOOL_PATH) + " " + args + " > " +
+                                Quote(out_file) + " 2> /dev/null";
+    const int raw = std::system(command.c_str());
+    *exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+    std::ifstream out(out_file);
+    std::ostringstream text;
+    text << out.rdbuf();
+    return text.str();
+#else
+    (void)args;
+    *exit_code = -1;
+    return "";
+#endif
+  }
+
   /// Writes a small valid edge-list graph and returns its path,
   /// shell-quoted for embedding in Run() args.
   std::string ValidGraph() {
@@ -145,6 +165,49 @@ TEST_F(ToolCliTest, UnknownFlagAndMalformedThreadsFail) {
   ExpectFailure("--threads=abc stats " + ValidGraph(), "--threads",
                 kExitUsage);
   ExpectFailure("--graph= stats", "--graph", kExitUsage);
+}
+
+TEST_F(ToolCliTest, MalformedSpdThreadsFails) {
+  ExpectFailure("--spd-threads=abc stats " + ValidGraph(), "--spd-threads",
+                kExitUsage);
+  ExpectFailure("--spd-threads= stats " + ValidGraph(), "--spd-threads",
+                kExitUsage);
+  ExpectFailure("--spd-threads=99999 stats " + ValidGraph(),
+                "implausibly large", kExitUsage);
+}
+
+TEST_F(ToolCliTest, SpdThreadsFlagIsAcceptedAndReportedInJson) {
+  const std::string graph = ValidGraph();
+  int exit_code = -1;
+  // exact: the kernel/spd_threads fields must reflect the flag.
+  const std::string exact = RunStdout(
+      "--spd-threads=2 --json exact " + graph + " 0", &exit_code);
+  EXPECT_EQ(exit_code, 0) << exact;
+  EXPECT_NE(exact.find("\"kernel\": \"hybrid\""), std::string::npos) << exact;
+  EXPECT_NE(exact.find("\"spd_threads\": 2"), std::string::npos) << exact;
+  // estimate: every report object carries them too.
+  const std::string estimate = RunStdout(
+      "--spd-threads=4 --json estimate " + graph + " 0,1 mh 200 7",
+      &exit_code);
+  EXPECT_EQ(estimate.find("\"kernel\": \"hybrid\"") != std::string::npos &&
+                estimate.find("\"spd_threads\": 4") != std::string::npos,
+            true)
+      << estimate;
+  EXPECT_EQ(exit_code, 0) << estimate;
+  // The default (0 = inherit --threads) is reported verbatim, and results
+  // are identical to the intra-parallel run — same value at any width.
+  const std::string plain =
+      RunStdout("--json exact " + graph + " 0", &exit_code);
+  EXPECT_EQ(exit_code, 0) << plain;
+  EXPECT_NE(plain.find("\"spd_threads\": 0"), std::string::npos) << plain;
+  const auto value_of = [](const std::string& json) {
+    const std::string key = "\"value\": ";
+    const std::size_t at = json.find(key);
+    return at == std::string::npos ? std::string()
+                                   : json.substr(at, json.find(',', at) - at);
+  };
+  EXPECT_EQ(value_of(plain), value_of(exact));
+  EXPECT_FALSE(value_of(plain).empty());
 }
 
 TEST_F(ToolCliTest, MissingGraphFileFails) {
