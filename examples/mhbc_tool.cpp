@@ -67,6 +67,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,7 @@
 #include "graph/graph_stats.h"
 #include "graph/ingest.h"
 #include "graph/snapshot.h"
+#include "serve/request_fields.h"
 #include "util/table.h"
 
 namespace {
@@ -141,19 +143,39 @@ int Fail(const mhbc::Status& status) {
 }
 
 /// Parses the shared trailing [estimator] [samples] [seed] CLI triple of
-/// `estimate` and `mutate` into `request` (argv[0] is the estimator).
-/// Returns a non-empty error string on an unknown estimator name.
+/// `estimate` and `mutate` into `request` (argv[0] is the estimator),
+/// through the validators every serving surface shares
+/// (serve/request_fields.h) — the daemon rejects the same malformed
+/// fields with the same messages. Returns a non-empty error string on
+/// failure.
 std::string ParseEstimateArgs(int argc, char** argv,
                               mhbc::EstimateRequest* request) {
   request->kind = mhbc::EstimatorKind::kMetropolisHastings;
   request->samples = 2'000;
-  if (argc > 0 && !mhbc::ParseEstimatorKind(argv[0], &request->kind)) {
-    return std::string("unknown estimator '") + argv[0] +
-           "' (see: mhbc_tool estimators)";
+  if (argc > 0) {
+    const auto kind = mhbc::serve::ParseEstimatorField(argv[0]);
+    if (!kind.ok()) return kind.status().message();
+    request->kind = kind.value();
   }
-  if (argc > 1) request->samples = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) request->seed = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 1) {
+    const auto samples = mhbc::serve::ParseCountField(
+        "samples", argv[1], std::uint64_t{1} << 30);
+    if (!samples.ok()) return samples.status().message();
+    request->samples = samples.value();
+  }
+  if (argc > 2) {
+    const auto seed = mhbc::serve::ParseCountField(
+        "seed", argv[2], std::numeric_limits<std::uint64_t>::max());
+    if (!seed.ok()) return seed.status().message();
+    request->seed = seed.value();
+  }
   return "";
+}
+
+/// Strict vertex-list positional: parse errors become usage errors with
+/// the shared "no vertex ids ..." messages.
+mhbc::StatusOr<std::vector<VertexId>> ParseVertices(const char* csv) {
+  return mhbc::serve::ParseVertexListField(csv);
 }
 
 /// Opens a graph in any ingestion format, honouring --cache-dir. The
@@ -291,14 +313,14 @@ int CmdEstimators() {
 int CmdEstimate(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
   if (!source.ok()) return Fail(source.status());
-  const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[0]);
-  if (vertices.empty()) return UsageError("no vertex ids given");
+  const auto vertices = ParseVertices(argv[0]);
+  if (!vertices.ok()) return UsageError(vertices.status().message());
   mhbc::EstimateRequest request;
   const std::string parse_error =
       ParseEstimateArgs(argc - 1, argv + 1, &request);
   if (!parse_error.empty()) return UsageError(parse_error);
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
-  const auto reports = engine.EstimateMany(vertices, request);
+  const auto reports = engine.EstimateMany(vertices.value(), request);
   if (!reports.ok()) return Fail(reports.status());
   if (g_flags.json) {
     std::printf("[");
@@ -341,8 +363,11 @@ int CmdMutate(const std::string& path, int argc, char** argv) {
   if (!source.ok()) return Fail(source.status());
   auto delta = mhbc::ParseEditScript(argv[0]);
   if (!delta.ok()) return Fail(delta.status());
-  const std::vector<VertexId> vertices = mhbc::ParseVertexIdList(argv[1]);
-  if (vertices.empty()) return UsageError("no vertex ids given");
+  const auto parsed_vertices = ParseVertices(argv[1]);
+  if (!parsed_vertices.ok()) {
+    return UsageError(parsed_vertices.status().message());
+  }
+  const std::vector<VertexId>& vertices = parsed_vertices.value();
   mhbc::EstimateRequest request;
   const std::string parse_error =
       ParseEstimateArgs(argc - 2, argv + 2, &request);
@@ -456,9 +481,18 @@ int CmdTopK(const std::string& path, int argc, char** argv) {
 int CmdRank(const std::string& path, int argc, char** argv) {
   auto source = Load(path);
   if (!source.ok()) return Fail(source.status());
-  const std::vector<VertexId> targets = mhbc::ParseVertexIdList(argv[0]);
-  const std::uint64_t iterations =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  const auto parsed_targets = ParseVertices(argv[0]);
+  if (!parsed_targets.ok()) {
+    return UsageError(parsed_targets.status().message());
+  }
+  const std::vector<VertexId>& targets = parsed_targets.value();
+  std::uint64_t iterations = 20'000;
+  if (argc > 1) {
+    const auto parsed = mhbc::serve::ParseCountField("iterations", argv[1],
+                                                     std::uint64_t{1} << 30);
+    if (!parsed.ok()) return UsageError(parsed.status().message());
+    iterations = parsed.value();
+  }
   // One engine: the joint chain runs once and serves both calls.
   mhbc::BetweennessEngine engine(source.value().graph(), ToolEngineOptions());
   const auto joint = engine.EstimateRelative(targets, iterations);
@@ -568,33 +602,17 @@ int main(int raw_argc, char** raw_argv) {
   for (int i = 0; i < raw_argc; ++i) {
     const std::string arg = raw_argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      const std::string value = arg.substr(std::string("--threads=").size());
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
-        return UsageError("--threads expects a non-negative integer, got '" +
-                          value + "'");
-      }
-      const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
-      if (parsed > 4096) {
-        return UsageError("--threads=" + value +
-                          " is implausibly large (max 4096)");
-      }
-      g_flags.threads = static_cast<unsigned>(parsed);
+      const auto parsed = mhbc::serve::ParseCountField(
+          "--threads", arg.substr(std::string("--threads=").size()),
+          mhbc::serve::kMaxThreadCount);
+      if (!parsed.ok()) return UsageError(parsed.status().message());
+      g_flags.threads = static_cast<unsigned>(parsed.value());
     } else if (arg.rfind("--spd-threads=", 0) == 0) {
-      const std::string value =
-          arg.substr(std::string("--spd-threads=").size());
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
-        return UsageError(
-            "--spd-threads expects a non-negative integer, got '" + value +
-            "'");
-      }
-      const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
-      if (parsed > 4096) {
-        return UsageError("--spd-threads=" + value +
-                          " is implausibly large (max 4096)");
-      }
-      g_flags.spd_threads = static_cast<unsigned>(parsed);
+      const auto parsed = mhbc::serve::ParseCountField(
+          "--spd-threads", arg.substr(std::string("--spd-threads=").size()),
+          mhbc::serve::kMaxThreadCount);
+      if (!parsed.ok()) return UsageError(parsed.status().message());
+      g_flags.spd_threads = static_cast<unsigned>(parsed.value());
     } else if (arg == "--json") {
       g_flags.json = true;
     } else if (arg.rfind("--graph=", 0) == 0) {

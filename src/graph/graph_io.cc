@@ -123,7 +123,8 @@ Status WriteEdgeList(const CsrGraph& graph, const std::string& path) {
   return Status::Ok();
 }
 
-std::vector<VertexId> ParseVertexIdList(const std::string& csv) {
+StatusOr<std::vector<VertexId>> ParseVertexIdListStrict(
+    const std::string& csv) {
   std::vector<VertexId> ids;
   std::size_t pos = 0;
   while (pos < csv.size()) {
@@ -135,20 +136,35 @@ std::vector<VertexId> ParseVertexIdList(const std::string& csv) {
       const std::size_t last = token.find_last_not_of(" \t");
       const std::string trimmed = token.substr(first, last - first + 1);
       if (trimmed.find_first_not_of("0123456789") != std::string::npos) {
-        return {};  // malformed token: reject the whole list
+        return Status::InvalidArgument("no vertex ids: '" + trimmed +
+                                       "' is not a vertex id (expected "
+                                       "comma-separated non-negative "
+                                       "integers)");
       }
+      // Overflow-safe: strtoull saturates at ULLONG_MAX, which the >=
+      // kInvalidVertex check below rejects along with every 32-bit wrap.
       const unsigned long long value =
           std::strtoull(trimmed.c_str(), nullptr, 10);
       if (value >= static_cast<unsigned long long>(kInvalidVertex)) {
-        return {};  // out-of-range id: a wrap to 32 bits must not pick
-                    // some other vertex
+        return Status::InvalidArgument(
+            "no vertex ids: '" + trimmed + "' exceeds the vertex-id range " +
+            "(max " + std::to_string(kInvalidVertex - 1) + ")");
       }
       ids.push_back(static_cast<VertexId>(value));
     }
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  if (ids.empty()) {
+    return Status::InvalidArgument("no vertex ids given");
+  }
   return ids;
+}
+
+std::vector<VertexId> ParseVertexIdList(const std::string& csv) {
+  auto strict = ParseVertexIdListStrict(csv);
+  if (!strict.ok()) return {};
+  return std::move(strict).value();
 }
 
 }  // namespace mhbc

@@ -43,10 +43,19 @@ StatusOr<CsrGraph> LoadSnapEdgeList(const std::string& path,
 
 /// Parses a comma-separated vertex-id list ("3,17,42" -> {3, 17, 42}).
 /// Tokens are whitespace-trimmed ("3, 17" works) and empty tokens are
-/// skipped, but any other non-numeric token makes the whole parse fail
-/// with an empty result (a CLI typo must surface as "no vertex ids", not
-/// silently become vertex 0). The CLI-argument companion of the loaders
-/// above (tools take vertex lists wherever they take an edge list).
+/// skipped. Any other malformed token fails the whole parse with
+/// InvalidArgument naming the offending token and why (a typo must
+/// surface as an error, not silently become vertex 0): non-digit
+/// characters, ids >= kInvalidVertex (a wrap to 32 bits must not pick
+/// some other vertex), and lists with no ids at all are all rejected.
+/// The single strict parser behind both the CLI tools and the serving
+/// protocol (serve/request_fields.h), so both surfaces reject identical
+/// inputs with identical messages.
+StatusOr<std::vector<VertexId>> ParseVertexIdListStrict(const std::string& csv);
+
+/// Legacy loose shape of ParseVertexIdListStrict: any parse error
+/// collapses to an empty result. Prefer the strict variant — it says
+/// *why* the list was rejected.
 std::vector<VertexId> ParseVertexIdList(const std::string& csv);
 
 /// Writes "u v [w]" lines (u < v, dense ids) plus a '#' header. Output

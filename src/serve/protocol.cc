@@ -1,0 +1,665 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "serve/request_fields.h"
+#include "util/table.h"
+
+namespace mhbc::serve {
+
+namespace {
+
+/// Hard caps on work-sizing fields: a serving surface must bound the
+/// work one request can demand before it reaches an engine. Documented
+/// in docs/serving.md; exceeding them is a `field` error, not a clamp.
+constexpr std::uint64_t kMaxSamplesField = std::uint64_t{1} << 30;
+constexpr std::uint64_t kMaxIterationsField = std::uint64_t{1} << 30;
+constexpr std::uint64_t kMaxKField = 0xFFFFFFFFull;
+constexpr std::size_t kMaxJsonDepth = 32;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSON parsing
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool JsonValue::AsUint64(std::uint64_t* out) const {
+  if (type != Type::kNumber || raw_number.empty()) return false;
+  if (raw_number.find_first_not_of("0123456789") != std::string::npos) {
+    return false;  // sign, fraction, or exponent: not a plain integer
+  }
+  if (raw_number.size() > 20) return false;
+  errno = 0;
+  const unsigned long long value =
+      std::strtoull(raw_number.c_str(), nullptr, 10);
+  if (errno != 0) return false;
+  if (raw_number.size() == 20 && value == 0xFFFFFFFFFFFFFFFFull &&
+      raw_number != "18446744073709551615") {
+    return false;  // strtoull saturation on overflow
+  }
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a single in-memory document.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    MHBC_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& why) const {
+    return Status::InvalidArgument("json: " + why + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, std::size_t depth) {
+    if (depth > kMaxJsonDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    const auto match = [this](const char* word) {
+      const std::size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return Status::Ok();
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return Status::Ok();
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return Status::Ok();
+    }
+    return Error("unknown keyword");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->raw_number = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number_value = std::strtod(out->raw_number.c_str(), &end);
+    if (end == nullptr || *end != '\0' || out->raw_number.empty() ||
+        out->raw_number == "-") {
+      return Error("malformed number");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("malformed \\u escape");
+            }
+          }
+          // BMP-only UTF-8 encoding (surrogate pairs rejected — the
+          // protocol never emits them).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate \\u escape unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, std::size_t depth) {
+    Consume('[');
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue element;
+      MHBC_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      out->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, std::size_t depth) {
+    Consume('{');
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      MHBC_RETURN_IF_ERROR(ParseString(&key));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      MHBC_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+std::string JsonQuote(const std::string& raw) {
+  // Built via append (not `"\"" + temp + "\""`): the operator+ chain on a
+  // temporary trips GCC 12's -Wrestrict false positive (PR105329) under
+  // the -Werror gate.
+  std::string quoted = "\"";
+  quoted += EscapeJson(raw);
+  quoted += '"';
+  return quoted;
+}
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+const char* ServeErrorClassName(ServeErrorClass error_class) {
+  switch (error_class) {
+    case ServeErrorClass::kParse: return "parse";
+    case ServeErrorClass::kMethod: return "method";
+    case ServeErrorClass::kGraph: return "graph";
+    case ServeErrorClass::kField: return "field";
+    case ServeErrorClass::kOverload: return "overload";
+    case ServeErrorClass::kDeadline: return "deadline";
+    case ServeErrorClass::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+const char* ServeMethodName(ServeMethod method) {
+  switch (method) {
+    case ServeMethod::kEstimate: return "estimate";
+    case ServeMethod::kRank: return "rank";
+    case ServeMethod::kTopK: return "topk";
+    case ServeMethod::kMutate: return "mutate";
+    case ServeMethod::kStats: return "stats";
+  }
+  return "stats";
+}
+
+namespace {
+
+bool ParseMethodName(const std::string& name, ServeMethod* method) {
+  if (name == "estimate") *method = ServeMethod::kEstimate;
+  else if (name == "rank") *method = ServeMethod::kRank;
+  else if (name == "topk") *method = ServeMethod::kTopK;
+  else if (name == "mutate") *method = ServeMethod::kMutate;
+  else if (name == "stats") *method = ServeMethod::kStats;
+  else return false;
+  return true;
+}
+
+bool FieldError(ServeError* error, const std::string& message) {
+  error->error_class = ServeErrorClass::kField;
+  error->message = message;
+  return false;
+}
+
+/// Lifts one JSON value into a bounded uint64 field.
+bool TakeCount(const std::string& key, const JsonValue& value,
+               std::uint64_t max, std::uint64_t* out, ServeError* error) {
+  if (!value.AsUint64(out)) {
+    return FieldError(error, key + " must be a non-negative integer");
+  }
+  if (*out > max) {
+    return FieldError(error, key + "=" + value.raw_number +
+                                 " is implausibly large (max " +
+                                 std::to_string(max) + ")");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseServeRequest(const std::string& line, std::size_t max_line_bytes,
+                       ServeRequest* out, ServeError* error) {
+  *out = ServeRequest();
+  if (line.size() > max_line_bytes) {
+    error->error_class = ServeErrorClass::kParse;
+    error->message = "request line of " + std::to_string(line.size()) +
+                     " bytes exceeds the " + std::to_string(max_line_bytes) +
+                     "-byte limit";
+    return false;
+  }
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    error->error_class = ServeErrorClass::kParse;
+    error->message = parsed.status().message();
+    return false;
+  }
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    error->error_class = ServeErrorClass::kParse;
+    error->message = "request must be a JSON object";
+    return false;
+  }
+
+  // Recover the id first so even field/method errors can echo it.
+  if (const JsonValue* id = doc.Find("id"); id != nullptr) {
+    if (!id->AsUint64(&out->id)) {
+      return FieldError(error, "id must be a non-negative integer");
+    }
+    out->has_id = true;
+  }
+
+  const JsonValue* method = doc.Find("method");
+  if (method == nullptr || !method->is_string()) {
+    error->error_class = ServeErrorClass::kMethod;
+    error->message = "missing string field \"method\"";
+    return false;
+  }
+  if (!ParseMethodName(method->string_value, &out->method)) {
+    error->error_class = ServeErrorClass::kMethod;
+    error->message = "unknown method \"" + method->string_value +
+                     "\" (methods: estimate, rank, topk, mutate, stats)";
+    return false;
+  }
+
+  bool saw_samples = false;
+  for (const auto& [key, value] : doc.object) {
+    if (key == "id" || key == "method") continue;
+    if (key == "graph") {
+      if (!value.is_string()) return FieldError(error, "graph must be a string");
+      out->graph = value.string_value;
+    } else if (key == "vertices") {
+      if (!value.is_array()) {
+        return FieldError(error, "vertices must be an array of vertex ids");
+      }
+      out->vertices.reserve(value.array.size());
+      for (const JsonValue& element : value.array) {
+        std::uint64_t id = 0;
+        if (!element.AsUint64(&id) ||
+            id >= static_cast<std::uint64_t>(kInvalidVertex)) {
+          return FieldError(
+              error,
+              "vertices must contain non-negative integers below " +
+                  std::to_string(kInvalidVertex));
+        }
+        out->vertices.push_back(static_cast<VertexId>(id));
+      }
+    } else if (key == "estimator") {
+      if (!value.is_string()) {
+        return FieldError(error, "estimator must be a string");
+      }
+      auto kind = ParseEstimatorField(value.string_value);
+      if (!kind.ok()) return FieldError(error, kind.status().message());
+      out->estimator = kind.value();
+    } else if (key == "samples") {
+      if (!TakeCount(key, value, kMaxSamplesField, &out->samples, error)) {
+        return false;
+      }
+      saw_samples = true;
+    } else if (key == "seed") {
+      std::uint64_t seed = 0;
+      if (!value.AsUint64(&seed)) {
+        return FieldError(error, "seed must be a non-negative integer");
+      }
+      out->seed = seed;
+    } else if (key == "iterations") {
+      if (!TakeCount(key, value, kMaxIterationsField, &out->iterations,
+                     error)) {
+        return false;
+      }
+    } else if (key == "k") {
+      std::uint64_t k = 0;
+      if (!TakeCount(key, value, kMaxKField, &k, error)) return false;
+      out->k = static_cast<std::uint32_t>(k);
+    } else if (key == "eps") {
+      if (!value.is_number() || !(value.number_value > 0.0) ||
+          !(value.number_value < 1.0)) {
+        return FieldError(error, "eps must be a number in (0, 1)");
+      }
+      out->eps = value.number_value;
+    } else if (key == "delta") {
+      if (!value.is_number() || !(value.number_value > 0.0) ||
+          !(value.number_value < 1.0)) {
+        return FieldError(error, "delta must be a number in (0, 1)");
+      }
+      out->delta = value.number_value;
+    } else if (key == "deadline_ms") {
+      if (!value.is_number()) {
+        return FieldError(error, "deadline_ms must be a number");
+      }
+      const Status valid = ValidateDeadlineMs(value.number_value);
+      if (!valid.ok()) return FieldError(error, valid.message());
+      out->deadline_ms = value.number_value;
+    } else if (key == "priority") {
+      std::uint64_t priority = 0;
+      if (!value.AsUint64(&priority) ||
+          !ValidatePriority(static_cast<std::int64_t>(priority)).ok()) {
+        return FieldError(
+            error, ValidatePriority(value.is_number() &&
+                                            value.number_value < 0
+                                        ? -1
+                                        : 10)
+                       .message());
+      }
+      out->priority = static_cast<std::int32_t>(priority);
+    } else if (key == "edits") {
+      if (!value.is_string()) {
+        return FieldError(error, "edits must be a string in the edit-script "
+                                 "text format (docs/formats.md)");
+      }
+      out->edits = value.string_value;
+    } else {
+      return FieldError(error, "unknown field \"" + key + "\"");
+    }
+  }
+
+  // Method-specific required fields.
+  const bool needs_graph = out->method != ServeMethod::kStats;
+  if (needs_graph && out->graph.empty()) {
+    return FieldError(error, std::string(ServeMethodName(out->method)) +
+                                 " requires a non-empty \"graph\"");
+  }
+  if ((out->method == ServeMethod::kEstimate ||
+       out->method == ServeMethod::kRank) &&
+      out->vertices.empty()) {
+    return FieldError(error, std::string(ServeMethodName(out->method)) +
+                                 " requires a non-empty \"vertices\" array");
+  }
+  if (out->method == ServeMethod::kEstimate && saw_samples &&
+      out->samples == 0) {
+    return FieldError(error, "samples must be at least 1");
+  }
+  if (out->method == ServeMethod::kTopK && out->k == 0) {
+    return FieldError(error, "k must be at least 1");
+  }
+  if (out->method == ServeMethod::kMutate && out->edits.empty()) {
+    return FieldError(error, "mutate requires a non-empty \"edits\" script");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+std::string FormatOkResponse(const ServeRequest& request, std::uint64_t epoch,
+                             double elapsed_ms, const std::string& result) {
+  std::ostringstream out;
+  out << "{";
+  if (request.has_id) out << "\"id\": " << request.id << ", ";
+  out << "\"ok\": true, \"method\": " << JsonQuote(ServeMethodName(request.method))
+      << ", \"epoch\": " << epoch
+      << ", \"elapsed_ms\": " << JsonDouble(elapsed_ms)
+      << ", \"result\": " << result << "}";
+  return out.str();
+}
+
+std::string FormatErrorResponse(const ServeRequest* request,
+                                const ServeError& error) {
+  std::ostringstream out;
+  out << "{";
+  if (request != nullptr && request->has_id) {
+    out << "\"id\": " << request->id << ", ";
+  }
+  out << "\"ok\": false, \"error\": "
+      << JsonQuote(ServeErrorClassName(error.error_class))
+      << ", \"message\": " << JsonQuote(error.message) << "}";
+  return out.str();
+}
+
+std::string FormatEstimateResult(const std::vector<WireReport>& reports) {
+  std::ostringstream out;
+  out << "{\"reports\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const WireReport& r = reports[i];
+    if (i > 0) out << ", ";
+    out << "{\"vertex\": " << r.vertex << ", \"value\": " << JsonDouble(r.value)
+        << ", \"std_error\": " << JsonDouble(r.std_error)
+        << ", \"ci_half_width\": " << JsonDouble(r.ci_half_width)
+        << ", \"ess\": " << JsonDouble(r.ess)
+        << ", \"acceptance_rate\": " << JsonDouble(r.acceptance_rate)
+        << ", \"samples_used\": " << r.samples_used
+        << ", \"converged\": " << (r.converged ? "true" : "false");
+    if (r.deadline_flagged) out << ", \"flag\": \"kDeadline\"";
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+StatusOr<ServeResponse> ParseServeResponse(const std::string& line) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  ServeResponse response;
+  response.body = std::move(parsed).value();
+  const JsonValue& doc = response.body;
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  const JsonValue* ok = doc.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::InvalidArgument("response missing boolean \"ok\"");
+  }
+  response.ok = ok->bool_value;
+  if (const JsonValue* id = doc.Find("id"); id != nullptr) {
+    if (!id->AsUint64(&response.id)) {
+      return Status::InvalidArgument("response \"id\" is not an integer");
+    }
+    response.has_id = true;
+  }
+  if (!response.ok) {
+    const JsonValue* error = doc.Find("error");
+    if (error == nullptr || !error->is_string()) {
+      return Status::InvalidArgument("error response missing \"error\" class");
+    }
+    bool known = false;
+    for (const ServeErrorClass c :
+         {ServeErrorClass::kParse, ServeErrorClass::kMethod,
+          ServeErrorClass::kGraph, ServeErrorClass::kField,
+          ServeErrorClass::kOverload, ServeErrorClass::kDeadline,
+          ServeErrorClass::kInternal}) {
+      if (error->string_value == ServeErrorClassName(c)) {
+        response.error_class = c;
+        known = true;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown error class \"" +
+                                     error->string_value + "\"");
+    }
+    if (const JsonValue* message = doc.Find("message");
+        message != nullptr && message->is_string()) {
+      response.message = message->string_value;
+    }
+    return response;
+  }
+  if (const JsonValue* epoch = doc.Find("epoch"); epoch != nullptr) {
+    if (!epoch->AsUint64(&response.epoch)) {
+      return Status::InvalidArgument("response \"epoch\" is not an integer");
+    }
+  }
+  // Lift estimate reports when present.
+  if (const JsonValue* result = doc.Find("result");
+      result != nullptr && result->is_object()) {
+    if (const JsonValue* reports = result->Find("reports");
+        reports != nullptr && reports->is_array()) {
+      for (const JsonValue& entry : reports->array) {
+        if (!entry.is_object()) {
+          return Status::InvalidArgument("report entry is not an object");
+        }
+        WireReport report;
+        const auto number = [&entry](const char* key, double* out) {
+          const JsonValue* v = entry.Find(key);
+          if (v != nullptr && v->is_number()) *out = v->number_value;
+        };
+        std::uint64_t vertex = 0;
+        const JsonValue* v = entry.Find("vertex");
+        if (v == nullptr || !v->AsUint64(&vertex) ||
+            vertex >= static_cast<std::uint64_t>(kInvalidVertex)) {
+          return Status::InvalidArgument("report entry missing vertex id");
+        }
+        report.vertex = static_cast<VertexId>(vertex);
+        number("value", &report.value);
+        number("std_error", &report.std_error);
+        number("ci_half_width", &report.ci_half_width);
+        number("ess", &report.ess);
+        number("acceptance_rate", &report.acceptance_rate);
+        if (const JsonValue* samples = entry.Find("samples_used");
+            samples != nullptr) {
+          if (!samples->AsUint64(&report.samples_used)) {
+            return Status::InvalidArgument("samples_used is not an integer");
+          }
+        }
+        if (const JsonValue* converged = entry.Find("converged");
+            converged != nullptr && converged->is_bool()) {
+          report.converged = converged->bool_value;
+        }
+        if (const JsonValue* flag = entry.Find("flag");
+            flag != nullptr && flag->is_string()) {
+          report.deadline_flagged = flag->string_value == "kDeadline";
+        }
+        response.reports.push_back(report);
+      }
+    }
+  }
+  return response;
+}
+
+}  // namespace mhbc::serve

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "centrality/engine.h"
+#include "util/status.h"
+
+/// \file
+/// The mhbc_serve wire protocol: newline-delimited JSON request/response
+/// lines. docs/serving.md is the normative byte-level spec; this header
+/// is its implementation plus the parsing/formatting entry points the
+/// daemon, the in-process test battery, and the load generator share.
+///
+/// One request = one line of UTF-8 JSON terminated by '\n' (the newline
+/// is the framing; a line longer than the configured maximum is a
+/// protocol error before any JSON parsing happens). One response = one
+/// line of JSON. Responses carry the request's `id` back verbatim, so a
+/// pipelining client can match them out of order.
+///
+/// Every failure is classified into one of the documented error classes
+/// (ServeErrorClass); tests assert the class, not the message, so
+/// messages can stay descriptive. The parser is strict by design — a
+/// serving surface that silently coerces malformed fields turns client
+/// bugs into wrong answers: unknown keys, wrong value types, fractional
+/// or negative counts, and out-of-range enum values are all `field`
+/// errors naming the offending key.
+
+namespace mhbc::serve {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document tree
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Small on purpose: the protocol needs flat
+/// objects of scalars / arrays, not a full DOM library — but the tree is
+/// general (nesting works) so response payloads can be round-tripped by
+/// tests and clients. Numbers keep their raw source text alongside the
+/// double so integer fields can be re-parsed exactly and doubles
+/// round-trip bit-for-bit through the %.17g formatting the writers use.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string raw_number;  ///< verbatim source token of a kNumber
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Object members in source order (duplicate keys rejected at parse).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_bool() const { return type == Type::kBool; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// True when the number token is a plain non-negative integer (no
+  /// sign, fraction, or exponent) that fits uint64; *out receives it.
+  bool AsUint64(std::uint64_t* out) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Errors carry the byte offset.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes + quotes a string for JSON embedding ("abc" -> "\"abc\"").
+std::string JsonQuote(const std::string& raw);
+
+/// Formats a double so it round-trips bit-for-bit through strtod
+/// (%.17g), with non-finite values mapped to null (JSON has no inf/nan).
+std::string JsonDouble(double value);
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// The documented failure classes. Stable wire names via
+/// ServeErrorClassName; docs/serving.md defines when each is returned.
+enum class ServeErrorClass {
+  kParse,     ///< unframeable input: oversized line, malformed JSON
+  kMethod,    ///< missing or unknown `method`
+  kGraph,     ///< `graph` does not name a catalog entry
+  kField,     ///< malformed or out-of-range request field (incl. vertex ids)
+  kOverload,  ///< admission queue full — retry later
+  kDeadline,  ///< deadline expired before execution began
+  kInternal,  ///< engine-side failure on an admitted request
+};
+
+/// Stable lowercase wire name ("parse", "method", ...).
+const char* ServeErrorClassName(ServeErrorClass error_class);
+
+/// A classified failure (the `error` + `message` response fields).
+struct ServeError {
+  ServeErrorClass error_class = ServeErrorClass::kInternal;
+  std::string message;
+};
+
+/// Protocol methods.
+enum class ServeMethod { kEstimate, kRank, kTopK, kMutate, kStats };
+
+/// Stable lowercase wire name ("estimate", "rank", "topk", "mutate",
+/// "stats").
+const char* ServeMethodName(ServeMethod method);
+
+/// One parsed + field-validated request. Graph-dependent validation
+/// (does the graph exist, are the vertex ids in range) happens at
+/// execution time against the catalog.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  bool has_id = false;
+  ServeMethod method = ServeMethod::kStats;
+  std::string graph;                 ///< catalog name ("" only for stats)
+  std::vector<VertexId> vertices;    ///< estimate / rank targets
+  EstimatorKind estimator = EstimatorKind::kMetropolisHastings;
+  std::uint64_t samples = 1000;
+  std::uint64_t seed = 0x5eed;
+  std::uint64_t iterations = 20'000;  ///< rank chain length
+  std::uint32_t k = 10;               ///< topk
+  double eps = 0.02;                  ///< topk accuracy
+  double delta = 0.1;                 ///< topk failure probability
+  /// Wall-clock budget in milliseconds; < 0 means "no deadline". 0 is
+  /// admitted-then-rejected ("expired on arrival") by design.
+  double deadline_ms = -1.0;
+  std::int32_t priority = 0;          ///< [0, 9], higher served first
+  std::string edits;                  ///< mutate: edit-script text
+};
+
+/// Parses + validates one request line. Returns true on success; on
+/// failure fills `error` with the class/message (request `id` is still
+/// recovered into `out` when the line parsed far enough, so error
+/// responses can echo it). `max_line_bytes` caps the accepted line.
+bool ParseServeRequest(const std::string& line, std::size_t max_line_bytes,
+                       ServeRequest* out, ServeError* error);
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Per-vertex estimate payload (the statistical EstimateReport fields —
+/// exactly the set covered by the determinism contract, plus the
+/// deadline flag).
+struct WireReport {
+  VertexId vertex = kInvalidVertex;
+  double value = 0.0;
+  double std_error = 0.0;
+  double ci_half_width = 0.0;
+  double ess = 0.0;
+  double acceptance_rate = 0.0;
+  std::uint64_t samples_used = 0;
+  bool converged = true;
+  /// True when a deadline budget stopped the run before the requested
+  /// samples — the response carries `"flag": "kDeadline"`.
+  bool deadline_flagged = false;
+};
+
+/// Formats the ok-response envelope around a result payload (`result`
+/// must be a complete JSON value, e.g. "{...}").
+std::string FormatOkResponse(const ServeRequest& request, std::uint64_t epoch,
+                             double elapsed_ms, const std::string& result);
+
+/// Formats an error response. `request` may be null (unparseable line).
+std::string FormatErrorResponse(const ServeRequest* request,
+                                const ServeError& error);
+
+/// Formats the estimate result payload: {"reports": [...]}.
+std::string FormatEstimateResult(const std::vector<WireReport>& reports);
+
+/// A parsed response, for in-process clients and the test battery. The
+/// full payload stays available as `body` for fields not lifted here.
+struct ServeResponse {
+  bool ok = false;
+  std::uint64_t id = 0;
+  bool has_id = false;
+  std::uint64_t epoch = 0;
+  ServeErrorClass error_class = ServeErrorClass::kInternal;
+  std::string message;
+  std::vector<WireReport> reports;  ///< estimate responses
+  JsonValue body;                   ///< the whole response document
+};
+
+/// Parses a response line (the inverse of the Format* functions).
+StatusOr<ServeResponse> ParseServeResponse(const std::string& line);
+
+}  // namespace mhbc::serve

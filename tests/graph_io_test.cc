@@ -150,5 +150,29 @@ TEST(GraphIoTest, ParseVertexIdListTrimsButRejectsGarbage) {
   EXPECT_TRUE(ParseVertexIdList("99999999999999999999").empty());
 }
 
+TEST(GraphIoTest, ParseVertexIdListStrictNamesTheOffendingToken) {
+  // The strict parser is the loose one's source of truth: same accepts...
+  const auto ok = ParseVertexIdListStrict(" 10, 11 ,12");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), (std::vector<VertexId>{10, 11, 12}));
+  // ...but rejections carry the diagnosis instead of collapsing to {}.
+  const auto garbage = ParseVertexIdListStrict("1,2x,3");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(garbage.status().message().find("no vertex ids"),
+            std::string::npos);
+  EXPECT_NE(garbage.status().message().find("'2x'"), std::string::npos);
+
+  const auto overflow = ParseVertexIdListStrict("4294967295");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("vertex-id range"),
+            std::string::npos);
+
+  const auto empty = ParseVertexIdListStrict(",,");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("no vertex ids given"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mhbc

@@ -1,0 +1,241 @@
+// Concurrency + epoch-safety suite for the serving stack (runs in the
+// TSan CI job). N client threads fire estimate traffic while a mutator
+// thread streams a pre-generated delta chain through `mutate`; every
+// response carries the epoch its lease observed, and afterwards each
+// response is replayed against a COLD engine built on that epoch's graph
+// — every statistical report field must match bit for bit, through the
+// %.17g wire round-trip. A reader racing a mutation must therefore see
+// either the old epoch's exact answer or the new one's, never a torn mix.
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "centrality/engine.h"
+#include "datasets/registry.h"
+#include "graph/dynamic_graph.h"
+#include "gtest/gtest.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace mhbc::serve {
+namespace {
+
+constexpr std::size_t kReaderThreads = 4;
+constexpr std::size_t kReadsPerThread = 6;
+constexpr std::size_t kMutations = 4;
+constexpr std::size_t kEditsPerMutation = 3;
+constexpr std::uint64_t kSamples = 200;
+const std::vector<VertexId> kTargets = {0, 8, 17};
+
+/// Serializes a GraphDelta back into the docs/formats.md text format for
+/// the wire (`edits` field).
+std::string DeltaToText(const GraphDelta& delta) {
+  std::string text;
+  for (const GraphEdit& edit : delta.edits()) {
+    switch (edit.kind) {
+      case GraphEdit::Kind::kAddEdge:
+        text += "add ";
+        text += std::to_string(edit.u);
+        text += ' ';
+        text += std::to_string(edit.v);
+        if (edit.weight != 1.0) {
+          text += ' ';
+          text += std::to_string(edit.weight);
+        }
+        break;
+      case GraphEdit::Kind::kRemoveEdge:
+        text += "remove ";
+        text += std::to_string(edit.u);
+        text += ' ';
+        text += std::to_string(edit.v);
+        break;
+      case GraphEdit::Kind::kAddVertex:
+        text += "addvertex";
+        break;
+    }
+    text += "\\n";  // JSON-escaped newline, embedded in the request string
+  }
+  return text;
+}
+
+std::string EstimateLine(std::uint64_t id, std::uint64_t seed) {
+  std::string vertices;
+  for (const VertexId v : kTargets) {
+    if (!vertices.empty()) vertices += ", ";
+    vertices += std::to_string(v);
+  }
+  return "{\"id\": " + std::to_string(id) +
+         ", \"method\": \"estimate\", \"graph\": \"caveman-36\", "
+         "\"vertices\": [" +
+         vertices + "], \"samples\": " + std::to_string(kSamples) +
+         ", \"seed\": " + std::to_string(seed) + "}";
+}
+
+TEST(ServeConcurrencyTest, ConcurrentReadsMatchColdEngineAtEveryEpoch) {
+  auto base = MakeDataset("caveman-36");
+  ASSERT_TRUE(base.ok());
+
+  // Pre-generate the delta chain and the per-epoch graph snapshots the
+  // cold-engine replay will verify against: snapshot[e] is the graph at
+  // epoch e. The chain is built through the same DynamicGraph machinery
+  // the engines use, so the replay graphs are the served graphs.
+  std::vector<GraphDelta> deltas;
+  std::vector<CsrGraph> snapshots;
+  {
+    DynamicGraph dyn(base.value());
+    snapshots.push_back(dyn.Csr());
+    for (std::size_t i = 0; i < kMutations; ++i) {
+      const GraphDelta delta =
+          MakeRandomEditScript(dyn.Csr(), kEditsPerMutation, 0xec0 + i);
+      ASSERT_TRUE(dyn.Apply(delta).ok());
+      deltas.push_back(delta);
+      snapshots.push_back(dyn.Csr());
+    }
+  }
+
+  const EngineOptions engine_options;  // identical for pool and replay
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddGraph("caveman-36", base.value(), engine_options,
+                            /*sessions=*/kReaderThreads)
+                  .ok());
+  ServerOptions server_options;
+  server_options.workers = kReaderThreads + 1;
+  server_options.queue_capacity = 64;
+  Server server(&catalog, server_options);
+
+  // Fire the mixed workload. Seeds are globally unique so no session
+  // serves a repeated request from its result cache (which would report
+  // samples_used=0 and weaken the comparison below).
+  struct Observed {
+    std::uint64_t epoch;
+    std::uint64_t seed;
+    std::vector<WireReport> reports;
+  };
+  std::vector<std::vector<Observed>> per_thread(kReaderThreads);
+  std::vector<std::string> mutate_responses(kMutations);
+  std::vector<std::thread> threads;
+  threads.reserve(kReaderThreads + 1);
+  for (std::size_t t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kReadsPerThread; ++i) {
+        const std::uint64_t seed = 1000 * (t + 1) + i;
+        const std::string line =
+            server.Call(EstimateLine(/*id=*/seed, seed));
+        auto response = ParseServeResponse(line);
+        ASSERT_TRUE(response.ok()) << line;
+        ASSERT_TRUE(response.value().ok) << line;
+        per_thread[t].push_back(Observed{response.value().epoch, seed,
+                                         response.value().reports});
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (std::size_t i = 0; i < kMutations; ++i) {
+      const std::string line = server.Call(
+          "{\"id\": " + std::to_string(900 + i) +
+          ", \"method\": \"mutate\", \"graph\": \"caveman-36\", "
+          "\"edits\": \"" +
+          DeltaToText(deltas[i]) + "\"}");
+      mutate_responses[i] = line;
+      std::this_thread::yield();  // let readers interleave between epochs
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  // Mutations installed in order, one epoch each.
+  for (std::size_t i = 0; i < kMutations; ++i) {
+    auto response = ParseServeResponse(mutate_responses[i]);
+    ASSERT_TRUE(response.ok()) << mutate_responses[i];
+    ASSERT_TRUE(response.value().ok) << mutate_responses[i];
+    EXPECT_EQ(response.value().epoch, i + 1);
+  }
+
+  // Replay every observation on a cold engine built on its epoch's graph.
+  // The engine mutation contract promises bit-identical statistical
+  // fields; the %.17g wire preserves them; so EXPECT_EQ on doubles is the
+  // correct comparison — any tolerance would mask a torn read.
+  std::size_t replayed = 0;
+  for (const auto& observations : per_thread) {
+    EXPECT_EQ(observations.size(), kReadsPerThread);
+    for (const Observed& observed : observations) {
+      ASSERT_LE(observed.epoch, kMutations);
+      BetweennessEngine cold(snapshots[observed.epoch], engine_options);
+      EstimateRequest request;
+      request.samples = kSamples;
+      request.seed = observed.seed;
+      auto expected = cold.EstimateMany(kTargets, request);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_EQ(observed.reports.size(), kTargets.size());
+      for (std::size_t v = 0; v < kTargets.size(); ++v) {
+        const EstimateReport& want = expected.value()[v];
+        const WireReport& got = observed.reports[v];
+        EXPECT_EQ(got.vertex, want.vertex);
+        EXPECT_EQ(got.value, want.value) << "epoch " << observed.epoch
+                                         << " seed " << observed.seed;
+        EXPECT_EQ(got.std_error, want.std_error);
+        EXPECT_EQ(got.ci_half_width, want.ci_half_width);
+        EXPECT_EQ(got.ess, want.ess);
+        EXPECT_EQ(got.acceptance_rate, want.acceptance_rate);
+        EXPECT_EQ(got.samples_used, want.samples_used);
+        EXPECT_EQ(got.converged, want.converged);
+        ++replayed;
+      }
+    }
+  }
+  EXPECT_EQ(replayed, kReaderThreads * kReadsPerThread * kTargets.size());
+
+  // The pool must be fully parked and at the final epoch.
+  const GraphEntryStats stats = catalog.Find("caveman-36")->Stats();
+  EXPECT_EQ(stats.epoch, kMutations);
+  EXPECT_EQ(stats.sessions_free, stats.sessions);
+  EXPECT_EQ(stats.mutations_applied, kMutations);
+}
+
+TEST(ServeConcurrencyTest, WriterDrainsReadersAndReadersNeverSeeTornPool) {
+  // Direct catalog-level hammering (no protocol): many lease/release
+  // cycles racing mutations; every lease must observe a consistent
+  // (epoch, graph) pair — checked via vertex count, which the delta
+  // chain changes over time.
+  auto base = MakeDataset("caveman-36");
+  ASSERT_TRUE(base.ok());
+  std::vector<GraphDelta> deltas;
+  std::vector<VertexId> vertices_at_epoch;
+  {
+    DynamicGraph dyn(base.value());
+    vertices_at_epoch.push_back(dyn.num_vertices());
+    for (std::size_t i = 0; i < 6; ++i) {
+      const GraphDelta delta = MakeRandomEditScript(dyn.Csr(), 4, 0xbeef + i);
+      ASSERT_TRUE(dyn.Apply(delta).ok());
+      deltas.push_back(delta);
+      vertices_at_epoch.push_back(dyn.num_vertices());
+    }
+  }
+  GraphEntry entry("g", base.value(), EngineOptions(), /*sessions=*/3);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 40; ++i) {
+        ReadLease lease = entry.AcquireRead();
+        ASSERT_LE(lease.epoch(), deltas.size());
+        // Torn-pool detector: the engine's graph must be the one this
+        // lease's epoch promises.
+        EXPECT_EQ(lease.engine().graph().num_vertices(),
+                  vertices_at_epoch[lease.epoch()]);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (const GraphDelta& delta : deltas) {
+      ASSERT_TRUE(entry.Mutate(delta).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(entry.Stats().epoch, deltas.size());
+}
+
+}  // namespace
+}  // namespace mhbc::serve

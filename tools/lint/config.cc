@@ -69,8 +69,9 @@ Config DefaultConfig() {
   // datasets beside sp (it consumes graph, nothing consumes it but the
   // harnesses). Gaps of 10 leave room for future layers.
   config.layers = {
-      {"util", 0},      {"graph", 10},    {"datasets", 20}, {"sp", 20},
-      {"exact", 30},    {"baselines", 40}, {"core", 40},    {"centrality", 50},
+      {"util", 0},      {"graph", 10},     {"datasets", 20}, {"sp", 20},
+      {"exact", 30},    {"baselines", 40}, {"core", 40},     {"centrality", 50},
+      {"serve", 60},
   };
   return config;
 }
