@@ -1,7 +1,9 @@
 // E13 — Weighted-graph variant: the paper's cost claims (§2.1/§4.1) say a
-// weighted pass costs O(|E| + |V| log |V|) via Dijkstra instead of O(|E|)
-// via BFS. This harness measures the per-pass cost ratio and verifies
-// estimation quality carries over to weighted road-like networks.
+// weighted pass costs O(|E| + |V| log |V|) instead of O(|E|) via BFS.
+// This harness measures the per-pass cost ratio (and throughput in
+// passes/sec) through the oracle's canonical-wave delta-stepping kernel,
+// and verifies estimation quality carries over to weighted road-like
+// networks. Emits BENCH_e13.json next to the markdown (bench_common.h).
 
 #include <cmath>
 
@@ -17,10 +19,13 @@
 int main() {
   using namespace mhbc;
   bench::Banner("E13", "weighted graphs: cost and accuracy");
+  bench::JsonReport json("e13");
 
-  // Cost: per-pass time, unweighted vs weighted, same topology.
-  Table cost({"graph", "n", "m", "unweighted us/pass", "weighted us/pass",
-              "ratio"});
+  // Cost: per-pass time and throughput, unweighted vs weighted, same
+  // topology. The weighted column exercises the canonical-wave
+  // delta-stepping kernel (sp/delta_spd.h) the oracle now serves.
+  Table cost({"graph", "n", "m", "unweighted us/pass", "unweighted p/s",
+              "weighted us/pass", "weighted p/s", "ratio"});
   for (VertexId side : {30u, 45u, 60u}) {
     const CsrGraph g = MakeGrid(side, side);
     const CsrGraph wg = AssignUniformWeights(g, 1.0, 3.0, 0xE13);
@@ -40,10 +45,13 @@ int main() {
     const double us_weighted = 1e6 * t2.ElapsedSeconds() / kPasses;
     cost.AddRow({"grid " + std::to_string(side) + "x" + std::to_string(side),
                  FormatCount(g.num_vertices()), FormatCount(g.num_edges()),
-                 FormatDouble(us_plain, 1), FormatDouble(us_weighted, 1),
+                 FormatDouble(us_plain, 1), FormatDouble(1e6 / us_plain, 0),
+                 FormatDouble(us_weighted, 1),
+                 FormatDouble(1e6 / us_weighted, 0),
                  FormatDouble(us_weighted / us_plain, 2)});
   }
-  bench::PrintTable("E13a: per-pass cost, BFS vs Dijkstra", cost);
+  bench::EmitTable(&json, "E13a: per-pass cost, BFS vs weighted waves",
+                   cost);
 
   // Accuracy on a weighted grid: error vs T for the chain readouts.
   const CsrGraph road = AssignUniformWeights(MakeGrid(30, 30), 1.0, 3.0, 0x30);
@@ -67,6 +75,11 @@ int main() {
   }
   std::printf("weighted grid 30x30 center: exact=%.5f chain-limit=%.5f\n",
               exact, limit);
-  bench::PrintTable("E13b: weighted estimation error vs T (5 trials)", acc);
+  bench::EmitTable(&json, "E13b: weighted estimation error vs T (5 trials)",
+                   acc);
+  json.AddMeta("exact_center", FormatDouble(exact, 5));
+  json.AddMeta("chain_limit_center", FormatDouble(limit, 5));
+  const std::string written = json.Write();
+  if (!written.empty()) std::printf("wrote %s\n", written.c_str());
   return 0;
 }

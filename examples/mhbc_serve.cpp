@@ -2,7 +2,7 @@
 //
 //   mhbc_serve [--stdio | --port=<p>] [--dataset=<name>] [--graph=<name>=<file>]
 //              [--sessions=<k>] [--workers=<k>] [--queue=<k>] [--threads=<k>]
-//              [--max-line-bytes=<b>]
+//              [--spd-threads=<k>] [--max-line-bytes=<b>]
 //
 // Holds a catalog of named graphs, each with a pool of warm
 // BetweennessEngine sessions, and serves estimate / rank / topk / mutate /
@@ -34,6 +34,11 @@
 //                         with the `overload` error class (default 64)
 //   --threads=<k>         EngineOptions::num_threads per session (default 1;
 //                         bit-identical results at every setting)
+//   --spd-threads=<k>     frontier-/wave-parallel threads within each
+//                         shortest-path pass (SpdOptions::num_threads;
+//                         0 = inherit --threads, default 0 — same
+//                         bit-identical contract; use when single-query
+//                         latency matters more than request throughput)
 //   --max-line-bytes=<b>  request framing limit (default 1 MiB)
 //
 // Exit codes: 0 success (stdio EOF), 2 usage error, 3 I/O error (graph
@@ -78,6 +83,7 @@ struct ServeFlags {
   std::uint64_t port = 7077;
   std::uint64_t sessions = 2;
   std::uint64_t threads = 1;
+  std::uint64_t spd_threads = 0;
   mhbc::serve::ServerOptions server;
   std::vector<std::string> datasets;
   /// --graph=<name>=<file> pairs.
@@ -199,6 +205,8 @@ int main(int argc, char** argv) {
                          &failed) ||
                CountFlag(arg, "--threads=", mhbc::serve::kMaxThreadCount,
                          &flags.threads, &failed) ||
+               CountFlag(arg, "--spd-threads=", mhbc::serve::kMaxThreadCount,
+                         &flags.spd_threads, &failed) ||
                CountFlag(arg, "--max-line-bytes=", std::uint64_t{1} << 30,
                          &max_line, &failed)) {
       if (failed) return kExitUsage;
@@ -216,7 +224,8 @@ int main(int argc, char** argv) {
           "unknown flag '" + arg +
           "' (flags: --stdio, --port=<p>, --dataset=<name>, "
           "--graph=<name>=<file>, --sessions=<k>, --workers=<k>, "
-          "--queue=<k>, --threads=<k>, --max-line-bytes=<b>)");
+          "--queue=<k>, --threads=<k>, --spd-threads=<k>, "
+          "--max-line-bytes=<b>)");
     }
   }
   if (flags.datasets.empty() && flags.files.empty()) {
@@ -226,6 +235,7 @@ int main(int argc, char** argv) {
 
   mhbc::EngineOptions engine_options;
   engine_options.num_threads = static_cast<unsigned>(flags.threads);
+  engine_options.spd.num_threads = static_cast<unsigned>(flags.spd_threads);
 
   mhbc::serve::GraphCatalog catalog;
   for (const std::string& name : flags.datasets) {

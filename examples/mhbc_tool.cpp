@@ -28,15 +28,18 @@
 // `mutate` estimates the vertices, applies the edit script
 // (docs/formats.md: `add <u> <v> [w]` / `remove <u> <v>` / `addvertex
 // [count]`) to the live engine, and re-estimates — the incremental path:
-// shortest-path passes whose BFS trees the edits do not touch survive the
-// mutation, so the post-edit column costs fewer passes than the first.
+// shortest-path passes whose SPDs the edits provably do not touch survive
+// the mutation (hop-distance test unweighted, slack + min-incident-weight
+// test weighted), so the post-edit column costs fewer passes than the
+// first.
 //
 // Global flags (anywhere on the command line):
 //   --threads=<k>    engine worker threads (0 = one per hardware thread,
 //                    default 1). Values are bit-identical at any setting —
 //                    threads change wall-clock, never results.
-//   --spd-threads=<k> frontier-parallel threads *within* each shortest-path
-//                    pass (SpdOptions::num_threads; 0 = inherit --threads,
+//   --spd-threads=<k> frontier-parallel (unweighted) or wave-parallel
+//                    (weighted) threads *within* each shortest-path pass
+//                    (SpdOptions::num_threads; 0 = inherit --threads,
 //                    default 0). Same contract: bit-identical results at
 //                    every setting; use for single-vertex queries on large
 //                    graphs where the source axis has no parallelism.
@@ -103,8 +106,13 @@ mhbc::EngineOptions ToolEngineOptions() {
   return options;
 }
 
-const char* KernelName(mhbc::SpdKernel kernel) {
-  return kernel == mhbc::SpdKernel::kClassic ? "classic" : "hybrid";
+/// The SPD kernel passes on this engine's graph run: the configured BFS
+/// kernel on unweighted graphs, canonical-wave delta-stepping on weighted
+/// ones (the kernel knob selects between the BFS kernels only).
+const char* KernelName(const mhbc::BetweennessEngine& engine) {
+  if (engine.graph().weighted()) return "delta";
+  return engine.options().spd.kernel == mhbc::SpdKernel::kClassic ? "classic"
+                                                                  : "hybrid";
 }
 
 /// Renders a titled table honouring --json.
@@ -334,8 +342,7 @@ int CmdEstimate(const std::string& path, int argc, char** argv) {
           "\"acceptance_rate\": %.17g, \"sp_passes\": %llu, "
           "\"cache_hit\": %s, \"converged\": %s, \"seconds\": %.6f}",
           i > 0 ? ", " : "", report.vertex, report.value,
-          mhbc::EstimatorKindName(report.kind),
-          KernelName(engine.options().spd.kernel),
+          mhbc::EstimatorKindName(report.kind), KernelName(engine),
           engine.options().spd.num_threads,
           static_cast<unsigned long long>(report.samples_used),
           report.std_error, report.ci_half_width, report.ess,
@@ -447,8 +454,7 @@ int CmdExact(const std::string& path, const char* vertex) {
     std::printf("{\"vertex\": %u, \"value\": %.17g, \"estimator\": \"exact\", "
                 "\"kernel\": \"%s\", \"spd_threads\": %u, "
                 "\"sp_passes\": %llu, \"seconds\": %.6f}\n",
-                r, result.value().value,
-                KernelName(engine.options().spd.kernel),
+                r, result.value().value, KernelName(engine),
                 engine.options().spd.num_threads,
                 static_cast<unsigned long long>(result.value().sp_passes),
                 result.value().seconds);

@@ -9,7 +9,7 @@ RkSampler::RkSampler(const CsrGraph& graph, std::uint64_t seed,
     : graph_(&graph), rng_(seed) {
   MHBC_DCHECK(graph.num_vertices() >= 2);
   if (graph.weighted()) {
-    dijkstra_ = std::make_unique<DijkstraSpd>(graph);
+    delta_ = std::make_unique<DeltaSpd>(graph, spd);
   } else {
     bfs_ = std::make_unique<BfsSpd>(graph, spd);
   }
@@ -23,9 +23,9 @@ void RkSampler::SampleOnePath(std::vector<double>* credit) {
   ++num_passes_;
 
   const ShortestPathDag* dag;
-  if (dijkstra_ != nullptr) {
-    dijkstra_->Run(s);
-    dag = &dijkstra_->dag();
+  if (delta_ != nullptr) {
+    delta_->Run(s);
+    dag = &delta_->dag();
     if (dag->wdist[t] < 0.0) return;  // zero-credit sample
   } else {
     bfs_->Run(s);

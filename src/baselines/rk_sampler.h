@@ -6,7 +6,7 @@
 
 #include "graph/csr_graph.h"
 #include "sp/bfs_spd.h"
-#include "sp/dijkstra_spd.h"
+#include "sp/delta_spd.h"
 #include "util/rng.h"
 
 /// \file
@@ -16,7 +16,7 @@
 /// v is exactly the paper-normalized BC(v) (Eq. 1), and VC-dimension theory
 /// gives a distribution-free sample bound in terms of the vertex diameter.
 ///
-/// Supports weighted graphs: the path backtrack then walks the Dijkstra
+/// Supports weighted graphs: the path backtrack then walks the weighted
 /// SPD's explicit predecessor lists instead of the BFS distance test.
 
 namespace mhbc {
@@ -24,10 +24,11 @@ namespace mhbc {
 /// Shortest-path sampling estimator.
 class RkSampler {
  public:
-  /// `spd` configures the unweighted pass kernel (ignored for weighted
-  /// graphs). The sampled paths — and therefore the estimates — are
-  /// bit-identical across kernels and α/β settings: the backtrack walks
-  /// parents in the same order the classic neighbor scan considers them.
+  /// `spd` configures the pass kernel (BFS unweighted, canonical-wave
+  /// delta-stepping weighted). The sampled paths — and therefore the
+  /// estimates — are bit-identical across kernels, α/β settings, thread
+  /// counts, and bucket widths: the backtrack walks parents in a fixed
+  /// canonical order either way.
   explicit RkSampler(const CsrGraph& graph, std::uint64_t seed,
                      SpdOptions spd = SpdOptions());
 
@@ -62,7 +63,7 @@ class RkSampler {
 
   const CsrGraph* graph_;
   std::unique_ptr<BfsSpd> bfs_;
-  std::unique_ptr<DijkstraSpd> dijkstra_;
+  std::unique_ptr<DeltaSpd> delta_;
   Rng rng_;
   /// Parents of the backtrack's current vertex (reused across steps).
   std::vector<VertexId> parent_scratch_;

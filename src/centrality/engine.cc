@@ -121,12 +121,12 @@ BetweennessEngine::~BetweennessEngine() = default;
 std::size_t BetweennessEngine::DependencyCacheEntries(
     const CsrGraph& graph) const {
   // Entry capacity from the byte budget: one memoized vector costs n
-  // doubles, plus n u32 hop distances on unweighted graphs (kept for
-  // ApplyDelta's selective invalidation); more than n entries can never
-  // be used.
+  // doubles, plus the pass distances kept for ApplyDelta's selective
+  // invalidation (n u32 hop distances unweighted, n double weighted
+  // distances weighted); more than n entries can never be used.
   const std::size_t bytes_per_entry =
       static_cast<std::size_t>(graph.num_vertices()) *
-      (graph.weighted() ? sizeof(double)
+      (graph.weighted() ? sizeof(double) + sizeof(double)
                         : sizeof(double) + sizeof(std::uint32_t));
   if (bytes_per_entry == 0) return 0;
   return std::min<std::size_t>(

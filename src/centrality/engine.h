@@ -183,8 +183,9 @@ struct EstimateReport : BetweennessEstimate {
 struct EngineOptions {
   /// Memory budget (bytes) for the shared dependency-vector memo; the
   /// engine derives the entry capacity as budget / per-entry-bytes (n
-  /// doubles, plus n u32 hop distances on unweighted graphs for edit
-  /// invalidation), so the footprint stays bounded on any graph size
+  /// doubles, plus n u32 hop distances unweighted or n double weighted
+  /// distances weighted, kept for edit invalidation), so the footprint
+  /// stays bounded on any graph size
   /// (capped at n entries — beyond that every source is already
   /// memoized). 0 disables cross-query pass reuse.
   std::size_t dependency_cache_bytes = std::size_t{256} << 20;  // 256 MiB
@@ -208,9 +209,11 @@ struct EngineOptions {
   /// Statistical report fields are bit-identical at every setting — see
   /// the file comment for the exact contract.
   unsigned num_threads = 1;
-  /// Unweighted shortest-path kernel selection + direction-switch tuning,
-  /// applied to every pass the engine (and its shards, samplers, and
-  /// exact builds) runs. spd.num_threads == 0 (the default) inherits
+  /// Shortest-path kernel tuning — BFS kernel selection + direction
+  /// switching unweighted, canonical-wave delta-stepping bucket width
+  /// weighted — applied to every pass the engine (and its shards,
+  /// samplers, and exact builds) runs. spd.num_threads == 0 (the default)
+  /// inherits
   /// num_threads for the engine's serial-path pass engines, giving
   /// single-query calls frontier-parallel passes; fan-out paths force
   /// per-worker passes sequential (pool-splitting — see the file comment).
@@ -336,7 +339,7 @@ class BetweennessEngine {
                          std::uint64_t iterations) const;
 
   /// Dependency-memo entry capacity for `graph` under the byte budget
-  /// (unweighted entries also carry hop distances for edit invalidation).
+  /// (entries also carry the pass distances for edit invalidation).
   std::size_t DependencyCacheEntries(const CsrGraph& graph) const;
 
   /// options_.num_threads resolved (0 -> hardware concurrency).

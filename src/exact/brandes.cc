@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "sp/bfs_spd.h"
+#include "sp/delta_spd.h"
 #include "sp/dependency.h"
-#include "sp/dijkstra_spd.h"
 #include "util/thread_pool.h"
 
 namespace mhbc {
@@ -36,17 +36,19 @@ template <typename PerSource>
 void ForEachSourceDependenciesInRange(const CsrGraph& graph, VertexId begin,
                                       VertexId end, SpdOptions spd,
                                       PerSource&& per_source) {
+  // Either way the sweep borrows the pass engine's intra-pass pool (null
+  // when the pass is sequential), so pass + accumulate share one set of
+  // threads.
   if (graph.weighted()) {
-    DependencyAccumulator accumulator(graph);
-    DijkstraSpd engine(graph);
+    DeltaSpd engine(graph, spd);
+    DependencyAccumulator accumulator(graph, engine.intra_pool(),
+                                      spd.parallel_grain);
     for (VertexId s = begin; s < end; ++s) {
       engine.Run(s);
       per_source(accumulator.Accumulate(engine));
     }
   } else {
     BfsSpd engine(graph, spd);
-    // The sweep borrows the pass engine's intra-pass pool (null when the
-    // pass is sequential), so pass + accumulate share one set of threads.
     DependencyAccumulator accumulator(graph, engine.intra_pool(),
                                       spd.parallel_grain);
     for (VertexId s = begin; s < end; ++s) {

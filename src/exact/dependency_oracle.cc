@@ -1,5 +1,7 @@
 #include "exact/dependency_oracle.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace mhbc {
@@ -32,17 +34,73 @@ bool PassSurvivesEdits(const std::vector<std::uint32_t>& hops,
   return true;
 }
 
+/// Weighted companion of PassSurvivesEdits (see the class comment for the
+/// full soundness argument). `wdists` holds the pass' pre-edit weighted
+/// distances (-1 sentinel for unreached; appended vertices index past the
+/// end and read as unreached); `delta` is the engine still bound to the
+/// *pre-edit* graph, consulted for the canonical tie epsilon and the
+/// per-vertex minimum incident weights the wave rule depends on. Per edit
+/// {u,v,w}: both endpoints unreached survives (the edit cannot touch the
+/// pass' component); one reached endpoint drops (an inserted edge extends
+/// the component, and an undirected edge with one reached endpoint always
+/// made the other reachable, so this only arises on insert); both reached
+/// survives iff the edge is slack both ways under the canonical tie rule
+/// AND w cannot change either endpoint's minimum incident weight. Sound by
+/// induction over the batch: each passing edit changes no distance, no
+/// tie, and no minw, so the stored vectors (and the old engine's minw
+/// table) stay valid for the next edit.
+bool WeightedPassSurvivesEdits(const std::vector<double>& wdists,
+                               std::span<const GraphEdit> edits,
+                               const DeltaSpd& delta) {
+  const auto wdist_of = [&wdists](VertexId v) {
+    return v < wdists.size() ? wdists[v] : -1.0;
+  };
+  const double eps = delta.options().tie_epsilon;
+  const auto equal = [eps](double a, double b) {
+    if (a == b) return true;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= eps * scale;
+  };
+  for (const GraphEdit& edit : edits) {
+    if (edit.kind == GraphEdit::Kind::kAddVertex) continue;
+    const double du = wdist_of(edit.u);
+    const double dv = wdist_of(edit.v);
+    const bool u_reached = du >= 0.0;
+    const bool v_reached = dv >= 0.0;
+    if (!u_reached && !v_reached) continue;
+    if (u_reached != v_reached) return false;
+    const double w = edit.weight;
+    // Slack both ways: on no shortest path, creates none, ties nothing.
+    if (du + w < dv || equal(du + w, dv)) return false;
+    if (dv + w < du || equal(dv + w, du)) return false;
+    // minw gate: the wave geometry consults min incident weights, so the
+    // edit must leave both endpoints' minimum unchanged. An insert needs
+    // w >= minw (it cannot become the new minimum); a removal needs
+    // w > minw (at w == minw it may have *been* the minimum).
+    const double minw_u = delta.min_incident_weight(edit.u);
+    const double minw_v = delta.min_incident_weight(edit.v);
+    if (edit.kind == GraphEdit::Kind::kAddEdge) {
+      if (w < minw_u || w < minw_v) return false;
+    } else {
+      if (w <= minw_u || w <= minw_v) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 DependencyOracle::DependencyOracle(const CsrGraph& graph, SpdOptions spd)
     : graph_(&graph), spd_(spd), accumulator_(graph) {
+  // The backward sweep borrows the pass engine's intra-pass pool (null
+  // when spd.num_threads resolves to sequential), so one pass + accumulate
+  // runs on one set of threads.
   if (graph.weighted()) {
-    dijkstra_ = std::make_unique<DijkstraSpd>(graph);
+    delta_ = std::make_unique<DeltaSpd>(graph, spd);
+    accumulator_ =
+        DependencyAccumulator(graph, delta_->intra_pool(), spd.parallel_grain);
   } else {
     bfs_ = std::make_unique<BfsSpd>(graph, spd);
-    // The backward sweep borrows the pass engine's intra-pass pool (null
-    // when spd.num_threads resolves to sequential), so one pass +
-    // accumulate runs on one set of threads.
     accumulator_ =
         DependencyAccumulator(graph, bfs_->intra_pool(), spd.parallel_grain);
   }
@@ -65,15 +123,19 @@ void DependencyOracle::MergeCacheFrom(const DependencyOracle& other) {
 void DependencyOracle::ApplyGraphDelta(const CsrGraph& new_graph,
                                        std::span<const GraphEdit> edits) {
   ++graph_epoch_;
+  const bool weighted = graph_->weighted() && new_graph.weighted();
   if (!edits.empty()) {
-    if (graph_->weighted() || new_graph.weighted()) {
-      // No sound per-pass survival test for weighted passes (see class
-      // comment): drop everything.
+    if (graph_->weighted() != new_graph.weighted()) {
+      // A weightedness flip re-keys every distance; drop everything.
       invalidated_entries_ += cache_.size();
       cache_.clear();
     } else {
       for (auto it = cache_.begin(); it != cache_.end();) {
-        if (PassSurvivesEdits(it->second.hops, edits)) {
+        const bool survives =
+            weighted ? WeightedPassSurvivesEdits(it->second.wdists, edits,
+                                                 *delta_)
+                     : PassSurvivesEdits(it->second.hops, edits);
+        if (survives) {
           ++it;
         } else {
           ++invalidated_entries_;
@@ -87,18 +149,23 @@ void DependencyOracle::ApplyGraphDelta(const CsrGraph& new_graph,
   const std::size_t n = new_graph.num_vertices();
   for (auto& [source, entry] : cache_) {
     entry.deps.resize(n, 0.0);
-    entry.hops.resize(n, kUnreachedDistance);
+    if (weighted) {
+      entry.wdists.resize(n, -1.0);
+    } else {
+      entry.hops.resize(n, kUnreachedDistance);
+    }
   }
   graph_ = &new_graph;
   // Rebuild the pass engine first: the new accumulator borrows its
   // intra-pass pool, so the pool must already belong to the new engine.
   if (new_graph.weighted()) {
-    dijkstra_ = std::make_unique<DijkstraSpd>(new_graph);
+    delta_ = std::make_unique<DeltaSpd>(new_graph, spd_);
     bfs_.reset();
-    accumulator_ = DependencyAccumulator(new_graph);
+    accumulator_ = DependencyAccumulator(new_graph, delta_->intra_pool(),
+                                         spd_.parallel_grain);
   } else {
     bfs_ = std::make_unique<BfsSpd>(new_graph, spd_);
-    dijkstra_.reset();
+    delta_.reset();
     accumulator_ = DependencyAccumulator(new_graph, bfs_->intra_pool(),
                                          spd_.parallel_grain);
   }
@@ -116,10 +183,10 @@ const std::vector<double>& DependencyOracle::Dependencies(VertexId source) {
   ++num_passes_;
   const std::vector<double>* deps;
   const ShortestPathDag* dag;
-  if (dijkstra_) {
-    dijkstra_->Run(source);
-    deps = &accumulator_.Accumulate(*dijkstra_);
-    dag = &dijkstra_->dag();
+  if (delta_) {
+    delta_->Run(source);
+    deps = &accumulator_.Accumulate(*delta_);
+    dag = &delta_->dag();
   } else {
     bfs_->Run(source);
     deps = &accumulator_.Accumulate(*bfs_);
@@ -131,9 +198,14 @@ const std::vector<double>& DependencyOracle::Dependencies(VertexId source) {
     if (cache_.size() >= cache_capacity_) cache_.clear();
     CacheEntry entry;
     entry.deps = *deps;
-    // Unweighted passes keep their hop distances for the edit-survival
-    // test (ApplyGraphDelta); weighted passes invalidate wholesale.
-    if (!graph_->weighted()) entry.hops = dag->dist;
+    // Each pass keeps its distances for the edit-survival test
+    // (ApplyGraphDelta): hop distances unweighted, weighted distances
+    // weighted.
+    if (graph_->weighted()) {
+      entry.wdists = dag->wdist;
+    } else {
+      entry.hops = dag->dist;
+    }
     return cache_.emplace(source, std::move(entry)).first->second.deps;
   }
   return *deps;

@@ -9,8 +9,8 @@
 #include "graph/csr_graph.h"
 #include "graph/dynamic_graph.h"
 #include "sp/bfs_spd.h"
+#include "sp/delta_spd.h"
 #include "sp/dependency.h"
-#include "sp/dijkstra_spd.h"
 
 /// \file
 /// The per-sample work unit shared by all samplers: a single-source
@@ -43,19 +43,31 @@ namespace mhbc {
 /// leaves the pass' whole shortest-path DAG — distances, sigma, canonical
 /// order, and therefore the dependency vector bit-for-bit — unchanged iff
 /// dist(s,u) == dist(s,v) (an intra-level or fully-unreached edge lies on
-/// no shortest path, and inserting one creates none). Passes failing that
-/// test for any edit in the batch are dropped; survivors are extended with
-/// zeros for appended vertices and served exactly as a fresh pass on the
-/// new graph would compute them. Weighted graphs invalidate wholesale:
-/// Dijkstra's settle order among FP-tied distances is not a function of
-/// the DAG alone, so no per-pass survival test can promise bit-exactness.
+/// no shortest path, and inserting one creates none). Weighted passes keep
+/// their weighted-distance vector instead and survive an edit {u,v,w} iff
+/// (a) both endpoints were unreached (the edit happens outside the pass'
+/// component), or (b) both were reached, the edge is *slack both ways* —
+/// wdist(s,u) + w exceeds wdist(s,v) by more than the canonical tie
+/// epsilon and vice versa, so it lies on no shortest path, creates none,
+/// and creates or breaks no tie — and w leaves both endpoints' minimum
+/// incident weight unchanged (>= minw on insert, > minw on remove). The
+/// minw gate is what makes the test sound for DeltaSpd's canonical waves:
+/// wave membership — and with it the settle order, the level slices, and
+/// every floating-point regrouping downstream — is a function of distances
+/// and per-vertex minimum incident weights alone (the bucket width drifts
+/// with the mean edge weight, but outputs are invariant under it, see
+/// sp/delta_spd.h). Passes failing their test for any edit in the batch
+/// are dropped; survivors are extended with unreached sentinels for
+/// appended vertices and served exactly as a fresh pass on the new graph
+/// would compute them.
 class DependencyOracle {
  public:
   /// The graph must outlive the oracle. Weighted graphs automatically use
-  /// the Dijkstra engine; unweighted graphs use the BFS engine configured
-  /// by `spd` (kernel choice and α/β change only the work per pass — the
+  /// the canonical-wave delta-stepping engine, unweighted graphs the BFS
+  /// engine — both configured by `spd` (kernel choice, α/β, thread count,
+  /// grain, and bucket width change only the work per pass — the
   /// dependency vectors are bit-identical across all settings, see
-  /// sp/bfs_spd.h).
+  /// sp/bfs_spd.h and sp/delta_spd.h).
   explicit DependencyOracle(const CsrGraph& graph, SpdOptions spd = SpdOptions());
 
   /// Runs one pass from `source` and returns delta_{source.}(target).
@@ -73,8 +85,9 @@ class DependencyOracle {
 
   /// Enables memoization of up to `max_entries` dependency vectors
   /// (memory: max_entries * n doubles, plus n u32 hop distances per entry
-  /// on unweighted graphs; the cache is bulk-evicted when full). The hop
-  /// vectors are kept unconditionally — a +50% per-entry cost even for
+  /// on unweighted graphs or n doubles of weighted distances on weighted
+  /// ones; the cache is bulk-evicted when full). The distance vectors are
+  /// kept unconditionally — a +50-100% per-entry cost even for
   /// never-mutated workloads — because the passes memoized *before* the
   /// first edit are exactly the warm state ApplyGraphDelta exists to
   /// preserve; retaining distances lazily would force that first edit to
@@ -128,17 +141,19 @@ class DependencyOracle {
   const CsrGraph& graph() const { return *graph_; }
 
  private:
-  /// One memoized pass: the dependency vector plus (unweighted graphs
-  /// only) the pass' hop distances, kept for the edit-survival test.
+  /// One memoized pass: the dependency vector plus the pass' distances —
+  /// hop distances on unweighted graphs, weighted distances on weighted
+  /// ones — kept for the edit-survival test.
   struct CacheEntry {
     std::vector<double> deps;
     std::vector<std::uint32_t> hops;
+    std::vector<double> wdists;
   };
 
   const CsrGraph* graph_;
   SpdOptions spd_;
   std::unique_ptr<BfsSpd> bfs_;
-  std::unique_ptr<DijkstraSpd> dijkstra_;
+  std::unique_ptr<DeltaSpd> delta_;
   DependencyAccumulator accumulator_;
   std::uint64_t num_passes_ = 0;
   std::uint64_t cache_hits_ = 0;

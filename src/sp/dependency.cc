@@ -132,6 +132,11 @@ const std::vector<double>& DependencyAccumulator::Accumulate(
 }
 
 const std::vector<double>& DependencyAccumulator::Accumulate(
+    const DeltaSpd& delta) {
+  return Accumulate(delta.dag(), delta.graph());
+}
+
+const std::vector<double>& DependencyAccumulator::Accumulate(
     const DijkstraSpd& dijkstra) {
   return Accumulate(dijkstra.dag(), dijkstra.graph());
 }

@@ -4,6 +4,7 @@
 
 #include "graph/csr_graph.h"
 #include "sp/bfs_spd.h"
+#include "sp/delta_spd.h"
 #include "sp/dijkstra_spd.h"
 
 /// \file
@@ -13,25 +14,29 @@
 /// every vertex v via the recursion (paper Eq. 4):
 ///   delta_{s.}(v) = sum over SPD-successors w of v of
 ///                   sigma_sv / sigma_sw * (1 + delta_{s.}(w)).
-/// One accumulation costs O(|E|) after a BFS pass, O(|E|) after a Dijkstra
+/// One accumulation costs O(|E|) after a BFS pass, O(|E|) after a weighted
 /// pass — and only O(|SPD edges|) when the pass recorded explicit
-/// predecessor lists (the Dijkstra engine and the hybrid BFS kernel do),
+/// predecessor lists (the weighted engines and the hybrid BFS kernel do),
 /// because the backward sweep then walks the recorded parents instead of
 /// re-deriving them by full neighbor rescans.
 ///
 /// The sweep order is fixed by ForEachDeepestFirst (sp/spd.h): levels
-/// deepest-first, ascending vertex id within a level. That order is a
-/// property of the DAG alone — not of the traversal direction that built
-/// it — which is what makes dependency vectors bit-identical across SPD
-/// kernels and α/β settings.
+/// deepest-first, in the DAG's canonical within-level order (ascending id
+/// for BFS levels, ascending (wdist, id) for DeltaSpd waves). That order
+/// is a property of the DAG alone — not of the traversal direction that
+/// built it — which is what makes dependency vectors bit-identical across
+/// SPD kernels and α/β settings.
 ///
 /// With a borrowed worker pool the sweep runs level-parallel under the
-/// same fixed-shard discipline as the BFS kernels: per level, fixed shards
-/// of the level slice bucket per-parent contributions sigma_v * coeff_w by
-/// destination range, then each range owner folds its deltas walking the
-/// buckets in shard order. For any fixed parent the contributions fold in
-/// ascending-w order — exactly the sequential sweep's regrouping — so
-/// delta vectors stay bit-identical at every thread count.
+/// same fixed-shard discipline as the BFS kernels for every DAG that
+/// carries level offsets — BFS levels and DeltaSpd settle waves alike: per
+/// level, fixed shards of the level slice bucket per-parent contributions
+/// sigma_v * coeff_w by destination range, then each range owner folds its
+/// deltas walking the buckets in shard order. For any fixed parent the
+/// contributions fold in level-slice order — exactly the sequential
+/// sweep's regrouping — so delta vectors stay bit-identical at every
+/// thread count. Heap-order (Dijkstra) DAGs carry no level structure and
+/// keep the sequential reverse-settle sweep.
 
 namespace mhbc {
 
@@ -59,8 +64,9 @@ class DependencyAccumulator {
   const std::vector<double>& Accumulate(const ShortestPathDag& dag,
                                         const CsrGraph& graph);
 
-  /// Convenience overloads for the two engines.
+  /// Convenience overloads for the engines.
   const std::vector<double>& Accumulate(const BfsSpd& bfs);
+  const std::vector<double>& Accumulate(const DeltaSpd& delta);
   const std::vector<double>& Accumulate(const DijkstraSpd& dijkstra);
 
   /// Dependency of the last pass' source on v (0 for unreached vertices and

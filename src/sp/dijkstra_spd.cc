@@ -8,6 +8,7 @@ namespace mhbc {
 
 DijkstraSpd::DijkstraSpd(const CsrGraph& graph, double tie_epsilon)
     : graph_(&graph), tie_epsilon_(tie_epsilon) {
+  MHBC_DCHECK(tie_epsilon_ >= 0.0);
   const VertexId n = graph.num_vertices();
   dag_.wdist.assign(n, -1.0);  // -1 marks unreached
   dag_.sigma.assign(n, 0);

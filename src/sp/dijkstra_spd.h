@@ -24,9 +24,12 @@ namespace mhbc {
 class DijkstraSpd {
  public:
   /// The graph must be weighted with positive weights and outlive the
-  /// engine. Tie detection treats distances within `tie_epsilon`
-  /// (relative) as equal; 0 requires exact FP equality.
-  explicit DijkstraSpd(const CsrGraph& graph, double tie_epsilon = 1e-12);
+  /// engine. Tie detection follows the canonical tie rule (see
+  /// SpdOptions::tie_epsilon — this engine shares it with DeltaSpd):
+  /// distances within `tie_epsilon` (relative) are equal; 0 requires exact
+  /// FP equality. Must be >= 0 (validated).
+  explicit DijkstraSpd(const CsrGraph& graph,
+                       double tie_epsilon = kDefaultTieEpsilon);
 
   /// Computes wdist/sigma/order/predecessors from `source`.
   void Run(VertexId source);

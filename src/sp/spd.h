@@ -29,11 +29,20 @@ enum class SpdKernel {
   kHybrid,
 };
 
-/// Tuning knobs for the unweighted SPD engine. Every knob — kernel choice,
-/// the α/β thresholds, the thread count, the parallel grain — changes only
-/// the work a pass does: dist, sigma, the canonical order, and every
-/// dependency vector downstream are bit-identical across all settings (see
-/// BfsSpd for why).
+/// Default relative tie window for weighted passes: two floating-point
+/// path lengths within this relative distance count as the same shortest
+/// distance (the canonical tie rule both weighted engines share — see
+/// SpdOptions::tie_epsilon).
+inline constexpr double kDefaultTieEpsilon = 1e-12;
+
+/// Tuning knobs for the SPD engines (BfsSpd for unweighted graphs,
+/// DeltaSpd/DijkstraSpd for weighted). Every knob except tie_epsilon —
+/// kernel choice, the α/β thresholds, the thread count, the parallel
+/// grain, the bucket width — changes only the work a pass does: dist,
+/// sigma, the canonical order, and every dependency vector downstream are
+/// bit-identical across all settings (see BfsSpd and DeltaSpd for why).
+/// tie_epsilon is an *accuracy* knob (it defines which weighted paths
+/// count as shortest) and therefore part of the determinism key.
 struct SpdOptions {
   SpdKernel kernel = SpdKernel::kHybrid;
   /// Intra-pass parallelism: number of threads one SPD pass (and its fused
@@ -67,6 +76,24 @@ struct SpdOptions {
   /// the frontier is shrinking and has fewer than n / beta vertices.
   /// beta <= 0 disables this exit (the profit-test exit still applies).
   double beta = 24.0;
+  /// Weighted passes only — the canonical tie rule: two path lengths a, b
+  /// are the same shortest distance when a == b or |a - b| <=
+  /// tie_epsilon * max(|a|, |b|); 0 requires exact FP equality. A parent u
+  /// becomes an SPD predecessor of v exactly when its candidate
+  /// wdist(u) + w(u,v) ties wdist(v) under this rule and u settles before
+  /// v stops accepting candidates (DeltaSpd settles whole waves, so a tie
+  /// that lands within tie_epsilon of the wave-settle bound is dropped —
+  /// deterministically, at every thread count). Must be >= 0 (validated by
+  /// both weighted engines) and should stay well below the smallest
+  /// relative weight difference in the graph.
+  double tie_epsilon = kDefaultTieEpsilon;
+  /// Weighted passes only — the delta-stepping bucket width. 0 (default)
+  /// picks the canonical width: the graph's mean edge weight, a pure
+  /// function of the graph and never of the thread count. The width is a
+  /// speed knob: DeltaSpd's wave structure — and with it every output bit
+  /// — is invariant under it (waves are defined by distances and per-vertex
+  /// minimum incident weights alone; buckets only organize the scan).
+  double delta_width = 0.0;
 };
 
 /// Result arrays of one single-source pass. Arrays are indexed by vertex id
@@ -79,17 +106,23 @@ struct ShortestPathDag {
   std::vector<double> wdist;
   /// Number of shortest source->v paths.
   std::vector<SigmaCount> sigma;
-  /// Vertices in settle order (non-decreasing distance), source first.
-  /// Doubles as the touched-list used to reset state in O(|reached|).
-  /// Unweighted passes store the *canonical* order — ascending vertex id
-  /// within each level, independent of traversal direction — so the
-  /// backward dependency sweep regroups identically for every kernel.
+  /// Vertices in settle order, source first — always a topological order
+  /// of the SPD (every parent precedes every child), which is what the
+  /// backward dependency sweep needs. Doubles as the touched-list used to
+  /// reset state in O(|reached|). Unweighted passes store the *canonical*
+  /// order — ascending vertex id within each level, independent of
+  /// traversal direction; DeltaSpd weighted passes store *its* canonical
+  /// order — ascending (wdist, id) within each settle wave — so the
+  /// backward sweep regroups identically at every thread count.
   std::vector<VertexId> order;
-  /// Per-level slices of `order` for unweighted passes:
-  /// order[level_offsets[l] .. level_offsets[l+1]) holds the vertices at
-  /// hop distance l. These are the pass' frontiers, retained so the
-  /// backward sweep walks levels deepest-first without re-deriving the
-  /// level structure. Empty for weighted (Dijkstra) passes.
+  /// Per-level slices of `order`:
+  /// order[level_offsets[l] .. level_offsets[l+1]) holds the vertices of
+  /// level l — the BFS frontier at hop distance l for unweighted passes,
+  /// the l-th settle wave for DeltaSpd weighted passes. Either way no SPD
+  /// edge connects two vertices of the same level, so the backward sweep
+  /// walks levels deepest-first (and level-parallel) without re-deriving
+  /// the structure. Empty for heap-order (Dijkstra) passes, which fall
+  /// back to reverse settle order.
   std::vector<std::size_t> level_offsets;
   /// Explicit SPD predecessor (parent) lists in CSR-capacity layout:
   /// vertex v's parents occupy
