@@ -1,7 +1,7 @@
 // mhbc_tool — multitool CLI over the BetweennessEngine session API.
 //
 //   mhbc_tool [--threads=<k>] [--spd-threads=<k>] [--json] [--graph=<file>]
-//             [--cache-dir=<dir>] <command> ...
+//             [--cache-dir=<dir>] [--directed] <command> ...
 //
 //   mhbc_tool stats      <graph>
 //   mhbc_tool inspect    <file>
@@ -52,6 +52,10 @@
 //   --cache-dir=<d>  snapshot cache: text datasets are parsed once,
 //                    snapshotted under <d>, and mmap-loaded zero-copy on
 //                    every later run.
+//   --directed       ingest text formats as directed: edge-list lines
+//                    stay the arc u→v (Matrix Market entries row→col)
+//                    instead of symmetrizing. Snapshots carry their own
+//                    directed flag and ignore this.
 //
 // Every command builds ONE engine per invocation; multi-vertex estimates
 // and the rank command's score+order pair amortize their passes through
@@ -94,6 +98,7 @@ struct ToolFlags {
   unsigned threads = 1;
   unsigned spd_threads = 0;  // --spd-threads= intra-pass width (0 = inherit)
   bool json = false;
+  bool directed = false;  // --directed: ingest text formats as directed
   std::string graph;      // --graph= default graph file
   std::string cache_dir;  // --cache-dir= snapshot cache
 };
@@ -191,6 +196,7 @@ mhbc::StatusOr<std::vector<VertexId>> ParseVertices(const char* csv) {
 /// connected G, and SNAP files ship satellite components).
 mhbc::StatusOr<mhbc::GraphSource> Load(const std::string& path) {
   mhbc::IngestOptions options;
+  options.directed = g_flags.directed;
   options.largest_component_only = true;
   options.cache_dir = g_flags.cache_dir;
   return mhbc::OpenGraphSource(path, options);
@@ -238,6 +244,7 @@ int CmdInspect(const std::string& path) {
     table.AddRow({"n", mhbc::FormatCount(s.num_vertices)});
     table.AddRow({"m", mhbc::FormatCount(s.num_edges)});
     table.AddRow({"weighted", s.weighted ? "yes" : "no"});
+    table.AddRow({"directed", s.directed ? "yes" : "no"});
     table.AddRow({"file bytes", mhbc::FormatCount(s.file_bytes)});
     char checksum[32];
     std::snprintf(checksum, sizeof(checksum), "%016llx",
@@ -249,6 +256,7 @@ int CmdInspect(const std::string& path) {
   }
   // Text formats: parse without preprocessing and report the basics.
   mhbc::IngestOptions options;
+  options.directed = g_flags.directed;
   auto source = mhbc::OpenGraphSource(path, options);
   if (!source.ok()) return Fail(source.status());
   const CsrGraph& graph = source.value().graph();
@@ -256,13 +264,20 @@ int CmdInspect(const std::string& path) {
   table.AddRow({"n", mhbc::FormatCount(graph.num_vertices())});
   table.AddRow({"m", mhbc::FormatCount(graph.num_edges())});
   table.AddRow({"weighted", graph.weighted() ? "yes" : "no"});
+  table.AddRow({"directed", graph.directed() ? "yes" : "no"});
+  if (source.value().mirrored_pairs() > 0) {
+    table.AddRow({"mirrored pairs",
+                  mhbc::FormatCount(source.value().mirrored_pairs())});
+  }
   PrintTableOrJson(table);
   return 0;
 }
 
 int CmdConvert(const std::string& in, const std::string& out) {
   // Faithful transcode: no component extraction or relabeling.
-  auto source = mhbc::OpenGraphSource(in, mhbc::IngestOptions());
+  mhbc::IngestOptions convert_options;
+  convert_options.directed = g_flags.directed;
+  auto source = mhbc::OpenGraphSource(in, convert_options);
   if (!source.ok()) return Fail(source.status());
   const CsrGraph& graph = source.value().graph();
   const mhbc::GraphFileFormat out_format = [&out] {
@@ -629,10 +644,13 @@ int main(int raw_argc, char** raw_argv) {
       if (g_flags.cache_dir.empty()) {
         return UsageError("--cache-dir expects a directory path");
       }
+    } else if (arg == "--directed") {
+      g_flags.directed = true;
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
       return UsageError("unknown flag '" + arg +
                         "' (flags: --threads=<k>, --spd-threads=<k>, "
-                        "--json, --graph=<file>, --cache-dir=<dir>)");
+                        "--json, --graph=<file>, --cache-dir=<dir>, "
+                        "--directed)");
     } else {
       args.push_back(raw_argv[i]);
     }

@@ -48,6 +48,8 @@ MhResult MhBetweennessSampler::Run(VertexId r, std::uint64_t iterations) {
   };
   if (options_.burn_in == 0) record_state(current, delta_current);
 
+  // Degree-proportional total mass: sum of degrees = 2m undirected, and
+  // sum of (outdeg + indeg) = 2m arcs directed — num_edges()*2 either way.
   const double total_proposal_mass =
       options_.proposal == ProposalKind::kUniform
           ? static_cast<double>(n)

@@ -29,24 +29,27 @@ VertexId DrawProposal(const CsrGraph& graph, ProposalKind kind, Rng* rng) {
       // proportionally to degree. Isolated vertices get zero proposal mass,
       // which the Hastings correction accounts for (they also have zero
       // dependency, so excluding them does not bias the estimate support).
-      const std::uint64_t entries = graph.num_edges() * 2;
+      //
+      // Undirected: the 2m-entry adjacency array alone realizes the draw
+      // (each edge contributes both endpoints). Directed: the out-CSR
+      // holds only m arc tails, so the draw spans the out array *and* the
+      // in array — slot ownership over out ⊎ in is proportional to
+      // outdeg(v) + indeg(v), the total degree ProposalMass reports.
+      const std::uint64_t out_entries = graph.raw_adjacency().size();
+      const std::uint64_t entries =
+          graph.directed() ? out_entries + graph.raw_in_adjacency().size()
+                           : out_entries;
       MHBC_DCHECK(entries > 0);
-      const std::uint64_t pick = rng->NextBounded(entries);
-      // Binary search for the vertex owning adjacency slot `pick`, using
-      // neighbors(v).data() - neighbors(0).data() == CSR offset of v.
-      VertexId lo = 0;
-      VertexId hi = graph.num_vertices() - 1;
-      while (lo < hi) {
-        const VertexId mid = lo + (hi - lo + 1) / 2;
-        const auto base = static_cast<std::uint64_t>(
-            graph.neighbors(mid).data() - graph.neighbors(0).data());
-        if (base <= pick) {
-          lo = mid;
-        } else {
-          hi = mid - 1;
-        }
+      std::uint64_t pick = rng->NextBounded(entries);
+      std::span<const EdgeId> offsets = graph.raw_offsets();
+      if (pick >= out_entries) {
+        pick -= out_entries;
+        offsets = graph.raw_in_offsets();
       }
-      return lo;
+      // Owner of slot `pick`: the v with offsets[v] <= pick < offsets[v+1].
+      const auto it = std::upper_bound(offsets.begin(), offsets.end(),
+                                       static_cast<EdgeId>(pick));
+      return static_cast<VertexId>((it - offsets.begin()) - 1);
     }
   }
   MHBC_DCHECK(false);
@@ -58,7 +61,13 @@ double ProposalMass(const CsrGraph& graph, ProposalKind kind, VertexId v) {
     case ProposalKind::kUniform:
       return 1.0;
     case ProposalKind::kDegreeProportional:
-      return static_cast<double>(graph.degree(v));
+      // Directed mass is the total degree — the out ⊎ in slot count the
+      // draw above assigns to v. Undirected keeps degree(v) (in aliases
+      // out; doubling both masses would cancel in the Hastings ratio but
+      // needlessly change no-op arithmetic).
+      return graph.directed()
+                 ? static_cast<double>(graph.degree(v)) + graph.in_degree(v)
+                 : static_cast<double>(graph.degree(v));
   }
   MHBC_DCHECK(false);
   return 0.0;

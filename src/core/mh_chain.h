@@ -41,12 +41,14 @@ double MhAcceptanceProbability(double delta_current, double delta_proposed,
                                double q_current, double q_proposed);
 
 /// Draws a proposal vertex according to `kind`. Degree-proportional
-/// proposals draw an edge endpoint (degree-biased) in O(1) via the CSR
-/// adjacency array.
+/// proposals draw an edge endpoint (degree-biased) in O(log n) via the
+/// CSR adjacency array; on directed graphs the draw spans the out- and
+/// in-CSR together, so the bias is by total degree outdeg + indeg.
 VertexId DrawProposal(const CsrGraph& graph, ProposalKind kind, Rng* rng);
 
 /// Proposal mass q(v) (unnormalized is fine for ratios): 1 for uniform,
-/// degree(v) for degree-proportional.
+/// degree(v) for degree-proportional (outdeg(v) + indeg(v) on directed
+/// graphs, matching DrawProposal's slot ownership).
 double ProposalMass(const CsrGraph& graph, ProposalKind kind, VertexId v);
 
 }  // namespace mhbc

@@ -10,7 +10,7 @@
 namespace mhbc {
 
 void NormalizeScores(std::vector<double>* scores, Normalization norm,
-                     VertexId num_vertices) {
+                     VertexId num_vertices, bool directed) {
   if (norm == Normalization::kNone) return;
   const double n = static_cast<double>(num_vertices);
   double divisor = 1.0;
@@ -19,7 +19,9 @@ void NormalizeScores(std::vector<double>* scores, Normalization norm,
       divisor = n * (n - 1.0);
       break;
     case Normalization::kUnorderedPairs:
-      divisor = 2.0;
+      // Directed raw sums already count each ordered pair once — there is
+      // no double-counted unordered pair to halve.
+      divisor = directed ? 1.0 : 2.0;
       break;
     case Normalization::kNone:
       break;
@@ -83,7 +85,7 @@ std::vector<double> ExactBetweenness(const CsrGraph& graph,
       graph, 0, n, spd, [&scores, n](const std::vector<double>& delta) {
         for (VertexId v = 0; v < n; ++v) scores[v] += delta[v];
       });
-  NormalizeScores(&scores, norm, n);
+  NormalizeScores(&scores, norm, n, graph.directed());
   return scores;
 }
 
@@ -126,7 +128,7 @@ std::vector<double> BrandesBetweenness(const CsrGraph& graph,
           std::size_t) {
         for (VertexId v = 0; v < n; ++v) (*accum)[v] += partial[v];
       });
-  NormalizeScores(&scores, norm, n);
+  NormalizeScores(&scores, norm, n, graph.directed());
   return scores;
 }
 
@@ -138,7 +140,7 @@ double ExactBetweennessSingle(const CsrGraph& graph, VertexId r,
       graph, spd,
       [&raw, r](const std::vector<double>& delta) { raw += delta[r]; });
   std::vector<double> one{raw};
-  NormalizeScores(&one, norm, graph.num_vertices());
+  NormalizeScores(&one, norm, graph.num_vertices(), graph.directed());
   return one[0];
 }
 

@@ -10,9 +10,13 @@
 /// estimator in this library is evaluated against.
 ///
 /// Conventions. The *raw* score of v is sum over sources s != v of
-/// delta_{s.}(v); because the graph is undirected this counts each ordered
+/// delta_{s.}(v); on an undirected graph this counts each ordered
 /// (s, t) pair, i.e. each unordered pair twice. The paper's Eq. 1/3
 /// normalization divides the raw score by n(n-1), giving values in [0, 1].
+/// On a directed graph ordered pairs are the native counting unit, so the
+/// unordered-pair halving does not apply (kUnorderedPairs degrades to the
+/// raw ordered-pair sum); kPaper's n(n-1) is already an ordered-pair
+/// normalizer and carries over unchanged.
 
 namespace mhbc {
 
@@ -28,9 +32,10 @@ enum class Normalization {
 };
 
 /// Applies `norm` to a raw score vector (in place helper for callers that
-/// compute raw sums themselves).
+/// compute raw sums themselves). `directed` drops the kUnorderedPairs
+/// halving — ordered pairs are the native unit on directed graphs.
 void NormalizeScores(std::vector<double>* scores, Normalization norm,
-                     VertexId num_vertices);
+                     VertexId num_vertices, bool directed = false);
 
 /// Exact betweenness of all vertices. O(nm) unweighted, O(nm + n^2 log n)
 /// weighted. Works on disconnected graphs (unreachable pairs contribute 0).

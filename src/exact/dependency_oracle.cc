@@ -23,12 +23,30 @@ namespace {
 /// distances unchanged, so the stored vector stays valid for the next
 /// edit. Vertex appends never touch an existing pass.
 bool PassSurvivesEdits(const std::vector<std::uint32_t>& hops,
-                       std::span<const GraphEdit> edits) {
+                       std::span<const GraphEdit> edits, bool directed) {
   const auto dist_of = [&hops](VertexId v) {
     return v < hops.size() ? hops[v] : kUnreachedDistance;
   };
   for (const GraphEdit& edit : edits) {
     if (edit.kind == GraphEdit::Kind::kAddVertex) continue;
+    if (directed) {
+      // Directed arc u→v: only paths *through* the arc matter, and those
+      // enter at u. An unreached u can never feed the arc (insert or
+      // remove). A reached u leaves the DAG untouched iff the arc is
+      // slack: dist(u)+1 > dist(v) means it lies on no shortest path
+      // (remove deletes nothing) and cannot create or tie one (insert
+      // adds nothing). dist(u)+1 <= dist(v) — including an unreached v,
+      // which an insert would newly reach — can change distances or
+      // sigma, so the pass drops. The comparison is overflow-safe: u is
+      // reached, so dist(u)+1 fits.
+      const std::uint32_t du = dist_of(edit.u);
+      if (du == kUnreachedDistance) continue;
+      if (static_cast<std::uint64_t>(du) + 1 <=
+          static_cast<std::uint64_t>(dist_of(edit.v))) {
+        return false;
+      }
+      continue;
+    }
     if (dist_of(edit.u) != dist_of(edit.v)) return false;
   }
   return true;
@@ -51,7 +69,7 @@ bool PassSurvivesEdits(const std::vector<std::uint32_t>& hops,
 /// table) stay valid for the next edit.
 bool WeightedPassSurvivesEdits(const std::vector<double>& wdists,
                                std::span<const GraphEdit> edits,
-                               const DeltaSpd& delta) {
+                               const DeltaSpd& delta, bool directed) {
   const auto wdist_of = [&wdists](VertexId v) {
     return v < wdists.size() ? wdists[v] : -1.0;
   };
@@ -67,9 +85,30 @@ bool WeightedPassSurvivesEdits(const std::vector<double>& wdists,
     const double dv = wdist_of(edit.v);
     const bool u_reached = du >= 0.0;
     const bool v_reached = dv >= 0.0;
+    const double w = edit.weight;
+    if (directed) {
+      // Directed arc u→v: paths through it enter at u, so an unreached u
+      // makes the edit invisible to the pass. A reached u with an
+      // unreached v drops (an insert newly reaches v; a removal from a
+      // reached u to an unreached v cannot exist). Both reached survives
+      // iff the arc is slack one way — du + w strictly above dv and not
+      // within the canonical tie window — and w cannot change v's
+      // minimum *incoming* weight, the only minw the wave rule reads for
+      // relaxations into v (min_incident_weight is the min in-weight on
+      // directed graphs).
+      if (!u_reached) continue;
+      if (!v_reached) return false;
+      if (du + w < dv || equal(du + w, dv)) return false;
+      const double minw_v = delta.min_incident_weight(edit.v);
+      if (edit.kind == GraphEdit::Kind::kAddEdge) {
+        if (w < minw_v) return false;
+      } else {
+        if (w <= minw_v) return false;
+      }
+      continue;
+    }
     if (!u_reached && !v_reached) continue;
     if (u_reached != v_reached) return false;
-    const double w = edit.weight;
     // Slack both ways: on no shortest path, creates none, ties nothing.
     if (du + w < dv || equal(du + w, dv)) return false;
     if (dv + w < du || equal(dv + w, du)) return false;
@@ -124,17 +163,20 @@ void DependencyOracle::ApplyGraphDelta(const CsrGraph& new_graph,
                                        std::span<const GraphEdit> edits) {
   ++graph_epoch_;
   const bool weighted = graph_->weighted() && new_graph.weighted();
+  const bool directed = graph_->directed();
   if (!edits.empty()) {
-    if (graph_->weighted() != new_graph.weighted()) {
-      // A weightedness flip re-keys every distance; drop everything.
+    if (graph_->weighted() != new_graph.weighted() ||
+        graph_->directed() != new_graph.directed()) {
+      // A weightedness or directedness flip re-keys every distance; drop
+      // everything.
       invalidated_entries_ += cache_.size();
       cache_.clear();
     } else {
       for (auto it = cache_.begin(); it != cache_.end();) {
         const bool survives =
             weighted ? WeightedPassSurvivesEdits(it->second.wdists, edits,
-                                                 *delta_)
-                     : PassSurvivesEdits(it->second.hops, edits);
+                                                 *delta_, directed)
+                     : PassSurvivesEdits(it->second.hops, edits, directed);
         if (survives) {
           ++it;
         } else {

@@ -8,7 +8,7 @@ namespace mhbc {
 CsrGraph CsrGraph::WrapExternal(std::span<const EdgeId> offsets,
                                 std::span<const VertexId> neighbors,
                                 std::span<const double> weights,
-                                std::string name) {
+                                std::string name, bool directed) {
   MHBC_DCHECK(offsets.empty() || offsets.front() == 0);
   MHBC_DCHECK(offsets.empty() || offsets.back() == neighbors.size());
   MHBC_DCHECK(weights.empty() || weights.size() == neighbors.size());
@@ -19,14 +19,16 @@ CsrGraph CsrGraph::WrapExternal(std::span<const EdgeId> offsets,
   graph.num_adjacency_ = neighbors.size();
   graph.weights_ = weights.empty() ? nullptr : weights.data();
   graph.external_ = true;
+  graph.directed_ = directed;
   graph.name_ = std::move(name);
+  graph.BindIn();
   return graph;
 }
 
 CsrGraph CsrGraph::AdoptVerbatim(std::vector<EdgeId> offsets,
                                  std::vector<VertexId> neighbors,
-                                 std::vector<double> weights,
-                                 std::string name) {
+                                 std::vector<double> weights, std::string name,
+                                 bool directed) {
   MHBC_DCHECK(offsets.empty() || offsets.front() == 0);
   MHBC_DCHECK(offsets.empty() || offsets.back() == neighbors.size());
   MHBC_DCHECK(weights.empty() || weights.size() == neighbors.size());
@@ -34,6 +36,7 @@ CsrGraph CsrGraph::AdoptVerbatim(std::vector<EdgeId> offsets,
   graph.offsets_store_ = std::move(offsets);
   graph.neighbors_store_ = std::move(neighbors);
   graph.weights_store_ = std::move(weights);
+  graph.directed_ = directed;
   graph.name_ = std::move(name);
   graph.BindOwned();
   return graph;
@@ -46,10 +49,51 @@ void CsrGraph::BindOwned() {
   num_adjacency_ = neighbors_store_.size();
   weights_ = weights_store_.empty() ? nullptr : weights_store_.data();
   external_ = false;
+  BindIn();
+}
+
+void CsrGraph::BindIn() {
+  if (!directed_) {
+    in_offsets_store_.clear();
+    in_neighbors_store_.clear();
+    in_weights_store_.clear();
+    in_offsets_ = offsets_;
+    in_neighbors_ = neighbors_;
+    in_weights_ = weights_;
+    return;
+  }
+  const VertexId n = num_vertices();
+  // Counting sort by destination preserves ascending-source order within
+  // each in-neighbor slice (the out-CSR is scanned in ascending u), so the
+  // transpose is sorted without a per-vertex sort.
+  in_offsets_store_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t i = 0; i < num_adjacency_; ++i) {
+    ++in_offsets_store_[neighbors_[i] + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    in_offsets_store_[v + 1] += in_offsets_store_[v];
+  }
+  in_neighbors_store_.resize(num_adjacency_);
+  const bool has_weights = weights_ != nullptr;
+  if (has_weights) in_weights_store_.resize(num_adjacency_);
+  std::vector<EdgeId> cursor(in_offsets_store_.begin(),
+                             in_offsets_store_.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeId e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      const VertexId v = neighbors_[e];
+      const EdgeId slot = cursor[v]++;
+      in_neighbors_store_[slot] = u;
+      if (has_weights) in_weights_store_[slot] = weights_[e];
+    }
+  }
+  in_offsets_ = in_offsets_store_.data();
+  in_neighbors_ = in_neighbors_store_.data();
+  in_weights_ = has_weights ? in_weights_store_.data() : nullptr;
 }
 
 void CsrGraph::CopyFrom(const CsrGraph& other) {
   name_ = other.name_;
+  directed_ = other.directed_;
   if (other.external_) {
     // Copies of a view are views over the same external arrays; the
     // caller's lifetime contract (WrapExternal) covers them.
@@ -62,12 +106,46 @@ void CsrGraph::CopyFrom(const CsrGraph& other) {
     num_offsets_ = other.num_offsets_;
     num_adjacency_ = other.num_adjacency_;
     external_ = true;
+    // The transpose is owned even by views; copy rather than rebuild.
+    in_offsets_store_ = other.in_offsets_store_;
+    in_neighbors_store_ = other.in_neighbors_store_;
+    in_weights_store_ = other.in_weights_store_;
+    if (directed_) {
+      in_offsets_ = in_offsets_store_.data();
+      in_neighbors_ = in_neighbors_store_.data();
+      in_weights_ =
+          in_weights_store_.empty() ? nullptr : in_weights_store_.data();
+    } else {
+      in_offsets_ = offsets_;
+      in_neighbors_ = neighbors_;
+      in_weights_ = weights_;
+    }
     return;
   }
   offsets_store_ = other.offsets_store_;
   neighbors_store_ = other.neighbors_store_;
   weights_store_ = other.weights_store_;
-  BindOwned();
+  in_offsets_store_ = other.in_offsets_store_;
+  in_neighbors_store_ = other.in_neighbors_store_;
+  in_weights_store_ = other.in_weights_store_;
+  // BindOwned would rebuild the transpose; bind the pointers directly to
+  // the freshly copied stores instead.
+  offsets_ = offsets_store_.data();
+  num_offsets_ = offsets_store_.size();
+  neighbors_ = neighbors_store_.data();
+  num_adjacency_ = neighbors_store_.size();
+  weights_ = weights_store_.empty() ? nullptr : weights_store_.data();
+  external_ = false;
+  if (directed_) {
+    in_offsets_ = in_offsets_store_.data();
+    in_neighbors_ = in_neighbors_store_.data();
+    in_weights_ =
+        in_weights_store_.empty() ? nullptr : in_weights_store_.data();
+  } else {
+    in_offsets_ = offsets_;
+    in_neighbors_ = neighbors_;
+    in_weights_ = weights_;
+  }
 }
 
 void CsrGraph::MoveFrom(CsrGraph&& other) noexcept {
@@ -75,20 +153,31 @@ void CsrGraph::MoveFrom(CsrGraph&& other) noexcept {
   offsets_store_ = std::move(other.offsets_store_);
   neighbors_store_ = std::move(other.neighbors_store_);
   weights_store_ = std::move(other.weights_store_);
+  in_offsets_store_ = std::move(other.in_offsets_store_);
+  in_neighbors_store_ = std::move(other.in_neighbors_store_);
+  in_weights_store_ = std::move(other.in_weights_store_);
   // Moving a vector transfers its heap buffer, so other's pointers stay
   // valid for owned storage and unchanged for external views.
   offsets_ = other.offsets_;
   neighbors_ = other.neighbors_;
   weights_ = other.weights_;
+  in_offsets_ = other.in_offsets_;
+  in_neighbors_ = other.in_neighbors_;
+  in_weights_ = other.in_weights_;
   num_offsets_ = other.num_offsets_;
   num_adjacency_ = other.num_adjacency_;
   external_ = other.external_;
+  directed_ = other.directed_;
   other.offsets_ = nullptr;
   other.neighbors_ = nullptr;
   other.weights_ = nullptr;
+  other.in_offsets_ = nullptr;
+  other.in_neighbors_ = nullptr;
+  other.in_weights_ = nullptr;
   other.num_offsets_ = 0;
   other.num_adjacency_ = 0;
   other.external_ = false;
+  other.directed_ = false;
 }
 
 bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
@@ -114,7 +203,7 @@ std::vector<CsrGraph::Edge> CsrGraph::CollectEdges() const {
     const auto nbrs = neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
-      if (u < v) {
+      if (directed_ || u < v) {
         const double w = weighted() ? weights(u)[i] : 1.0;
         edges.push_back(Edge{u, v, w});
       }

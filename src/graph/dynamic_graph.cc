@@ -300,7 +300,16 @@ Status DynamicGraph::Apply(const GraphDelta& delta,
         const bool masked =
             edit.u < base_.num_vertices() && edit.v < base_.num_vertices() &&
             base_.HasEdge(edit.u, edit.v);
-        if (masked && cancel_mask(edit.u, edit.v)) {
+        if (directed()) {
+          // One arc, one overlay side: the reciprocal arc v→u is an
+          // independent edge and its overlay state stays untouched.
+          if (masked && cancel_mask(edit.u, edit.v)) {
+            staged_overlay -= 1;
+          } else {
+            AddDirected(&staged[edit.u], edit.v, edit.weight);
+            staged_overlay += 1;
+          }
+        } else if (masked && cancel_mask(edit.u, edit.v)) {
           const bool other = cancel_mask(edit.v, edit.u);
           MHBC_DCHECK(other);
           staged_overlay -= 2;
@@ -347,12 +356,18 @@ Status DynamicGraph::Apply(const GraphDelta& delta,
                   }();
         done.weight =
             ait != nullptr ? ait->weight : base_.EdgeWeight(edit.u, edit.v);
-        const bool cancelled_u =
-            RemoveDirected(base_, &staged[edit.u], edit.u, edit.v);
-        const bool cancelled_v =
-            RemoveDirected(base_, &staged[edit.v], edit.v, edit.u);
-        MHBC_DCHECK(cancelled_u == cancelled_v);
-        staged_overlay += cancelled_u ? -2 : 2;
+        if (directed()) {
+          const bool cancelled =
+              RemoveDirected(base_, &staged[edit.u], edit.u, edit.v);
+          staged_overlay += cancelled ? -1 : 1;
+        } else {
+          const bool cancelled_u =
+              RemoveDirected(base_, &staged[edit.u], edit.u, edit.v);
+          const bool cancelled_v =
+              RemoveDirected(base_, &staged[edit.v], edit.v, edit.u);
+          MHBC_DCHECK(cancelled_u == cancelled_v);
+          staged_overlay += cancelled_u ? -2 : 2;
+        }
         --staged_edges;
         staged_resolved.push_back(done);
         break;
@@ -501,7 +516,7 @@ void DynamicGraph::Compact() {
     offsets[v + 1] = offsets[v] + degree(v);
   }
   const std::size_t adjacency_len = static_cast<std::size_t>(offsets[n]);
-  MHBC_DCHECK(adjacency_len == 2 * num_edges_);
+  MHBC_DCHECK(adjacency_len == (directed() ? num_edges_ : 2 * num_edges_));
   std::vector<VertexId> adjacency(adjacency_len);
   std::vector<double> weight_array;
   if (weighted()) weight_array.resize(adjacency_len);
@@ -516,7 +531,8 @@ void DynamicGraph::Compact() {
   }
   std::string name = base_.name();
   base_ = CsrGraph::AdoptVerbatim(std::move(offsets), std::move(adjacency),
-                                  std::move(weight_array), std::move(name));
+                                  std::move(weight_array), std::move(name),
+                                  directed());
   overlay_.clear();
   extra_vertices_ = 0;
   overlay_edits_ = 0;
@@ -538,8 +554,11 @@ GraphDelta MakeRandomEditScript(const CsrGraph& graph, std::size_t num_edits,
   // valid in sequence.
   std::vector<std::pair<VertexId, VertexId>> edges;
   std::unordered_set<std::uint64_t> edge_set;
-  const auto key = [](VertexId u, VertexId v) {
-    if (u > v) std::swap(u, v);
+  // Directed scripts key on the *ordered* pair: the reciprocal arc is a
+  // distinct edge, so inserting v→u while u→v exists is valid.
+  const bool directed = graph.directed();
+  const auto key = [directed](VertexId u, VertexId v) {
+    if (!directed && u > v) std::swap(u, v);
     return (static_cast<std::uint64_t>(u) << 32) | v;
   };
   for (const CsrGraph::Edge& edge : graph.CollectEdges()) {

@@ -41,9 +41,12 @@ namespace mhbc {
 /// One edit operation inside a GraphDelta.
 struct GraphEdit {
   enum class Kind : std::uint8_t {
-    kAddEdge,     ///< insert undirected edge {u,v} (must not exist)
-    kRemoveEdge,  ///< delete undirected edge {u,v} (must exist)
-    kAddVertex,   ///< append one isolated vertex (u, v unused)
+    /// Insert edge {u,v} (must not exist). On a directed base the edit is
+    /// the single arc u→v; the reciprocal v→u stays independent.
+    kAddEdge,
+    /// Delete edge {u,v} (must exist); the arc u→v on a directed base.
+    kRemoveEdge,
+    kAddVertex,  ///< append one isolated vertex (u, v unused)
   };
   Kind kind = Kind::kAddEdge;
   VertexId u = kInvalidVertex;
@@ -139,20 +142,26 @@ class DynamicGraph {
     return base_.num_vertices() + extra_vertices_;
   }
 
-  /// Current undirected edge count.
+  /// Current edge count: undirected pairs, or arcs on a directed base.
   std::uint64_t num_edges() const { return num_edges_; }
 
   /// True when edges carry weights (fixed by the base graph).
   bool weighted() const { return base_.weighted(); }
 
-  /// Composed degree of v: base degree minus removed plus added.
+  /// True when edits are directed arcs (fixed by the base graph). The
+  /// overlay then stores only the out-side of each arc, and every
+  /// adjacency read below is an *out*-adjacency read.
+  bool directed() const { return base_.directed(); }
+
+  /// Composed (out-)degree of v: base degree minus removed plus added.
   std::uint32_t degree(VertexId v) const;
 
-  /// True if {u,v} is an edge of the composed graph.
+  /// True if {u,v} (the arc u→v when directed) is an edge of the
+  /// composed graph.
   bool HasEdge(VertexId u, VertexId v) const;
 
-  /// Weight of composed edge {u,v}; requires the edge to exist.
-  /// Unweighted graphs report 1.0.
+  /// Weight of composed edge {u,v} (arc u→v when directed); requires the
+  /// edge to exist. Unweighted graphs report 1.0.
   double EdgeWeight(VertexId u, VertexId v) const;
 
   /// One composed neighbor: id plus edge weight (1.0 when unweighted).
@@ -202,7 +211,7 @@ class DynamicGraph {
     NeighborIterator end_;
   };
 
-  /// Composed neighbors of v in ascending id order.
+  /// Composed (out-)neighbors of v in ascending id order.
   NeighborRange neighbors(VertexId v) const;
 
   /// Folds the overlay into a fresh owned CSR base and clears it. O(n+m).

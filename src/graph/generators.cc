@@ -293,11 +293,27 @@ CsrGraph MakeWattsStrogatz(VertexId n, std::uint32_t k, double beta,
   return MustBuild(&builder, "watts_strogatz");
 }
 
+CsrGraph MakeRandomDirected(VertexId n, std::uint64_t extra_arcs,
+                            std::uint64_t seed) {
+  MHBC_DCHECK(n >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.set_directed(true)
+      .set_ignore_self_loops(true)
+      .set_merge_duplicates(true);
+  for (VertexId v = 1; v < n; ++v) builder.AddEdge(v - 1, v);
+  for (std::uint64_t i = 0; i < extra_arcs; ++i) {
+    builder.AddEdge(rng.NextVertex(n), rng.NextVertex(n));
+  }
+  return MustBuild(&builder, "random_directed");
+}
+
 CsrGraph AssignUniformWeights(const CsrGraph& graph, double lo, double hi,
                               std::uint64_t seed) {
   MHBC_DCHECK(lo > 0.0 && hi >= lo);
   Rng rng(seed);
   GraphBuilder builder(graph.num_vertices());
+  builder.set_directed(graph.directed());
   for (const CsrGraph::Edge& e : graph.CollectEdges()) {
     const double w = lo + rng.NextDouble() * (hi - lo);
     builder.AddWeightedEdge(e.u, e.v, w);

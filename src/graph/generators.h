@@ -79,7 +79,15 @@ CsrGraph MakeBarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
 CsrGraph MakeWattsStrogatz(VertexId n, std::uint32_t k, double beta,
                            std::uint64_t seed);
 
+/// Deterministic weakly-connected *directed* graph: the spine
+/// 0→1→...→n-1 plus `extra_arcs` uniformly drawn arcs (self-loops
+/// skipped, duplicate arcs merged — reciprocal pairs stay two arcs).
+/// The directed stand-in the benches and tests share; n >= 2.
+CsrGraph MakeRandomDirected(VertexId n, std::uint64_t extra_arcs,
+                            std::uint64_t seed);
+
 /// Assigns uniform random weights in [lo, hi] to an unweighted graph.
+/// Directedness carries over (each arc draws its own weight).
 CsrGraph AssignUniformWeights(const CsrGraph& graph, double lo, double hi,
                               std::uint64_t seed);
 

@@ -12,6 +12,24 @@ ComponentInfo ConnectedComponents(const CsrGraph& graph) {
   ComponentInfo info;
   info.label.assign(n, kInvalidVertex);
   std::vector<VertexId> queue;
+  const auto visit = [&graph, &info, &queue](VertexId u, VertexId comp) {
+    for (VertexId v : graph.neighbors(u)) {
+      if (info.label[v] == kInvalidVertex) {
+        info.label[v] = comp;
+        queue.push_back(v);
+      }
+    }
+    // Directed graphs use *weak* connectivity (orientation ignored for
+    // membership), so the sweep also crosses arcs backwards. Undirected
+    // in-neighbors alias out-neighbors; skip the redundant second scan.
+    if (!graph.directed()) return;
+    for (VertexId v : graph.in_neighbors(u)) {
+      if (info.label[v] == kInvalidVertex) {
+        info.label[v] = comp;
+        queue.push_back(v);
+      }
+    }
+  };
   for (VertexId start = 0; start < n; ++start) {
     if (info.label[start] != kInvalidVertex) continue;
     const VertexId comp = info.num_components++;
@@ -23,12 +41,7 @@ ComponentInfo ConnectedComponents(const CsrGraph& graph) {
     while (head < queue.size()) {
       const VertexId u = queue[head++];
       ++size;
-      for (VertexId v : graph.neighbors(u)) {
-        if (info.label[v] == kInvalidVertex) {
-          info.label[v] = comp;
-          queue.push_back(v);
-        }
-      }
+      visit(u, comp);
     }
     info.sizes.push_back(size);
   }
@@ -110,11 +123,14 @@ CsrGraph InducedSubgraph(const CsrGraph& graph,
     remap[keep[i]] = static_cast<VertexId>(i);
   }
   GraphBuilder builder(static_cast<VertexId>(keep.size()));
+  builder.set_directed(graph.directed());
   for (VertexId old_u : keep) {
     const auto nbrs = graph.neighbors(old_u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId old_v = nbrs[i];
-      if (old_u >= old_v) continue;  // each undirected edge once
+      // Undirected: each edge once via its u < v orientation. Directed:
+      // every out-arc is its own edge.
+      if (!graph.directed() && old_u >= old_v) continue;
       if (remap[old_v] == kInvalidVertex) continue;
       const double w = graph.weighted() ? graph.weights(old_u)[i] : 1.0;
       builder.AddWeightedEdge(remap[old_u], remap[old_v], w);
@@ -141,11 +157,14 @@ CsrGraph ApplyVertexPermutation(const CsrGraph& graph,
   }
 #endif
   GraphBuilder builder(n);
+  builder.set_directed(graph.directed());
   for (VertexId u = 0; u < n; ++u) {
     const auto nbrs = graph.neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
-      if (u >= v) continue;  // each undirected edge once
+      // Undirected: each edge once via its u < v orientation. Directed:
+      // every out-arc is its own edge.
+      if (!graph.directed() && u >= v) continue;
       const double w = graph.weighted() ? graph.weights(u)[i] : 1.0;
       builder.AddWeightedEdge(new_id[u], new_id[v], w);
     }
@@ -161,9 +180,17 @@ std::vector<VertexId> DegreeDescendingPermutation(const CsrGraph& graph) {
   const VertexId n = graph.num_vertices();
   std::vector<VertexId> by_degree(n);
   for (VertexId v = 0; v < n; ++v) by_degree[v] = v;
+  // Directed graphs rank by total (out + in) degree — both CSRs get
+  // scanned by the kernels, so locality follows the combined incidence.
+  // Undirected in-degree aliases out-degree, so the rank is unchanged.
+  const auto total_degree = [&graph](VertexId v) -> std::uint64_t {
+    return graph.directed()
+               ? static_cast<std::uint64_t>(graph.degree(v)) + graph.in_degree(v)
+               : graph.degree(v);
+  };
   std::stable_sort(by_degree.begin(), by_degree.end(),
-                   [&graph](VertexId a, VertexId b) {
-                     return graph.degree(a) > graph.degree(b);
+                   [&total_degree](VertexId a, VertexId b) {
+                     return total_degree(a) > total_degree(b);
                    });
   std::vector<VertexId> new_id(n);
   for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;

@@ -33,7 +33,11 @@ void GraphBuilder::AddWeightedEdge(VertexId u, VertexId v, double w) {
     return;
   }
   if (w != 1.0) weighted_ = true;
-  edges_.push_back(PendingEdge{std::min(u, v), std::max(u, v), w});
+  if (directed_) {
+    edges_.push_back(PendingEdge{u, v, w});
+  } else {
+    edges_.push_back(PendingEdge{std::min(u, v), std::max(u, v), w});
+  }
 }
 
 StatusOr<CsrGraph> GraphBuilder::Build() {
@@ -48,6 +52,8 @@ StatusOr<CsrGraph> GraphBuilder::Build() {
 
   // Deduplicate; after sorting equal endpoints are adjacent with the
   // smallest weight first, so "keep first" implements "keep min weight".
+  // In directed mode endpoints are ordered pairs, so reciprocal arcs
+  // survive as two distinct edges.
   std::vector<PendingEdge> unique_edges;
   unique_edges.reserve(edges_.size());
   for (const PendingEdge& e : edges_) {
@@ -64,34 +70,38 @@ StatusOr<CsrGraph> GraphBuilder::Build() {
   }
 
   CsrGraph graph;
+  graph.directed_ = directed_;
   const std::size_t n = num_vertices_;
+  const std::size_t adjacency_len =
+      unique_edges.size() * (directed_ ? 1 : 2);
   std::vector<std::uint32_t> degree(n, 0);
   for (const PendingEdge& e : unique_edges) {
     ++degree[e.u];
-    ++degree[e.v];
+    if (!directed_) ++degree[e.v];
   }
   graph.offsets_store_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
     graph.offsets_store_[v + 1] = graph.offsets_store_[v] + degree[v];
   }
-  graph.neighbors_store_.resize(unique_edges.size() * 2);
-  if (weighted_) graph.weights_store_.resize(unique_edges.size() * 2);
+  graph.neighbors_store_.resize(adjacency_len);
+  if (weighted_) graph.weights_store_.resize(adjacency_len);
 
   std::vector<EdgeId> cursor(graph.offsets_store_.begin(), graph.offsets_store_.end() - 1);
   for (const PendingEdge& e : unique_edges) {
     graph.neighbors_store_[cursor[e.u]] = e.v;
-    graph.neighbors_store_[cursor[e.v]] = e.u;
-    if (weighted_) {
-      graph.weights_store_[cursor[e.u]] = e.weight;
-      graph.weights_store_[cursor[e.v]] = e.weight;
-    }
+    if (weighted_) graph.weights_store_[cursor[e.u]] = e.weight;
     ++cursor[e.u];
-    ++cursor[e.v];
+    if (!directed_) {
+      graph.neighbors_store_[cursor[e.v]] = e.u;
+      if (weighted_) graph.weights_store_[cursor[e.v]] = e.weight;
+      ++cursor[e.v];
+    }
   }
   // Edges were globally sorted by (u, v), so each vertex's neighbor slice is
-  // already ascending for the u-side inserts, but v-side inserts interleave;
-  // sort each slice (weights must follow their neighbor).
-  for (std::size_t v = 0; v < n; ++v) {
+  // already ascending for the u-side inserts (directed graphs are done
+  // here), but v-side inserts interleave; sort each slice (weights must
+  // follow their neighbor).
+  for (std::size_t v = 0; !directed_ && v < n; ++v) {
     const std::size_t begin = graph.offsets_store_[v];
     const std::size_t end = graph.offsets_store_[v + 1];
     if (!weighted_) {

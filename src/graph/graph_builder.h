@@ -10,24 +10,37 @@
 
 namespace mhbc {
 
-/// Collects undirected edges and finalizes them into an immutable CsrGraph.
+/// Collects edges and finalizes them into an immutable CsrGraph.
 ///
 /// Policy, matching the paper's graph model (§2): self-loops and duplicate
 /// edges are rejected by default (Build returns InvalidArgument) but can be
 /// silently dropped/merged via the setters, which the file loaders use since
-/// raw SNAP files contain both directions of each edge.
+/// raw SNAP files contain both directions of each edge. In directed mode
+/// (set_directed) AddEdge records the oriented arc u→v, a duplicate is the
+/// same ordered pair (so the reciprocal pair u→v plus v→u is two distinct
+/// arcs), and Build finalizes the out-CSR plus the in-CSR transpose.
 class GraphBuilder {
  public:
   /// `num_vertices` fixes the id range [0, n).
   explicit GraphBuilder(VertexId num_vertices);
 
-  /// Adds the undirected edge {u,v} with weight 1.
+  /// Adds the undirected edge {u,v} — or the arc u→v in directed mode —
+  /// with weight 1.
   void AddEdge(VertexId u, VertexId v);
 
-  /// Adds the undirected edge {u,v} with positive weight w. Mixing weighted
-  /// and unweighted edges makes the graph weighted (unweighted edges keep
-  /// weight 1).
+  /// Adds the undirected edge {u,v} — or the arc u→v in directed mode —
+  /// with positive weight w. Mixing weighted and unweighted edges makes
+  /// the graph weighted (unweighted edges keep weight 1).
   void AddWeightedEdge(VertexId u, VertexId v, double w);
+
+  /// Build a directed graph: edges keep their orientation. Must be set
+  /// before the first AddEdge (orientation is normalized away at insert
+  /// time in undirected mode).
+  GraphBuilder& set_directed(bool directed) {
+    MHBC_DCHECK(edges_.empty());
+    directed_ = directed;
+    return *this;
+  }
 
   /// Drop self-loops instead of failing.
   GraphBuilder& set_ignore_self_loops(bool ignore) {
@@ -58,6 +71,7 @@ class GraphBuilder {
 
   VertexId num_vertices_;
   std::vector<PendingEdge> edges_;
+  bool directed_ = false;
   bool weighted_ = false;
   bool ignore_self_loops_ = false;
   bool merge_duplicates_ = false;

@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -25,8 +26,20 @@ struct RawEdge {
 
 StatusOr<CsrGraph> ParseEdgeList(std::istream& in,
                                  const EdgeListOptions& options) {
+  if (options.stats != nullptr) *options.stats = EdgeListStats{};
+  if (!options.directed && !options.symmetrize) {
+    return Status::InvalidArgument(
+        "symmetrize=false requires directed=true (an undirected build "
+        "merges reverse duplicates by construction; set directed to keep "
+        "edge orientation)");
+  }
   std::vector<RawEdge> raw_edges;
   std::unordered_map<std::uint64_t, VertexId> id_map;
+  EdgeListStats stats;
+  // Orientation bitmask per unordered pair {u,v} of *remapped* ids
+  // (bit 0: the min→max arc seen, bit 1: max→min), so mirrored pairs are
+  // counted exactly once however often each orientation repeats.
+  std::unordered_map<std::uint64_t, unsigned char> orientations;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -62,6 +75,7 @@ StatusOr<CsrGraph> ParseEdgeList(std::istream& in,
       }
     }
     raw_edges.push_back(RawEdge{u, v, w});
+    ++stats.edge_lines;
     // Register ids in first-seen order for stable remapping.
     for (std::uint64_t id : {u, v}) {
       if (id_map.find(id) == id_map.end()) {
@@ -69,12 +83,27 @@ StatusOr<CsrGraph> ParseEdgeList(std::istream& in,
         id_map.emplace(id, next);
       }
     }
+    if (u == v) {
+      ++stats.self_loop_lines;
+    } else {
+      const VertexId mu = id_map.at(u);
+      const VertexId mv = id_map.at(v);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(mu, mv)) << 32) |
+          std::max(mu, mv);
+      const unsigned char bit = mu < mv ? 1 : 2;
+      unsigned char& mask = orientations[key];
+      if ((mask | bit) == 3 && mask != 3) ++stats.mirrored_pairs;
+      mask |= bit;
+    }
   }
+  if (options.stats != nullptr) *options.stats = stats;
   if (id_map.empty()) {
     return Status::InvalidArgument("edge list contains no edges");
   }
 
   GraphBuilder builder(static_cast<VertexId>(id_map.size()));
+  builder.set_directed(options.directed);
   builder.set_ignore_self_loops(true).set_merge_duplicates(true);
   for (const RawEdge& e : raw_edges) {
     builder.AddWeightedEdge(id_map.at(e.u), id_map.at(e.v), e.weight);
@@ -102,7 +131,8 @@ StatusOr<CsrGraph> LoadSnapEdgeList(const std::string& path,
 void WriteEdgeList(const CsrGraph& graph, std::ostream& out) {
   out << "# mhbc edge list: n=" << graph.num_vertices()
       << " m=" << graph.num_edges()
-      << (graph.weighted() ? " weighted" : "") << "\n";
+      << (graph.weighted() ? " weighted" : "")
+      << (graph.directed() ? " directed" : "") << "\n";
   for (const CsrGraph::Edge& e : graph.CollectEdges()) {
     out << e.u << '\t' << e.v;
     if (graph.weighted()) out << '\t' << e.weight;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -13,8 +14,13 @@
 /// whitespace-separated edge lists with '#' comment lines and arbitrary
 /// (non-dense, possibly directed-duplicated) vertex ids. LoadSnapEdgeList
 /// accepts exactly that shape so the real datasets drop in unchanged; the
-/// loader remaps ids to dense [0, n), ignores self-loops, and merges
-/// duplicate/reverse edges.
+/// loader remaps ids to dense [0, n) and ignores self-loops. Orientation
+/// handling is explicit (EdgeListOptions::directed / ::symmetrize): the
+/// default load symmetrizes — every line becomes an undirected edge and
+/// reverse duplicates merge — and a directed load keeps each line as the
+/// arc u→v. Either way EdgeListStats reports how many mirrored pairs the
+/// input contained, so a symmetrizing load of a directed source is a
+/// visible, measured decision instead of a silent one.
 ///
 /// This is the lowest-level text path. Most callers should go through
 /// the format-sniffing ingestion front-end (graph/ingest.h), which also
@@ -24,14 +30,45 @@
 
 namespace mhbc {
 
+/// Parse-side counters of one edge-list load (EdgeListOptions::stats).
+struct EdgeListStats {
+  /// Edge lines parsed (after comment/blank stripping), incl. self-loops.
+  std::size_t edge_lines = 0;
+  /// Self-loop lines ("u u"), which never produce an edge.
+  std::size_t self_loop_lines = 0;
+  /// Unordered pairs {u,v} that appeared in *both* orientations. A
+  /// symmetrizing load folds each such pair into one undirected edge (the
+  /// historically silent symmetrization, now counted); a directed load
+  /// keeps them as two reciprocal arcs. A non-zero count is the loader's
+  /// directedness detection signal: the source distinguishes orientations.
+  std::size_t mirrored_pairs = 0;
+};
+
 /// Options for LoadSnapEdgeList / ParseEdgeList.
 struct EdgeListOptions {
   /// Lines whose third column parses as a positive double become weighted
   /// edges; otherwise a third column is an error.
   bool allow_weights = false;
   /// Keep only the largest connected component (the paper assumes a
-  /// connected G; SNAP graphs have small satellite components).
+  /// connected G; SNAP graphs have small satellite components). On a
+  /// directed load the component is the largest *weakly* connected one
+  /// (orientation ignored for membership, preserved in the result).
   bool largest_component_only = false;
+  /// Parse each line as the directed arc u→v and build a directed graph
+  /// (reciprocal lines stay distinct arcs; duplicate identical arcs still
+  /// merge). When false the load is undirected per `symmetrize` below.
+  bool directed = false;
+  /// Undirected loads only: merge reverse-oriented duplicates ("1 2" and
+  /// "2 1") into one undirected edge. This is the historical SNAP-loader
+  /// behavior, now an explicit named decision; it must stay true on an
+  /// undirected load (an undirected build merges reverse duplicates by
+  /// construction, so directed=false with symmetrize=false is rejected as
+  /// InvalidArgument — set directed=true to keep orientation). Ignored
+  /// when directed.
+  bool symmetrize = true;
+  /// When non-null, filled with the parse counters (always written, even
+  /// on a load that later fails in the builder).
+  EdgeListStats* stats = nullptr;
 };
 
 /// Parses an edge list from an input stream. See EdgeListOptions.
@@ -58,12 +95,15 @@ StatusOr<std::vector<VertexId>> ParseVertexIdListStrict(const std::string& csv);
 /// *why* the list was rejected.
 std::vector<VertexId> ParseVertexIdList(const std::string& csv);
 
-/// Writes "u v [w]" lines (u < v, dense ids) plus a '#' header. Output
-/// round-trips through LoadSnapEdgeList (note the loader's first-seen id
-/// remap: ids survive the round trip only when already dense in
-/// first-seen order). The weighted-edge-list dialect emitted here is
-/// specified in docs/formats.md; for a binary artifact that preserves
-/// the CSR arrays byte-for-byte, use SaveSnapshot (graph/snapshot.h).
+/// Writes "u v [w]" lines (u < v undirected; one line per arc u→v, in
+/// CSR order, directed — the header comment then carries a "directed"
+/// tag) plus a '#' header. Output round-trips through LoadSnapEdgeList
+/// (with EdgeListOptions::directed matching the graph; note the loader's
+/// first-seen id remap: ids survive the round trip only when already
+/// dense in first-seen order). The weighted-edge-list dialect emitted
+/// here is specified in docs/formats.md; for a binary artifact that
+/// preserves the CSR arrays byte-for-byte, use SaveSnapshot
+/// (graph/snapshot.h).
 Status WriteEdgeList(const CsrGraph& graph, const std::string& path);
 
 /// Stream variant of WriteEdgeList.

@@ -52,6 +52,7 @@ std::string CacheFileName(const std::string& path, const fs::path& source,
                          : std::to_string(
                                mtime.time_since_epoch().count()));
   hash = FnvMix(hash, GraphFileFormatName(format));
+  hash = FnvMix(hash, options.directed ? "directed" : "-");
   hash = FnvMix(hash, options.largest_component_only ? "lcc" : "-");
   hash = FnvMix(hash, options.degree_relabel ? "relabel" : "-");
   hash = FnvMix(hash, std::to_string(kSnapshotFormatVersion));
@@ -79,12 +80,16 @@ bool Preprocess(const IngestOptions& options, CsrGraph* graph) {
 }
 
 StatusOr<CsrGraph> LoadTextFormat(const std::string& path,
-                                  GraphFileFormat format) {
+                                  GraphFileFormat format,
+                                  const IngestOptions& ingest,
+                                  EdgeListStats* stats) {
   if (format == GraphFileFormat::kMatrixMarket) {
-    return LoadMatrixMarket(path);
+    return LoadMatrixMarket(path, ingest.directed);
   }
   EdgeListOptions options;
   options.allow_weights = format == GraphFileFormat::kWeightedEdgeList;
+  options.directed = ingest.directed;
+  options.stats = stats;
   return LoadSnapEdgeList(path, options);
 }
 
@@ -176,7 +181,8 @@ StatusOr<GraphSource> OpenGraphSource(const std::string& path,
     }
   }
 
-  auto loaded = LoadTextFormat(path, format);
+  EdgeListStats stats;
+  auto loaded = LoadTextFormat(path, format, options, &stats);
   if (!loaded.ok()) return loaded.status();
   CsrGraph graph = std::move(loaded).value();
   Preprocess(options, &graph);
@@ -187,17 +193,23 @@ StatusOr<GraphSource> OpenGraphSource(const std::string& path,
     if (!ec && SaveSnapshot(graph, cache_file.string()).ok()) {
       auto cached = GraphSource::FromSnapshotFile(
           cache_file.string(), snapshot_options, /*cache_hit=*/false, format);
-      if (cached.ok()) return cached;
+      if (cached.ok()) {
+        // The parse ran this open, so its directedness-detection counter
+        // is known even though the graph is served from the fresh cache.
+        cached.value().mirrored_pairs_ = stats.mirrored_pairs;
+        return cached;
+      }
     }
     // Cache write/read-back failed (read-only dir, disk full): the parsed
     // graph is still good — serve it and leave caching for another run.
   }
   GraphSource source = GraphSource::FromOwned(std::move(graph), format);
+  source.mirrored_pairs_ = stats.mirrored_pairs;
   if (!cache_file.empty()) source.snapshot_path_ = cache_file.string();
   return source;
 }
 
-StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path) {
+StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path, bool directed) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
@@ -260,7 +272,9 @@ StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path) {
                                    std::to_string(rows) + " out of range");
   }
 
+  const bool symmetric = symmetry == "symmetric";
   GraphBuilder builder(static_cast<VertexId>(rows));
+  builder.set_directed(directed);
   builder.set_ignore_self_loops(true).set_merge_duplicates(true);
   std::uint64_t seen = 0;
   while (seen < entries && std::getline(in, line)) {
@@ -293,6 +307,13 @@ StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path) {
     }
     builder.AddWeightedEdge(static_cast<VertexId>(i - 1),
                             static_cast<VertexId>(j - 1), value);
+    // A `symmetric` file stores one triangle; a directed load must
+    // materialize both orientations of each off-diagonal entry (the
+    // undirected builder produces the mirror by construction).
+    if (directed && symmetric && i != j) {
+      builder.AddWeightedEdge(static_cast<VertexId>(j - 1),
+                              static_cast<VertexId>(i - 1), value);
+    }
     ++seen;
   }
   if (seen < entries) {
@@ -313,17 +334,30 @@ Status WriteMatrixMarket(const CsrGraph& graph, const std::string& path) {
     return Status::IoError("cannot open '" + path + "' for writing");
   }
   const bool weighted = graph.weighted();
+  const bool directed = graph.directed();
+  // A directed adjacency matrix is not symmetric: it must carry the
+  // `general` banner with one entry per arc. The `symmetric` banner is
+  // reserved for undirected graphs (where it halves the file and the
+  // loader mirrors), and that branch is byte-identical to what every
+  // prior version wrote, so undirected round trips stay byte-stable.
   out << "%%MatrixMarket matrix coordinate "
-      << (weighted ? "real" : "pattern") << " symmetric\n";
+      << (weighted ? "real" : "pattern")
+      << (directed ? " general\n" : " symmetric\n");
   out << "% mhbc graph: n=" << graph.num_vertices()
-      << " m=" << graph.num_edges() << "\n";
+      << " m=" << graph.num_edges()
+      << (directed ? " directed" : "") << "\n";
   out << graph.num_vertices() << ' ' << graph.num_vertices() << ' '
       << graph.num_edges() << '\n';
   char value[32];
   for (const CsrGraph::Edge& e : graph.CollectEdges()) {
-    // Symmetric coordinate entries live in the lower triangle (row >= col);
-    // CollectEdges yields u < v, so v becomes the row.
-    out << (e.v + 1) << ' ' << (e.u + 1);
+    // Undirected: symmetric coordinate entries live in the lower triangle
+    // (row >= col); CollectEdges yields u < v, so v becomes the row.
+    // Directed: entry (row=u, col=v) is the arc u→v, one per arc.
+    if (directed) {
+      out << (e.u + 1) << ' ' << (e.v + 1);
+    } else {
+      out << (e.v + 1) << ' ' << (e.u + 1);
+    }
     if (weighted) {
       std::snprintf(value, sizeof(value), " %.17g", e.weight);
       out << value;

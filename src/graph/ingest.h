@@ -57,7 +57,15 @@ GraphFileFormat SniffGraphFormat(const std::string& path);
 /// cache entry is only ever served for the exact pipeline that wrote it.
 struct IngestOptions {
   GraphFileFormat format = GraphFileFormat::kAuto;
-  /// Keep only the largest connected component (no-op when connected).
+  /// Ingest text formats as a *directed* graph: edge-list lines stay the
+  /// arc u→v, Matrix Market entries the arc row→col (a `symmetric` MM
+  /// file contributes both orientations). Off by default — the historical
+  /// symmetrizing load, which GraphSource::mirrored_pairs() now
+  /// quantifies instead of hiding. Snapshots carry their own directed
+  /// flag and ignore this option.
+  bool directed = false;
+  /// Keep only the largest connected component (no-op when connected;
+  /// weakly connected on directed graphs).
   bool largest_component_only = false;
   /// Relabel vertices degree-descending for CSR cache locality
   /// (DegreeDescendingPermutation). Changes vertex ids!
@@ -101,6 +109,19 @@ class GraphSource {
   /// Format of the file actually opened (never kAuto).
   GraphFileFormat source_format() const { return format_; }
 
+  /// Directedness of the ingested graph: true when IngestOptions::directed
+  /// forced a directed text load or the opened snapshot carries the v2
+  /// directed flag. Mirrors graph().directed(); recorded here so callers
+  /// holding only the source metadata can report it.
+  bool directed() const { return graph().directed(); }
+
+  /// Mirrored-pair count detected by the text parse: unordered pairs that
+  /// appeared in both orientations (see EdgeListStats::mirrored_pairs). A
+  /// non-zero count on an undirected load measures how much orientation
+  /// the symmetrization discarded — the loader's directedness-detection
+  /// signal. Zero for snapshots and cache hits (the parse never ran).
+  std::size_t mirrored_pairs() const { return mirrored_pairs_; }
+
   /// Plumbing factory: wraps an already-built owning graph (used by the
   /// dataset registry and as the no-cache fallback).
   static GraphSource FromOwned(CsrGraph graph, GraphFileFormat origin);
@@ -120,6 +141,7 @@ class GraphSource {
   CsrGraph owned_;
   bool use_mapped_ = false;
   bool cache_hit_ = false;
+  std::size_t mirrored_pairs_ = 0;
   std::string snapshot_path_;
   GraphFileFormat format_ = GraphFileFormat::kAuto;
 };
@@ -129,16 +151,21 @@ class GraphSource {
 StatusOr<GraphSource> OpenGraphSource(const std::string& path,
                                       const IngestOptions& options = IngestOptions());
 
-/// Loads a Matrix Market coordinate file as an undirected graph:
-/// real/integer values become positive edge weights (all-1 values yield
-/// an unweighted graph), pattern entries unweighted edges; self-loops are
-/// dropped and duplicate/general-format mirror entries merged. The matrix
-/// must be square.
-StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path);
+/// Loads a Matrix Market coordinate file: real/integer values become
+/// positive edge weights (all-1 values yield an unweighted graph),
+/// pattern entries unweighted edges; self-loops are dropped; the matrix
+/// must be square. Undirected (default): duplicate/general-format mirror
+/// entries merge. Directed: each entry is the arc row→col; a `symmetric`
+/// file contributes both orientations of every off-diagonal entry.
+StatusOr<CsrGraph> LoadMatrixMarket(const std::string& path,
+                                    bool directed = false);
 
-/// Writes `graph` as Matrix Market coordinate (symmetric; `real` when
-/// weighted, `pattern` otherwise). Output round-trips through
-/// LoadMatrixMarket.
+/// Writes `graph` as Matrix Market coordinate (`real` when weighted,
+/// `pattern` otherwise). Undirected graphs use the `symmetric` banner
+/// with lower-triangle entries (byte-stable across round trips); directed
+/// graphs use the `general` banner with one entry per arc row=u, col=v in
+/// CSR order. Output round-trips through LoadMatrixMarket (pass
+/// directed=true for a `general` file written from a directed graph).
 Status WriteMatrixMarket(const CsrGraph& graph, const std::string& path);
 
 }  // namespace mhbc

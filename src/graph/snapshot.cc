@@ -1,5 +1,6 @@
 #include "graph/snapshot.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -22,25 +23,29 @@ namespace {
 // Byte-level layout (docs/formats.md is the normative spec):
 //
 //   [ 0..7 ]  magic "MHBCSNAP"
-//   [ 8..11]  u32  format version (kSnapshotFormatVersion)
+//   [ 8..11]  u32  format version (kSnapshotFormatVersion; v1 still reads)
 //   [12..15]  u32  byte-order marker 0x01020304 (rejects foreign endianness)
-//   [16..23]  u64  flags (bit 0: weighted; other bits must be zero)
+//   [16..23]  u64  flags (bit 0: weighted; bit 1, v2 only: directed;
+//                  other bits must be zero)
 //   [24..31]  u64  num_vertices n
-//   [32..39]  u64  adjacency length 2m
+//   [32..39]  u64  adjacency length (2m undirected, m directed)
 //   [40..47]  u64  name length in bytes
 //   [48..63]  reserved, zero
 //   [64.. ]   name bytes, zero-padded to a multiple of 8
 //             offsets array, (n+1) * u64
-//             adjacency array, 2m * u32, zero-padded to a multiple of 8
-//             weight array, 2m * f64 (present iff weighted)
+//             adjacency array, u32 entries, zero-padded to a multiple of 8
+//             weight array, f64 entries (present iff weighted)
 //   [last 8]  u64  FNV-1a 64 checksum of every preceding byte
 //
 // Every section starts 8-byte aligned (the header is 64 bytes and each
 // section is padded), so an mmap'ed file can serve the arrays in place.
+// Directed snapshots store the out-CSR only; the loader rebuilds the
+// in-CSR transpose (CsrGraph owns it even for zero-copy views).
 
 constexpr char kMagic[8] = {'M', 'H', 'B', 'C', 'S', 'N', 'A', 'P'};
 constexpr std::uint32_t kByteOrderMarker = 0x01020304u;
 constexpr std::uint64_t kFlagWeighted = 1;
+constexpr std::uint64_t kFlagDirected = 2;
 constexpr std::size_t kHeaderBytes = 64;
 
 constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
@@ -92,6 +97,7 @@ class ChecksumWriter {
 struct Layout {
   std::uint32_t version = 0;
   bool weighted = false;
+  bool directed = false;
   std::uint64_t num_vertices = 0;
   std::uint64_t adjacency_len = 0;
   std::uint64_t name_len = 0;
@@ -120,18 +126,32 @@ Status ParseLayout(const unsigned char* data, std::uint64_t file_size,
         where + "byte-order marker mismatch (file written on, or read by, a "
                 "big-endian machine; snapshots are little-endian)");
   }
-  if (layout->version != kSnapshotFormatVersion) {
+  if (layout->version < kSnapshotMinReadVersion ||
+      layout->version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(
         where + "format version " + std::to_string(layout->version) +
-        ", but this build reads version " +
+        ", but this build reads versions " +
+        std::to_string(kSnapshotMinReadVersion) + ".." +
         std::to_string(kSnapshotFormatVersion) +
         " (re-convert the source dataset; see docs/formats.md)");
   }
   const auto flags = ReadScalar<std::uint64_t>(data + 16);
-  if ((flags & ~kFlagWeighted) != 0) {
-    return Status::InvalidArgument(where + "unknown flag bits set");
+  // The directed bit exists only from v2 on; in a v1 file it is an
+  // unknown bit like any other.
+  const std::uint64_t known_flags =
+      layout->version >= 2 ? (kFlagWeighted | kFlagDirected) : kFlagWeighted;
+  if ((flags & ~known_flags) != 0) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%llx",
+                  static_cast<unsigned long long>(flags & ~known_flags));
+    return Status::InvalidArgument(
+        where + "unknown flag bits set: " + hex + " (version " +
+        std::to_string(layout->version) + " defines" +
+        (layout->version >= 2 ? " 0x1 weighted, 0x2 directed)"
+                              : " 0x1 weighted)"));
   }
   layout->weighted = (flags & kFlagWeighted) != 0;
+  layout->directed = (flags & kFlagDirected) != 0;
   layout->num_vertices = ReadScalar<std::uint64_t>(data + 24);
   layout->adjacency_len = ReadScalar<std::uint64_t>(data + 32);
   layout->name_len = ReadScalar<std::uint64_t>(data + 40);
@@ -141,7 +161,7 @@ Status ParseLayout(const unsigned char* data, std::uint64_t file_size,
     return Status::InvalidArgument(where + "vertex count " + std::to_string(n) +
                                    " out of range");
   }
-  if (layout->adjacency_len % 2 != 0) {
+  if (!layout->directed && layout->adjacency_len % 2 != 0) {
     return Status::InvalidArgument(
         where + "odd adjacency length (undirected CSR stores 2m entries)");
   }
@@ -221,7 +241,8 @@ CsrGraph ViewFromLayout(const unsigned char* data, const Layout& layout) {
   }
   std::string name(reinterpret_cast<const char*>(data + layout.name_off),
                    static_cast<std::size_t>(layout.name_len));
-  return CsrGraph::WrapExternal(offsets, neighbors, weights, std::move(name));
+  return CsrGraph::WrapExternal(offsets, neighbors, weights, std::move(name),
+                                layout.directed);
 }
 
 StatusOr<std::vector<unsigned char>> ReadWholeFile(const std::string& path) {
@@ -253,7 +274,8 @@ Status SaveSnapshot(const CsrGraph& graph, const std::string& path) {
 
   const std::string& name = graph.name();
   const std::uint64_t version = kSnapshotFormatVersion;
-  const std::uint64_t flags = graph.weighted() ? kFlagWeighted : 0;
+  const std::uint64_t flags = (graph.weighted() ? kFlagWeighted : 0) |
+                              (graph.directed() ? kFlagDirected : 0);
   const std::uint64_t n = graph.num_vertices();
   const auto adjacency = graph.raw_adjacency();
   const std::uint64_t adjacency_len = adjacency.size();
@@ -318,7 +340,8 @@ StatusOr<CsrGraph> LoadSnapshotBuffered(const std::string& path,
   std::string name(reinterpret_cast<const char*>(data + layout.name_off),
                    static_cast<std::size_t>(layout.name_len));
   return CsrGraph::AdoptVerbatim(std::move(offsets), std::move(neighbors),
-                                 std::move(weights), std::move(name));
+                                 std::move(weights), std::move(name),
+                                 layout.directed);
 }
 
 MappedGraph::~MappedGraph() {
@@ -401,8 +424,10 @@ StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path) {
   SnapshotInfo info;
   info.version = layout.version;
   info.weighted = layout.weighted;
+  info.directed = layout.directed;
   info.num_vertices = layout.num_vertices;
-  info.num_edges = layout.adjacency_len / 2;
+  info.num_edges =
+      layout.directed ? layout.adjacency_len : layout.adjacency_len / 2;
   info.name.assign(reinterpret_cast<const char*>(data + layout.name_off),
                    static_cast<std::size_t>(layout.name_len));
   info.file_bytes = buffer.value().size();

@@ -29,11 +29,16 @@
 
 namespace mhbc {
 
-/// Current snapshot format version. Readers reject other versions with a
-/// NotFound-style InvalidArgument naming both versions; see docs/formats.md
-/// for the compatibility policy (the format is versioned, not evolved in
-/// place).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// Current snapshot format version. The writer always emits this version;
+/// readers additionally accept every version back to
+/// kSnapshotMinReadVersion (v1 predates the directed flag bit, so a v1
+/// file is always undirected). Versions outside that window are rejected
+/// with an InvalidArgument naming both versions; see docs/formats.md for
+/// the compatibility policy.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
+/// Oldest snapshot version this build still reads.
+inline constexpr std::uint32_t kSnapshotMinReadVersion = 1;
 
 /// Conventional file extension for snapshot files.
 inline constexpr const char* kSnapshotExtension = ".mhbc";
@@ -55,9 +60,13 @@ struct SnapshotInfo {
   std::uint32_t version = 0;
   /// True when the snapshot carries an edge-weight array.
   bool weighted = false;
+  /// True when the snapshot stores a directed out-CSR (v2 flag bit 1;
+  /// always false for v1 files, which predate the flag).
+  bool directed = false;
   /// Vertex count n.
   std::uint64_t num_vertices = 0;
-  /// Undirected edge count m (the adjacency array holds 2m entries).
+  /// Edge count m: undirected pairs (adjacency holds 2m entries) or
+  /// directed arcs (adjacency holds m entries).
   std::uint64_t num_edges = 0;
   /// Graph name stored in the snapshot (source path or dataset key).
   std::string name;

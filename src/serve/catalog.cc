@@ -127,6 +127,7 @@ GraphEntryStats GraphEntry::Stats() const {
   const CsrGraph& current = sessions_.front()->graph();
   stats.num_vertices = current.num_vertices();
   stats.num_edges = current.num_edges();
+  stats.directed = current.directed();
   return stats;
 }
 

@@ -83,7 +83,10 @@ struct GraphEntryStats {
   std::uint64_t reads_served = 0;
   std::uint64_t mutations_applied = 0;
   VertexId num_vertices = 0;
+  /// Undirected pairs, or arcs when `directed`.
   std::uint64_t num_edges = 0;
+  /// Directedness of the served graph (fixed at registration).
+  bool directed = false;
 };
 
 /// One named graph: the owned base CSR plus its session pool and epoch

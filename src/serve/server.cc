@@ -339,7 +339,8 @@ std::string Server::ExecuteMutate(Job& job, GraphEntry& entry) {
   std::ostringstream result;
   result << "{\"applied_ops\": " << delta.value().size()
          << ", \"num_vertices\": " << stats.num_vertices
-         << ", \"num_edges\": " << stats.num_edges << "}";
+         << ", \"num_edges\": " << stats.num_edges
+         << ", \"directed\": " << (stats.directed ? "true" : "false") << "}";
   return FormatOkResponse(request, stats.epoch,
                           job.timer.ElapsedSeconds() * 1000.0, result.str());
 }
@@ -367,7 +368,8 @@ std::string Server::ExecuteStats(const ServeRequest& request) {
            << ", \"reads_served\": " << g.reads_served
            << ", \"mutations_applied\": " << g.mutations_applied
            << ", \"num_vertices\": " << g.num_vertices
-           << ", \"num_edges\": " << g.num_edges << "}";
+           << ", \"num_edges\": " << g.num_edges
+           << ", \"directed\": " << (g.directed ? "true" : "false") << "}";
   }
   result << "], \"queue_depth\": " << server.queue_depth
          << ", \"queue_capacity\": " << options_.queue_capacity

@@ -78,8 +78,10 @@ void BfsSpd::RunClassic(VertexId source) {
     last_stats_.edges_examined += frontier_edges;
     ++last_stats_.top_down_levels;
     std::uint64_t next_edges = 0;
+    std::uint64_t ignored_in_edges = 0;
     if (UseParallel(frontier_edges)) {
-      next_edges = TopDownLevelParallel(depth, /*record_preds=*/false);
+      next_edges = TopDownLevelParallel(depth, /*record_preds=*/false,
+                                        &ignored_in_edges);
     } else {
       for (VertexId u : frontier_) {
         const SigmaCount su = dag_.sigma[u];
@@ -108,9 +110,12 @@ void BfsSpd::RunHybrid(VertexId source) {
   const VertexId n = graph_->num_vertices();
   if (visited_.empty()) {
     visited_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
-    dag_.pred_begin = graph_->raw_offsets().data();
+    // Parents reach a vertex over its in-edges, so predecessor capacity is
+    // the in-CSR layout (aliases the out-CSR when undirected).
+    dag_.pred_begin = graph_->raw_in_offsets().data();
     dag_.pred_count.assign(n, 0);
-    dag_.pred_storage.assign(graph_->raw_adjacency().size(), kInvalidVertex);
+    dag_.pred_storage.assign(graph_->raw_in_adjacency().size(),
+                             kInvalidVertex);
   }
   // Bits past n in the last bitmap word never correspond to vertices; mask
   // them out of every bottom-up word scan.
@@ -122,12 +127,14 @@ void BfsSpd::RunHybrid(VertexId source) {
   SetVisited(source);
   frontier_.clear();
   frontier_.push_back(source);
-  // Beamer's two aggregates: edges a top-down step would examine (degree
-  // sum of the frontier) vs edges a bottom-up step would examine (degree
-  // sum of unvisited vertices). Both are maintained incrementally.
+  // Beamer's two aggregates: edges a top-down step would examine
+  // (out-degree sum of the frontier) vs edges a bottom-up step would
+  // examine (in-degree sum of unvisited vertices — the bottom-up parent
+  // scan walks in-edges). Both are maintained incrementally; on
+  // undirected graphs the two degree notions coincide.
   std::uint64_t frontier_edges = graph_->degree(source);
   std::uint64_t unexplored_edges =
-      2 * graph_->num_edges() - graph_->degree(source);
+      graph_->raw_in_adjacency().size() - graph_->in_degree(source);
   std::size_t prev_frontier_size = 0;
   bool bottom_up = false;
   std::uint32_t depth = 0;
@@ -166,15 +173,16 @@ void BfsSpd::RunHybrid(VertexId source) {
 
     next_.clear();
     std::uint64_t next_edges = 0;
+    std::uint64_t next_in_edges = 0;
     if (bottom_up) {
       ++last_stats_.bottom_up_levels;
       last_stats_.edges_examined += unexplored_edges;
       if (UseParallel(unexplored_edges)) {
-        next_edges = BottomUpLevelParallel(depth, tail_mask);
+        next_edges = BottomUpLevelParallel(depth, tail_mask, &next_in_edges);
       } else {
         // Scan unvisited vertices in ascending id (so the next level needs
-        // no sort) and gather all parents at the current depth; no early
-        // exit — exact sigma needs every parent.
+        // no sort) and gather all in-edge parents at the current depth; no
+        // early exit — exact sigma needs every parent.
         for (std::size_t word = 0; word < visited_.size(); ++word) {
           std::uint64_t unvisited = ~visited_[word];
           if (word + 1 == visited_.size()) unvisited &= tail_mask;
@@ -185,7 +193,7 @@ void BfsSpd::RunHybrid(VertexId source) {
             SigmaCount sv = 0;
             std::uint32_t parents = 0;
             const std::size_t base = dag_.pred_begin[v];
-            for (VertexId u : graph_->neighbors(v)) {
+            for (VertexId u : graph_->in_neighbors(v)) {
               if (dag_.dist[u] == depth) {
                 sv += dag_.sigma[u];
                 dag_.pred_storage[base + parents++] = u;
@@ -198,6 +206,7 @@ void BfsSpd::RunHybrid(VertexId source) {
               SetVisited(v);
               next_.push_back(v);
               next_edges += graph_->degree(v);
+              next_in_edges += graph_->in_degree(v);
             }
           }
         }
@@ -206,7 +215,8 @@ void BfsSpd::RunHybrid(VertexId source) {
       ++last_stats_.top_down_levels;
       last_stats_.edges_examined += frontier_edges;
       if (UseParallel(frontier_edges)) {
-        next_edges = TopDownLevelParallel(depth, /*record_preds=*/true);
+        next_edges =
+            TopDownLevelParallel(depth, /*record_preds=*/true, &next_in_edges);
       } else {
         for (VertexId u : frontier_) {
           const SigmaCount su = dag_.sigma[u];
@@ -216,10 +226,11 @@ void BfsSpd::RunHybrid(VertexId source) {
               SetVisited(v);
               next_.push_back(v);
               next_edges += graph_->degree(v);
+              next_in_edges += graph_->in_degree(v);
             }
             if (dag_.dist[v] == depth + 1) {
               // The frontier is sorted, so parents append in ascending id
-              // — the same sequence a bottom-up neighbor scan records —
+              // — the same sequence a bottom-up in-neighbor scan records —
               // and sigma folds in the same order.
               dag_.sigma[v] += su;
               dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]++] =
@@ -230,7 +241,7 @@ void BfsSpd::RunHybrid(VertexId source) {
         std::sort(next_.begin(), next_.end());
       }
     }
-    unexplored_edges -= next_edges;
+    unexplored_edges -= next_in_edges;
     frontier_edges = next_edges;
     frontier_.swap(next_);
     ++depth;
@@ -256,11 +267,13 @@ void BfsSpd::EnsureParallelScratch() {
   buckets_.resize(kFrontierShards * num_ranges_);
   range_next_.resize(num_ranges_);
   range_edges_.assign(num_ranges_, 0);
+  range_in_edges_.assign(num_ranges_, 0);
   frontier_bits_.assign(n_words, 0);
 }
 
 std::uint64_t BfsSpd::TopDownLevelParallel(std::uint32_t depth,
-                                           bool record_preds) {
+                                           bool record_preds,
+                                           std::uint64_t* next_in_edges) {
   EnsureParallelScratch();
   // Phase 1 — fan out over fixed frontier shards: each shard examines its
   // contiguous slice of the (sorted) frontier and buckets every candidate
@@ -301,6 +314,7 @@ std::uint64_t BfsSpd::TopDownLevelParallel(std::uint32_t depth,
         std::vector<VertexId>& seg = range_next_[range];
         seg.clear();
         std::uint64_t seg_edges = 0;
+        std::uint64_t seg_in_edges = 0;
         for (std::size_t shard = 0; shard < kFrontierShards; ++shard) {
           std::vector<TdCandidate>& bucket =
               buckets_[shard * num_ranges_ + range];
@@ -310,6 +324,7 @@ std::uint64_t BfsSpd::TopDownLevelParallel(std::uint32_t depth,
               if (record_preds) SetVisited(c.v);
               seg.push_back(c.v);
               seg_edges += graph_->degree(c.v);
+              seg_in_edges += graph_->in_degree(c.v);
             }
             dag_.sigma[c.v] += dag_.sigma[c.u];
             if (record_preds) {
@@ -323,17 +338,20 @@ std::uint64_t BfsSpd::TopDownLevelParallel(std::uint32_t depth,
         // segments concatenate into the globally sorted next frontier.
         std::sort(seg.begin(), seg.end());
         range_edges_[range] = seg_edges;
+        range_in_edges_[range] = seg_in_edges;
       },
-      [this, &next_edges](std::size_t range) {
+      [this, &next_edges, next_in_edges](std::size_t range) {
         next_.insert(next_.end(), range_next_[range].begin(),
                      range_next_[range].end());
         next_edges += range_edges_[range];
+        *next_in_edges += range_in_edges_[range];
       });
   return next_edges;
 }
 
 std::uint64_t BfsSpd::BottomUpLevelParallel(std::uint32_t depth,
-                                            std::uint64_t tail_mask) {
+                                            std::uint64_t tail_mask,
+                                            std::uint64_t* next_in_edges) {
   EnsureParallelScratch();
   // Publish the current frontier as a bitmap. The parent test below must
   // not read dist[u]: a neighbor u may be a *newly discovered* vertex
@@ -360,6 +378,7 @@ std::uint64_t BfsSpd::BottomUpLevelParallel(std::uint32_t depth,
         std::vector<VertexId>& seg = range_next_[range];
         seg.clear();
         std::uint64_t seg_edges = 0;
+        std::uint64_t seg_in_edges = 0;
         for (std::size_t word = word_begin; word < word_end; ++word) {
           std::uint64_t unvisited = ~visited_[word];
           if (word + 1 == visited_.size()) unvisited &= tail_mask;
@@ -370,7 +389,7 @@ std::uint64_t BfsSpd::BottomUpLevelParallel(std::uint32_t depth,
             SigmaCount sv = 0;
             std::uint32_t parents = 0;
             const std::size_t base = dag_.pred_begin[v];
-            for (VertexId u : graph_->neighbors(v)) {
+            for (VertexId u : graph_->in_neighbors(v)) {
               if ((frontier_bits_[u >> 6] >> (u & 63)) & 1) {
                 sv += dag_.sigma[u];
                 dag_.pred_storage[base + parents++] = u;
@@ -383,15 +402,18 @@ std::uint64_t BfsSpd::BottomUpLevelParallel(std::uint32_t depth,
               SetVisited(v);
               seg.push_back(v);
               seg_edges += graph_->degree(v);
+              seg_in_edges += graph_->in_degree(v);
             }
           }
         }
         range_edges_[range] = seg_edges;
+        range_in_edges_[range] = seg_in_edges;
       },
-      [this, &next_edges](std::size_t range) {
+      [this, &next_edges, next_in_edges](std::size_t range) {
         next_.insert(next_.end(), range_next_[range].begin(),
                      range_next_[range].end());
         next_edges += range_edges_[range];
+        *next_in_edges += range_in_edges_[range];
       });
   for (VertexId u : frontier_) {
     frontier_bits_[u >> 6] &= ~(std::uint64_t{1} << (u & 63));

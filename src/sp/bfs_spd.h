@@ -57,6 +57,16 @@
 ///
 /// Levels below SpdOptions::parallel_grain examined edges run the
 /// (identical-output) sequential step, so tiny levels pay no fan-out cost.
+///
+/// Directed graphs: top-down expansion walks out-edges and every parent
+/// scan — the bottom-up step and recorded predecessor lists — walks
+/// in-edges (CsrGraph::in_neighbors, the transpose view), which on
+/// undirected graphs alias the out-edges, so the undirected pass is
+/// unchanged. The direction heuristic's two ledgers split accordingly:
+/// m_f is the frontier's out-degree sum, m_u the unvisited vertices'
+/// in-degree sum. The sharded geometry and the determinism argument are
+/// direction-blind (both CSRs are sorted), so directed passes keep the
+/// bit-identity contract at every thread count.
 
 namespace mhbc {
 
@@ -134,13 +144,17 @@ class BfsSpd {
   /// function of |V|).
   void EnsureParallelScratch();
   /// Frontier-parallel top-down level step: settles depth+1, fills next_
-  /// (sorted) and returns its degree sum. record_preds selects the hybrid
-  /// variant (visited bits + predecessor lists).
-  std::uint64_t TopDownLevelParallel(std::uint32_t depth, bool record_preds);
+  /// (sorted) and returns its out-degree sum; adds the new level's
+  /// in-degree sum (the bottom-up cost ledger, which differs from the
+  /// out-degree sum on directed graphs) to *next_in_edges. record_preds
+  /// selects the hybrid variant (visited bits + predecessor lists).
+  std::uint64_t TopDownLevelParallel(std::uint32_t depth, bool record_preds,
+                                     std::uint64_t* next_in_edges);
   /// Word-range-parallel bottom-up level step; same outputs as above,
   /// always records predecessors (hybrid only).
   std::uint64_t BottomUpLevelParallel(std::uint32_t depth,
-                                      std::uint64_t tail_mask);
+                                      std::uint64_t tail_mask,
+                                      std::uint64_t* next_in_edges);
 
   void SetVisited(VertexId v) {
     visited_[v >> 6] |= std::uint64_t{1} << (v & 63);
@@ -179,9 +193,10 @@ class BfsSpd {
   /// Candidate buckets, indexed [shard * num_ranges_ + range]; capacity is
   /// retained across levels and passes.
   std::vector<std::vector<TdCandidate>> buckets_;
-  /// Per-range next-frontier segments + their degree sums.
+  /// Per-range next-frontier segments + their out-/in-degree sums.
   std::vector<std::vector<VertexId>> range_next_;
   std::vector<std::uint64_t> range_edges_;
+  std::vector<std::uint64_t> range_in_edges_;
   /// Bit-per-vertex image of the current frontier, published before a
   /// parallel bottom-up step so the parent test never reads a dist entry
   /// another range owner may be writing. All-zero outside a step.

@@ -19,32 +19,37 @@ DeltaSpd::DeltaSpd(const CsrGraph& graph, SpdOptions options)
   dag_.sigma.assign(n, 0);
   dag_.order.reserve(n);
   dag_.weighted = true;
-  // Parent-list capacity is degree, so the graph's CSR offsets ARE the
-  // begin offsets — reference them instead of rebuilding the array.
-  dag_.pred_begin = graph.raw_offsets().data();
+  // Parent-list capacity is the in-degree (a parent reaches v over an
+  // in-edge), so the graph's in-CSR offsets ARE the begin offsets —
+  // reference them instead of rebuilding the array. On undirected graphs
+  // the in-CSR aliases the out-CSR, preserving the historical layout.
+  dag_.pred_begin = graph.raw_in_offsets().data();
   dag_.pred_count.assign(n, 0);
-  dag_.pred_storage.assign(graph.raw_adjacency().size(), kInvalidVertex);
+  dag_.pred_storage.assign(graph.raw_in_adjacency().size(), kInvalidVertex);
   dag_.has_predecessors = true;
   settled_.assign(n, 0);
   wave_.reserve(n);
 
   // Per-vertex settle slack minw(v) and the window span max_v minw(v) —
   // both pure functions of the graph, fixed for the engine's lifetime.
+  // minw(v) is the minimum *incoming* weight: the wave rule bounds how
+  // soon another relaxation can still improve wdist(v), and improvements
+  // arrive over in-edges. Undirected graphs read the same values as
+  // before (in-weights alias the incident weights).
   min_incident_.assign(n, std::numeric_limits<double>::infinity());
-  const std::span<const EdgeId> offsets = graph.raw_offsets();
-  const std::span<const double> weights = graph.raw_weights();
   double weight_sum = 0.0;
   for (VertexId v = 0; v < n; ++v) {
-    for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
-      const double w = weights[e];
+    const auto in_wts = graph.in_weights(v);
+    for (const double w : in_wts) {
       MHBC_DCHECK(w > 0.0);
       min_incident_[v] = std::min(min_incident_[v], w);
       weight_sum += w;
     }
-    if (offsets[v + 1] > offsets[v]) {
+    if (!in_wts.empty()) {
       max_min_incident_ = std::max(max_min_incident_, min_incident_[v]);
     }
   }
+  const std::span<const double> weights = graph.raw_weights();
   // Canonical auto width: the mean edge weight — a function of the graph,
   // never of the thread count. Any positive width yields the same outputs
   // (see the header); the mean keeps the wave window a few buckets wide.
@@ -90,7 +95,7 @@ void DeltaSpd::RelaxCandidate(VertexId u, VertexId v, double candidate,
     // Tie: u is an additional predecessor (each directed edge relaxes at
     // most once per pass — when u settles — so no duplicate check).
     dag_.sigma[v] += dag_.sigma[u];
-    MHBC_DCHECK(dag_.pred_count[v] < graph_->degree(v));
+    MHBC_DCHECK(dag_.pred_count[v] < graph_->in_degree(v));
     dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]] = u;
     ++dag_.pred_count[v];
   }

@@ -127,9 +127,11 @@ class DeltaSpd {
   /// graph). Outputs are invariant under it — see the file comment.
   double bucket_width() const { return bucket_width_; }
 
-  /// Smallest weight incident to v (+infinity for isolated vertices). The
-  /// wave rule's per-vertex settle slack; exposed for the oracle's
-  /// selective weighted invalidation and for tests.
+  /// Smallest weight incident to v — the minimum *incoming* weight on
+  /// directed graphs (+infinity for vertices with no in-edge): relaxations
+  /// arrive over in-edges, so that is the wave rule's per-vertex settle
+  /// slack. Exposed for the oracle's selective weighted invalidation and
+  /// for tests.
   double min_incident_weight(VertexId v) const {
     MHBC_DCHECK(v < min_incident_.size());
     return min_incident_[v];

@@ -61,12 +61,14 @@ void DependencyAccumulator::AccumulateLevels(const ShortestPathDag& dag,
   for (std::size_t level = dag.num_levels(); level-- > 0;) {
     const std::size_t lo = dag.level_offsets[level];
     const std::size_t hi = dag.level_offsets[level + 1];
-    // Work proxy for the grain test: the level's degree sum bounds the
-    // parent edges a sweep of it examines. A function of the level only,
-    // so the parallel-or-sequential choice is thread-count-independent.
+    // Work proxy for the grain test: the level's in-degree sum bounds the
+    // parent edges a sweep of it examines (parents arrive over in-edges;
+    // in-degree aliases degree on undirected graphs). A function of the
+    // level only, so the parallel-or-sequential choice is
+    // thread-count-independent.
     std::uint64_t level_edges = 0;
     for (std::size_t i = lo; i < hi; ++i) {
-      level_edges += graph.degree(dag.order[i]);
+      level_edges += graph.in_degree(dag.order[i]);
     }
     if (level_edges < parallel_grain_) {
       for (std::size_t i = lo; i < hi; ++i) {
@@ -141,14 +143,30 @@ const std::vector<double>& DependencyAccumulator::Accumulate(
   return Accumulate(dijkstra.dag(), dijkstra.graph());
 }
 
+namespace {
+
+/// The graph a "distance to t" BFS must run on: the graph itself when
+/// undirected, its transpose when directed (dist(v, t) in G equals
+/// dist(t, v) in Gᵀ). The transpose view borrows the graph's in-CSR
+/// arrays, so it must not outlive `graph`.
+CsrGraph ReverseViewFor(const CsrGraph& graph) {
+  if (!graph.directed()) return graph;
+  return CsrGraph::WrapExternal(graph.raw_in_offsets(),
+                                graph.raw_in_adjacency(), {}, graph.name(),
+                                /*directed=*/true);
+}
+
+}  // namespace
+
 std::vector<double> PairDependencies(const CsrGraph& graph, VertexId s,
                                      VertexId t) {
   MHBC_DCHECK(s < graph.num_vertices());
   MHBC_DCHECK(t < graph.num_vertices());
   std::vector<double> result(graph.num_vertices(), 0.0);
   if (s == t) return result;
+  const CsrGraph reverse = ReverseViewFor(graph);
   BfsSpd from_s(graph);
-  BfsSpd from_t(graph);
+  BfsSpd from_t(reverse);
   from_s.Run(s);
   from_t.Run(t);
   const auto& ds = from_s.dag();
@@ -171,8 +189,9 @@ std::vector<double> PairDependencies(const CsrGraph& graph, VertexId s,
 SigmaCount CountPathsThrough(const CsrGraph& graph, VertexId s, VertexId t,
                              VertexId v) {
   MHBC_DCHECK(v != s && v != t);
+  const CsrGraph reverse = ReverseViewFor(graph);
   BfsSpd from_s(graph);
-  BfsSpd from_t(graph);
+  BfsSpd from_t(reverse);
   from_s.Run(s);
   from_t.Run(t);
   const auto& ds = from_s.dag();

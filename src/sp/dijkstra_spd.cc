@@ -14,11 +14,13 @@ DijkstraSpd::DijkstraSpd(const CsrGraph& graph, double tie_epsilon)
   dag_.sigma.assign(n, 0);
   dag_.order.reserve(n);
   dag_.weighted = true;
-  // Parent-list capacity is degree, so the graph's CSR offsets ARE the
-  // begin offsets — reference them instead of rebuilding the array.
-  dag_.pred_begin = graph.raw_offsets().data();
+  // Parent-list capacity is the in-degree (a parent reaches v over an
+  // in-edge), so the graph's in-CSR offsets ARE the begin offsets —
+  // reference them instead of rebuilding the array; they alias the
+  // out-CSR on undirected graphs.
+  dag_.pred_begin = graph.raw_in_offsets().data();
   dag_.pred_count.assign(n, 0);
-  dag_.pred_storage.assign(graph.raw_adjacency().size(), kInvalidVertex);
+  dag_.pred_storage.assign(graph.raw_in_adjacency().size(), kInvalidVertex);
   dag_.has_predecessors = true;
   settled_.assign(n, 0);
 }
@@ -73,7 +75,7 @@ void DijkstraSpd::Run(VertexId source) {
         // Tie: u is an additional predecessor (each neighbor appears once
         // per pass, so no duplicate check is needed).
         dag_.sigma[v] += dag_.sigma[u];
-        MHBC_DCHECK(dag_.pred_count[v] < graph_->degree(v));
+        MHBC_DCHECK(dag_.pred_count[v] < graph_->in_degree(v));
         dag_.pred_storage[dag_.pred_begin[v] + dag_.pred_count[v]] = u;
         ++dag_.pred_count[v];
       }

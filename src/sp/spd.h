@@ -127,8 +127,10 @@ struct ShortestPathDag {
   /// Explicit SPD predecessor (parent) lists in CSR-capacity layout:
   /// vertex v's parents occupy
   /// pred_storage[pred_begin[v] .. pred_begin[v] + pred_count[v]).
-  /// pred_begin points at the graph's own CSR offsets (a parent list can
-  /// never outgrow the degree), so it stays valid exactly as long as the
+  /// pred_begin points at the graph's own *in*-CSR offsets (a parent of v
+  /// reaches it over an in-edge, so a parent list can never outgrow the
+  /// in-degree; on undirected graphs the in-CSR aliases the out-CSR), so
+  /// it stays valid exactly as long as the
   /// graph the engine is bound to — no per-engine copy. Filled by the
   /// Dijkstra engine (parents in settle order) and by the hybrid BFS
   /// kernel (parents in ascending id — the same sequence a sorted
@@ -183,13 +185,14 @@ void ForEachDeepestFirst(const ShortestPathDag& dag, Visit&& visit) {
 }
 
 /// Visits every SPD parent of `w`: the recorded predecessor list when the
-/// pass stored one, else the neighbors one hop closer to the source
-/// (unweighted re-derivation from dist). For unweighted passes the
-/// enumeration order is ascending parent id either way — recorded lists
-/// repeat the sorted neighbor scan — so backward sweeps regroup
-/// identically whichever path runs. Like ForEachDeepestFirst, this is the
-/// single definition of parent enumeration; sweeps must not fork their
-/// own.
+/// pass stored one, else the in-neighbors one hop closer to the source
+/// (unweighted re-derivation from dist; a parent reaches w over an
+/// in-edge, and on undirected graphs the in-neighbor list aliases the
+/// neighbor list). For unweighted passes the enumeration order is
+/// ascending parent id either way — recorded lists repeat the sorted
+/// in-neighbor scan — so backward sweeps regroup identically whichever
+/// path runs. Like ForEachDeepestFirst, this is the single definition of
+/// parent enumeration; sweeps must not fork their own.
 template <typename Visit>
 void ForEachParent(const ShortestPathDag& dag, const CsrGraph& graph,
                    VertexId w, Visit&& visit) {
@@ -197,7 +200,7 @@ void ForEachParent(const ShortestPathDag& dag, const CsrGraph& graph,
     for (VertexId v : dag.predecessors(w)) visit(v);
   } else {
     const std::uint32_t dw = dag.dist[w];
-    for (VertexId v : graph.neighbors(w)) {
+    for (VertexId v : graph.in_neighbors(w)) {
       if (dag.dist[v] + 1 == dw) visit(v);
     }
   }
